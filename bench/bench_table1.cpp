@@ -1,0 +1,40 @@
+// Table 1 reproduction: benchmark codes studied — origin, lines of code
+// and serial execution time.  The paper's values are quoted next to the
+// mini-application substitutes and their measured serial cost on the
+// simulated machine.
+#include <cstdio>
+#include <sstream>
+
+#include "harness.h"
+#include "interp/interp.h"
+#include "parser/parser.h"
+#include "suite/suite.h"
+
+int main() {
+  using namespace polaris;
+  bench::heading("Table 1: Benchmark codes studied (paper vs mini substitutes)");
+  std::printf("%-9s %-8s | %11s %11s | %10s %14s\n", "Program", "Origin",
+              "paper lines", "paper ser.s", "mini lines",
+              "mini ser.units");
+  std::printf("%s\n", std::string(72, '-').c_str());
+  for (const BenchProgram& p : benchmark_suite()) {
+    auto prog = parse_program(p.source);
+    RunResult r = run_program(*prog, MachineConfig{});
+    int mini_lines = 0;
+    {
+      std::istringstream is(p.source);
+      std::string line;
+      while (std::getline(is, line))
+        if (!line.empty()) ++mini_lines;
+    }
+    std::printf("%-9s %-8s | %11d %11.0f | %10d %14llu\n", p.name.c_str(),
+                p.origin.c_str(), p.paper_lines, p.paper_serial_sec,
+                mini_lines,
+                static_cast<unsigned long long>(r.clock.serial));
+  }
+  std::printf(
+      "\nNote: mini programs reproduce each code's dominant loop patterns\n"
+      "(see DESIGN.md); serial time is in deterministic cost units of the\n"
+      "simulated machine, not wall-clock seconds.\n\n");
+  return 0;
+}

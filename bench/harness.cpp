@@ -1,0 +1,40 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "parser/parser.h"
+
+namespace polaris::bench {
+
+Measurement measure(const std::string& source, CompilerMode mode,
+                    int processors, Options* custom_opts) {
+  Measurement m;
+  auto ref = parse_program(source);
+  m.reference = run_program(*ref, MachineConfig{});
+
+  Compiler compiler = custom_opts ? Compiler(*custom_opts) : Compiler(mode);
+  auto prog = compiler.compile(source, &m.report);
+  ExecutionConfig cfg = backend_config(mode, *prog, processors);
+  m.codegen_factor = cfg.codegen_factor;
+  m.run = run_program(*prog, cfg.machine);
+  if (m.reference.output != m.run.output) {
+    std::fprintf(stderr,
+                 "FATAL: transformed output differs from reference\n");
+    std::abort();
+  }
+  return m;
+}
+
+std::string bar(double value, double full_scale, int width) {
+  int n = static_cast<int>(value / full_scale * width + 0.5);
+  n = std::max(0, std::min(width, n));
+  return std::string(static_cast<size_t>(n), '#');
+}
+
+void heading(const std::string& title) {
+  std::string rule(72, '=');
+  std::printf("%s\n%s\n%s\n", rule.c_str(), title.c_str(), rule.c_str());
+}
+
+}  // namespace polaris::bench

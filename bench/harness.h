@@ -1,0 +1,37 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <string>
+
+#include "driver/compiler.h"
+#include "interp/interp.h"
+
+namespace polaris::bench {
+
+/// One compiled-and-executed measurement of a program.
+struct Measurement {
+  RunResult reference;    ///< untransformed sequential run
+  RunResult run;          ///< transformed run on the machine model
+  CompileReport report;
+  double codegen_factor = 1.0;
+
+  /// Speedup over the untouched sequential program, including the backend
+  /// code-quality factor (the paper's Figure 7 metric).
+  double speedup() const {
+    double par = static_cast<double>(run.clock.parallel) * codegen_factor;
+    return par == 0.0 ? 1.0
+                      : static_cast<double>(reference.clock.serial) / par;
+  }
+};
+
+/// Compiles `source` under `mode`, runs reference + transformed.
+Measurement measure(const std::string& source, CompilerMode mode,
+                    int processors, Options* custom_opts = nullptr);
+
+/// Renders a horizontal ASCII bar for bar-chart style output.
+std::string bar(double value, double full_scale, int width = 40);
+
+/// Prints a rule line and a centered title.
+void heading(const std::string& title);
+
+}  // namespace polaris::bench

@@ -1,0 +1,51 @@
+// Polaris vs a 1996-style compiler on three suite codes — a miniature of
+// the paper's Figure 7 comparison, with per-loop verdicts side by side so
+// the *reason* for each win is visible.
+#include <cstdio>
+
+#include "driver/compiler.h"
+#include "interp/interp.h"
+#include "parser/parser.h"
+#include "suite/suite.h"
+
+namespace {
+
+void compare(const char* name) {
+  using namespace polaris;
+  const BenchProgram& bp = suite_program(name);
+
+  auto reference = parse_program(bp.source);
+  RunResult ref = run_program(*reference, MachineConfig{});
+
+  std::printf("== %s (%s) ==\n", name, bp.technique.c_str());
+  for (CompilerMode mode : {CompilerMode::Polaris, CompilerMode::Baseline}) {
+    Compiler compiler(mode);
+    CompileReport report;
+    auto program = compiler.compile(bp.source, &report);
+    ExecutionConfig cfg = backend_config(mode, *program, 8);
+    RunResult run = run_program(*program, cfg.machine);
+    double speedup = static_cast<double>(ref.clock.serial) /
+                     (static_cast<double>(run.clock.parallel) *
+                      cfg.codegen_factor);
+    std::printf("  %-22s: %d/%d loops parallel, speedup %.2f\n",
+                mode == CompilerMode::Polaris ? "Polaris"
+                                              : "baseline (PFA-like)",
+                report.doall.parallel, report.doall.loops, speedup);
+    for (const LoopReport& lr : report.loops) {
+      if (!lr.parallel && !lr.serial_reason.empty() && lr.depth == 0)
+        std::printf("      serial %-8s: %s\n", lr.loop.c_str(),
+                    lr.serial_reason.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== why Polaris wins: three codes, two compilers ===\n\n");
+  compare("trfd");   // induction substitution + range test
+  compare("bdna");   // array privatization with the GSA gather proof
+  compare("mdg");    // histogram reductions
+  return 0;
+}

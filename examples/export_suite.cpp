@@ -1,0 +1,35 @@
+// Writes the 16 evaluation-suite programs out as .f files so they can be
+// fed to the `polaris` CLI (or any Fortran tool):
+//
+//   ./build/examples/export_suite suite_f
+//   ./build/src/driver/polaris -report suite_f/trfd.f
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "suite/suite.h"
+
+int main(int argc, char** argv) {
+  using namespace polaris;
+  std::filesystem::path dir = argc > 1 ? argv[1] : "suite_f";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "export_suite: cannot create %s: %s\n",
+                 dir.string().c_str(), ec.message().c_str());
+    return 1;
+  }
+  for (const BenchProgram& p : benchmark_suite()) {
+    std::filesystem::path file = dir / (p.name + ".f");
+    std::ofstream out(file);
+    if (!out) {
+      std::fprintf(stderr, "export_suite: cannot write %s\n",
+                   file.string().c_str());
+      return 1;
+    }
+    out << p.source;
+    std::printf("wrote %-10s (%s, %s)\n", file.string().c_str(),
+                p.origin.c_str(), p.technique.c_str());
+  }
+  return 0;
+}

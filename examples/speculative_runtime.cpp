@@ -1,0 +1,79 @@
+// Run-time parallelization demo: the PD test (paper Section 3.5).
+//
+// The loop scatters through an index array computed at run time — no
+// compile-time test can analyze it.  With the run-time option enabled,
+// Polaris marks the loop speculative; at execution the loop runs in
+// parallel while shadow arrays record the access pattern, and the
+// post-execution analysis either commits (fully parallel) or restores the
+// checkpoint and re-executes serially.  Both a passing and a failing
+// scenario are shown.
+#include <cstdio>
+#include <string>
+
+#include "driver/compiler.h"
+#include "interp/interp.h"
+#include "parser/parser.h"
+
+namespace {
+
+std::string program_with_stride(int stride) {
+  // stride coprime to 997 (prime size) => permutation => PD test passes;
+  // stride 0 => all writes collide on one element => test fails.
+  std::string s = std::to_string(stride);
+  return "      program scatter\n"
+         "      parameter (n = 997)\n"
+         "      real a(n), b(n)\n"
+         "      integer idx(n)\n"
+         "      do i = 1, n\n"
+         "        b(i) = mod(i, 31)*0.125\n"
+         "        idx(i) = mod(i*" + s + ", n) + 1\n"
+         "      end do\n"
+         "      do i = 1, n\n"
+         "        a(idx(i)) = b(i)*2.0 + 1.0\n"
+         "      end do\n"
+         "      s1 = 0.0\n"
+         "      do i = 1, n\n"
+         "        s1 = s1 + a(i)\n"
+         "      end do\n"
+         "      print *, s1\n"
+         "      end\n";
+}
+
+void demo(const char* label, int stride) {
+  using namespace polaris;
+  std::string source = program_with_stride(stride);
+
+  auto reference = parse_program(source);
+  RunResult ref = run_program(*reference, MachineConfig{});
+
+  Options opts = Options::polaris();
+  opts.runtime_pd_test = true;
+  Compiler compiler(opts);
+  CompileReport report;
+  auto program = compiler.compile(source, &report);
+
+  MachineConfig cfg;
+  cfg.processors = 8;
+  RunResult run = run_program(*program, cfg);
+
+  std::printf("%s (stride %d):\n", label, stride);
+  std::printf("  loops marked speculative : %d\n", report.doall.speculative);
+  std::printf("  speculative attempts     : %d (failed %d)\n",
+              run.speculative_attempts, run.speculative_failures);
+  std::printf("  PD test cost             : %llu units\n",
+              static_cast<unsigned long long>(run.pd_test_cost));
+  std::printf("  output identical         : %s\n",
+              ref.output == run.output ? "yes" : "NO (bug!)");
+  std::printf("  speedup                  : %.2f\n\n",
+              static_cast<double>(ref.clock.serial) /
+                  static_cast<double>(run.clock.parallel));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== the PD test at run time ===\n\n");
+  demo("permutation scatter -> test PASSES, loop stays parallel", 5);
+  demo("colliding scatter   -> test FAILS, serial re-execution", 0);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// TRFD walkthrough: the paper's Figure 2 end to end.
+//
+// The OLDA kernel carries an induction variable X through a triangular
+// loop nest.  Polaris (1) substitutes the induction, producing the
+// nonlinear subscript (i*(n^2+n) + j^2 - j)/2 + k + 1, then (2) proves all
+// three loops independent with the range test — the exact min/max and
+// monotonicity reasoning of Section 3.3.1 — and parallelizes the nest.
+#include <cstdio>
+
+#include "driver/compiler.h"
+#include "interp/interp.h"
+#include "parser/parser.h"
+#include "symbolic/compare.h"
+
+int main() {
+  using namespace polaris;
+
+  const char* source =
+      "      program trfd\n"
+      "      parameter (n = 40, m = 10)\n"
+      "      real a(10000)\n"
+      "      integer x\n"
+      "      x = 0\n"
+      "      do i = 0, m - 1\n"
+      "        do j = 0, n - 1\n"
+      "          do k = 0, j - 1\n"
+      "            x = x + 1\n"
+      "            a(x) = i*0.5 + j*0.25 + k*0.125\n"
+      "          end do\n"
+      "        end do\n"
+      "      end do\n"
+      "      s = 0.0\n"
+      "      do i = 1, m*(n*n - n)/2\n"
+      "        s = s + a(i)\n"
+      "      end do\n"
+      "      print *, s\n"
+      "      end\n";
+
+  std::printf("=== original (Figure 2, left) ===\n%s\n", source);
+
+  Compiler compiler(CompilerMode::Polaris);
+  CompileReport report;
+  auto program = compiler.compile(source, &report);
+  std::printf("=== after Polaris (Figure 2, right + directives) ===\n%s\n",
+              report.annotated_source.c_str());
+
+  // Reproduce the paper's hand proof for the outer loop: the gap between
+  // consecutive outer iterations is n + 1 > 0.
+  SymbolTable symtab;
+  Symbol* n = symtab.declare("n", Type::integer(), SymbolKind::Variable);
+  ExprPtr a2 = parse_expression("(i*(n**2 + n) + n**2 - n)/2", symtab);
+  ExprPtr b2_next = parse_expression("((i+1)*(n**2 + n))/2 + 1", symtab);
+  FactContext ctx;
+  ExprPtr one = parse_expression("1", symtab);
+  ctx.add_range(n, one.get(), nullptr);
+  Polynomial gap = Polynomial::from_expr(*b2_next) - Polynomial::from_expr(*a2);
+  std::printf("=== the paper's proof obligation ===\n");
+  std::printf("  b2(i+1) - a2(i) = %s\n", gap.to_string().c_str());
+  std::printf("  provably > 0 given n >= 1: %s\n\n",
+              prove_gt0(gap, ctx) ? "yes" : "no");
+
+  // Run it.
+  auto reference = parse_program(source);
+  RunResult ref = run_program(*reference, MachineConfig{});
+  MachineConfig cfg;
+  cfg.processors = 8;
+  RunResult par = run_program(*program, cfg);
+  std::printf("=== execution on 8 simulated processors ===\n");
+  std::printf("  checksum: %s (reference %s)\n", par.output[0].c_str(),
+              ref.output[0].c_str());
+  std::printf("  speedup : %.2f\n",
+              static_cast<double>(ref.clock.serial) /
+                  static_cast<double>(par.clock.parallel));
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "analysis/cfg.h"
+
+#include <set>
+
+namespace polaris {
+
+namespace {
+
+/// Fall-through target from "after statement s": arm headers reached by
+/// sequential flow mean the arm completed, so control joins at the END IF.
+Statement* resolve_fallthrough(Statement* t) {
+  while (t != nullptr) {
+    if (t->kind() == StmtKind::ElseIf) {
+      t = static_cast<ElseIfStmt*>(t)->end();
+    } else if (t->kind() == StmtKind::Else) {
+      t = static_cast<ElseStmt*>(t)->end();
+    } else {
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ControlFlowGraph::ControlFlowGraph(const ProgramUnit& unit) {
+  const StmtList& stmts = unit.stmts();
+  entry_ = stmts.first();
+
+  for (Statement* s : stmts) {
+    switch (s->kind()) {
+      case StmtKind::Do: {
+        auto* d = static_cast<DoStmt*>(s);
+        Statement* body = d->body_first() == d->follow()
+                              ? static_cast<Statement*>(d->follow())
+                              : d->body_first();
+        add_edge(s, body);
+        // Zero-trip bypass.
+        Statement* after = resolve_fallthrough(d->follow()->next());
+        if (after) add_edge(s, after);
+        else exits_[s] = true;
+        break;
+      }
+      case StmtKind::EndDo: {
+        auto* e = static_cast<EndDoStmt*>(s);
+        DoStmt* d = e->header();
+        // Next iteration.
+        Statement* body = d->body_first() == e
+                              ? static_cast<Statement*>(e)
+                              : d->body_first();
+        if (body != e) add_edge(s, body);
+        // Loop exit.
+        Statement* after = resolve_fallthrough(s->next());
+        if (after) add_edge(s, after);
+        else exits_[s] = true;
+        break;
+      }
+      case StmtKind::If:
+      case StmtKind::ElseIf: {
+        Statement* taken = s->next();
+        add_edge(s, taken);
+        Statement* not_taken = s->kind() == StmtKind::If
+                                   ? static_cast<IfStmt*>(s)->next_arm()
+                                   : static_cast<ElseIfStmt*>(s)->next_arm();
+        add_edge(s, not_taken);
+        break;
+      }
+      case StmtKind::Else:
+        add_edge(s, s->next());
+        break;
+      case StmtKind::Goto: {
+        Statement* target = unit.stmts().find_label(
+            static_cast<GotoStmt*>(s)->target());
+        p_assert_msg(target != nullptr, "GOTO to unknown label");
+        add_edge(s, target);
+        break;
+      }
+      case StmtKind::Return:
+      case StmtKind::Stop:
+        exits_[s] = true;
+        break;
+      default: {
+        Statement* after = resolve_fallthrough(s->next());
+        if (after) add_edge(s, after);
+        else exits_[s] = true;
+        break;
+      }
+    }
+  }
+}
+
+void ControlFlowGraph::add_edge(Statement* from, Statement* to) {
+  p_assert(from != nullptr && to != nullptr);
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+}
+
+const std::vector<Statement*>& ControlFlowGraph::successors(
+    Statement* s) const {
+  auto it = succ_.find(s);
+  return it == succ_.end() ? empty_ : it->second;
+}
+
+const std::vector<Statement*>& ControlFlowGraph::predecessors(
+    Statement* s) const {
+  auto it = pred_.find(s);
+  return it == pred_.end() ? empty_ : it->second;
+}
+
+bool ControlFlowGraph::exits(Statement* s) const {
+  auto it = exits_.find(s);
+  return it != exits_.end() && it->second;
+}
+
+std::vector<Statement*> ControlFlowGraph::reachable() const {
+  std::vector<Statement*> out;
+  if (entry_ == nullptr) return out;
+  std::set<Statement*> seen;
+  std::vector<Statement*> work{entry_};
+  seen.insert(entry_);
+  while (!work.empty()) {
+    Statement* s = work.back();
+    work.pop_back();
+    out.push_back(s);
+    for (Statement* t : successors(s)) {
+      if (seen.insert(t).second) work.push_back(t);
+    }
+  }
+  return out;
+}
+
+bool ControlFlowGraph::reaches(Statement* from, Statement* target) const {
+  std::set<Statement*> seen;
+  std::vector<Statement*> work{from};
+  seen.insert(from);
+  while (!work.empty()) {
+    Statement* s = work.back();
+    work.pop_back();
+    for (Statement* t : successors(s)) {
+      if (t == target) return true;
+      if (seen.insert(t).second) work.push_back(t);
+    }
+  }
+  return false;
+}
+
+}  // namespace polaris

@@ -1,0 +1,53 @@
+// Statement-level control flow graph.
+//
+// The paper's base Statement class carries "sets of successor and
+// predecessor flow links"; this module derives exactly those from the
+// structured statement list: fall-through edges, DO back/exit edges
+// (including the zero-trip bypass), IF-chain dispatch edges, GOTO edges,
+// and RETURN/STOP edges to the exit node.  The graph is a read-only
+// snapshot — rebuild after structural edits (the Polaris "automatic
+// updates" correspond to our revalidate-plus-rebuild discipline).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace polaris {
+
+class ControlFlowGraph {
+ public:
+  /// Builds the graph for a unit's statement list.
+  explicit ControlFlowGraph(const ProgramUnit& unit);
+
+  /// Successors of `s` in execution order (empty for statements flowing
+  /// to the unit exit).
+  const std::vector<Statement*>& successors(Statement* s) const;
+  /// Predecessors of `s` (entry statement may have none).
+  const std::vector<Statement*>& predecessors(Statement* s) const;
+
+  /// The first executable statement, or null for an empty unit.
+  Statement* entry() const { return entry_; }
+
+  /// True if `s` can flow to the unit exit (RETURN/STOP/end of list).
+  bool exits(Statement* s) const;
+
+  /// Statements reachable from the entry.
+  std::vector<Statement*> reachable() const;
+
+  /// True if `target` is reachable from `from` (following edges, not
+  /// through the exit).
+  bool reaches(Statement* from, Statement* target) const;
+
+ private:
+  void add_edge(Statement* from, Statement* to);
+
+  Statement* entry_ = nullptr;
+  std::map<Statement*, std::vector<Statement*>> succ_;
+  std::map<Statement*, std::vector<Statement*>> pred_;
+  std::map<Statement*, bool> exits_;
+  std::vector<Statement*> empty_;
+};
+
+}  // namespace polaris

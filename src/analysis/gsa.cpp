@@ -1,0 +1,280 @@
+#include "analysis/gsa.h"
+
+#include <algorithm>
+
+#include "analysis/structure.h"
+#include "ir/build.h"
+#include "symbolic/simplify.h"
+
+namespace polaris {
+
+namespace {
+
+/// Finds the IF heading the chain that contains `arm` (an ElseIf or Else),
+/// scanning backward over balanced nested constructs.
+Statement* chain_head(Statement* arm) {
+  int depth = 0;
+  for (Statement* s = arm->prev(); s != nullptr; s = s->prev()) {
+    switch (s->kind()) {
+      case StmtKind::EndIf: ++depth; break;
+      case StmtKind::If:
+        if (depth == 0) return s;
+        --depth;
+        break;
+      default:
+        break;
+    }
+  }
+  p_unreachable("ELSE without IF survived revalidation");
+}
+
+/// Arm header statements (If / ElseIf / Else) of the chain at `ifs`.
+std::vector<Statement*> chain_arms(IfStmt* ifs, bool* has_else) {
+  std::vector<Statement*> arms;
+  *has_else = false;
+  Statement* arm = ifs;
+  while (arm != ifs->end()) {
+    arms.push_back(arm);
+    if (arm->kind() == StmtKind::Else) *has_else = true;
+    if (arm->kind() == StmtKind::If)
+      arm = static_cast<IfStmt*>(arm)->next_arm();
+    else if (arm->kind() == StmtKind::ElseIf)
+      arm = static_cast<ElseIfStmt*>(arm)->next_arm();
+    else
+      arm = static_cast<ElseStmt*>(arm)->end();
+  }
+  return arms;
+}
+
+/// The statement that terminates `arm`'s region (the next arm header or
+/// the chain's ENDIF).
+Statement* arm_terminator(IfStmt* ifs, Statement* arm) {
+  if (arm->kind() == StmtKind::If)
+    return static_cast<IfStmt*>(arm)->next_arm();
+  if (arm->kind() == StmtKind::ElseIf)
+    return static_cast<ElseIfStmt*>(arm)->next_arm();
+  return ifs->end();
+}
+
+/// May any statement in [first, last) define `v`?
+bool may_define(Statement* first, Statement* last, Symbol* v) {
+  Statement* real_last = nullptr;
+  for (Statement* s = first; s != last; s = s->next()) real_last = s;
+  if (real_last == nullptr) return false;
+  return may_defined_symbols(first, real_last).count(v) > 0;
+}
+
+}  // namespace
+
+std::vector<ExprPtr> GsaQuery::value_of(Symbol* v, Statement* at, int depth) {
+  std::vector<ExprPtr> out;
+  auto add = [&](ExprPtr e) {
+    for (const ExprPtr& existing : out)
+      if (existing->equals(*e)) return;
+    if (static_cast<int>(out.size()) < kMaxVariants)
+      out.push_back(std::move(e));
+  };
+  auto add_opaque = [&] { add(ib::var(v)); };
+
+  if (depth <= 0) {
+    add_opaque();
+    return out;
+  }
+  if (v->kind() == SymbolKind::Parameter && v->param_value()) {
+    add(v->param_value()->clone());
+    return out;
+  }
+
+  Statement* cur = at->prev();
+  while (true) {
+    if (cur == nullptr) {
+      // Start of unit: DATA-initialized local scalars of the main program
+      // have a known initial value; formals/commons are opaque.
+      if (!v->is_formal() && !v->in_common() &&
+          v->data_values().size() == 1 &&
+          unit_.kind() == UnitKind::Program) {
+        add(v->data_values()[0]->clone());
+      } else {
+        add_opaque();
+      }
+      break;
+    }
+    // Does this statement define v directly?  (Checked before the goto-
+    // target join test: a def at the join dominates the use regardless of
+    // which path reached the label.)
+    bool defines_here =
+        cur->kind() == StmtKind::Assign &&
+        static_cast<AssignStmt*>(cur)->lhs().kind() == ExprKind::VarRef &&
+        static_cast<AssignStmt*>(cur)->target() == v;
+
+    // A goto target between definition and use is a join we cannot see.
+    if (!defines_here && cur->label() != 0) {
+      bool target = false;
+      for (Statement* t : unit_.stmts())
+        if (t->kind() == StmtKind::Goto &&
+            static_cast<GotoStmt*>(t)->target() == cur->label()) {
+          target = true;
+          break;
+        }
+      if (target) {
+        add_opaque();
+        break;
+      }
+    }
+
+    if (defines_here) {
+      // Direct reaching definition: substitute the rhs at its own point.
+      // A candidate that still mentions v (a self-recurrence whose inner
+      // value is a mu/eta gate, e.g. k = k + 1 in a loop) would conflate
+      // two distinct runtime values of v under one name — keep v opaque
+      // in that case.
+      auto* a = static_cast<AssignStmt*>(cur);
+      for (ExprPtr& val : possible_values(a->rhs(), cur, depth - 1)) {
+        if (val->references(v))
+          add_opaque();
+        else
+          add(std::move(val));
+      }
+      break;
+    }
+    if (cur->kind() == StmtKind::Assign) {
+      cur = cur->prev();
+    } else if (cur->kind() == StmtKind::Call) {
+      auto* c = static_cast<CallStmt*>(cur);
+      bool clobbers = v->in_common();
+      for (const ExprPtr& arg : c->args())
+        if (arg->references(v)) clobbers = true;
+      if (clobbers) {
+        add_opaque();
+        break;
+      }
+      cur = cur->prev();
+    } else if (cur->kind() == StmtKind::EndDo) {
+      // A whole loop behind us: eta gate if it may define v.
+      DoStmt* d = static_cast<EndDoStmt*>(cur)->header();
+      if (d->index() == v || may_define(d->next(), d->follow(), v)) {
+        add_opaque();
+        break;
+      }
+      cur = d->prev();
+    } else if (cur->kind() == StmtKind::Do) {
+      // We are inside this loop: mu gate if the body may redefine v.
+      auto* d = static_cast<DoStmt*>(cur);
+      if (d->index() == v || may_define(d->next(), d->follow(), v)) {
+        add_opaque();
+        break;
+      }
+      cur = cur->prev();
+    } else if (cur->kind() == StmtKind::ElseIf ||
+               cur->kind() == StmtKind::Else) {
+      // Walking out of an arm backward: continue before the chain's IF
+      // (earlier arms are on mutually exclusive paths).
+      cur = chain_head(cur)->prev();
+    } else if (cur->kind() == StmtKind::EndIf) {
+      // A whole if-chain behind us: gamma gate.  Fork into per-arm values.
+      auto* endif = static_cast<EndIfStmt*>(cur);
+      int nest = 0;
+      IfStmt* head = nullptr;
+      for (Statement* s = endif->prev(); s != nullptr; s = s->prev()) {
+        if (s->kind() == StmtKind::EndIf) {
+          ++nest;
+        } else if (s->kind() == StmtKind::If) {
+          if (nest == 0) {
+            head = static_cast<IfStmt*>(s);
+            break;
+          }
+          --nest;
+        }
+      }
+      p_assert(head != nullptr);
+      bool has_else = false;
+      std::vector<Statement*> arms = chain_arms(head, &has_else);
+      bool any_def = false;
+      for (Statement* arm : arms)
+        if (may_define(arm->next(), arm_terminator(head, arm), v))
+          any_def = true;
+      if (!any_def) {
+        cur = head->prev();
+        continue;
+      }
+      // Each arm's exit value (a non-defining arm's backward walk escapes
+      // to before the IF by itself), plus the fall-through value when the
+      // chain has no ELSE.
+      for (Statement* arm : arms) {
+        Statement* term = arm_terminator(head, arm);
+        for (ExprPtr& val : value_of(v, term, depth - 1))
+          add(std::move(val));
+      }
+      if (!has_else) {
+        for (ExprPtr& val : value_of(v, head, depth - 1))
+          add(std::move(val));
+      }
+      break;
+    } else {
+      cur = cur->prev();
+    }
+  }
+
+  if (out.empty()) add_opaque();
+  return out;
+}
+
+std::vector<ExprPtr> GsaQuery::possible_values(const Expression& e,
+                                               Statement* at, int depth) {
+  std::vector<ExprPtr> variants;
+  variants.push_back(e.clone());
+  if (depth <= 0) return variants;
+
+  // Loop indices of enclosing loops stay symbolic: they are the induction
+  // atoms the comparison engine ranges over.
+  std::set<Symbol*> skip;
+  for (DoStmt* d = at->outer(); d != nullptr; d = d->outer())
+    skip.insert(d->index());
+
+  std::set<Symbol*> vars;
+  walk(e, [&](const Expression& node) {
+    if (node.kind() == ExprKind::VarRef) {
+      Symbol* s = static_cast<const VarRef&>(node).symbol();
+      if ((s->kind() == SymbolKind::Variable ||
+           s->kind() == SymbolKind::Parameter) &&
+          !skip.count(s))
+        vars.insert(s);
+    }
+  });
+
+  for (Symbol* v : vars) {
+    std::vector<ExprPtr> vals = value_of(v, at, depth - 1);
+    std::vector<ExprPtr> next;
+    for (const ExprPtr& variant : variants) {
+      for (const ExprPtr& val : vals) {
+        if (static_cast<int>(next.size()) >= kMaxVariants) break;
+        ExprPtr copy = variant->clone();
+        replace_var(copy, v, *val);
+        simplify_in_place(copy);
+        bool dup = false;
+        for (const ExprPtr& ex : next)
+          if (ex->equals(*copy)) dup = true;
+        if (!dup) next.push_back(std::move(copy));
+      }
+    }
+    if (!next.empty()) variants = std::move(next);
+  }
+  return variants;
+}
+
+bool GsaQuery::prove_ge_at(const Expression& e1, const Expression& e2,
+                           Statement* at, const FactContext& ctx) {
+  ExprPtr diff = ib::sub(e1.clone(), e2.clone());
+  std::vector<ExprPtr> vals = possible_values(*diff, at);
+  p_assert(!vals.empty());
+  for (const ExprPtr& val : vals)
+    if (!prove_ge0(Polynomial::from_expr(*val), ctx)) return false;
+  return true;
+}
+
+bool GsaQuery::prove_le_at(const Expression& e1, const Expression& e2,
+                           Statement* at, const FactContext& ctx) {
+  return prove_ge_at(e2, e1, at, ctx);
+}
+
+}  // namespace polaris

@@ -1,0 +1,56 @@
+// Demand-driven, GSA-based backward substitution (paper Section 3.4; Tu &
+// Padua [18]).
+//
+// Queries like "is MP >= M*P at this loop?" are answered by walking
+// backward from the use to the reaching definitions of each scalar and
+// substituting their right-hand sides, recursively.  Control-flow joins
+// behave like gating functions:
+//   - gamma (if-join): the query forks — every arm's value must satisfy
+//     the predicate (value sets, bounded by kMaxVariants);
+//   - mu (loop header, value may come from a previous iteration) and eta
+//     (loop exit) stop substitution of that variable — the variable stays
+//     symbolic, exactly like an opaque GSA gate;
+//   - calls, formals, commons and goto-reachable joins also stop it.
+//
+// The engine works on the structured statement list directly, so the gated
+// SSA form is never materialized — this is the "demand-driven, sparse"
+// aspect the paper highlights.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.h"
+#include "symbolic/compare.h"
+
+namespace polaris {
+
+class GsaQuery {
+ public:
+  explicit GsaQuery(ProgramUnit& unit) : unit_(unit) {}
+
+  /// Fully backward-substituted possible values of `e` at the program point
+  /// immediately *before* statement `at`.  Result is non-empty; when
+  /// substitution is blocked everywhere the original expression (with
+  /// blocked variables left symbolic) is returned.
+  std::vector<ExprPtr> possible_values(const Expression& e, Statement* at,
+                                       int depth = 12);
+
+  /// Proves e1 >= e2 before `at` for every possible value pair.
+  bool prove_ge_at(const Expression& e1, const Expression& e2, Statement* at,
+                   const FactContext& ctx);
+  /// Proves e1 <= e2 before `at` for every possible value pair.
+  bool prove_le_at(const Expression& e1, const Expression& e2, Statement* at,
+                   const FactContext& ctx);
+
+  /// Variant cap per query (gamma forks multiply variants).
+  static constexpr int kMaxVariants = 8;
+
+ private:
+  /// Possible (already fully substituted) values of scalar `v` just before
+  /// `at`.
+  std::vector<ExprPtr> value_of(Symbol* v, Statement* at, int depth);
+
+  ProgramUnit& unit_;
+};
+
+}  // namespace polaris

@@ -1,0 +1,30 @@
+// Pure-function detection — a slice of the "comprehensive interprocedural
+// analysis framework" the paper lists as in progress (Section 3.1).
+//
+// A user FUNCTION is pure when it can be invoked from concurrent loop
+// iterations without interference: it writes only its result variable and
+// its own locals (never a formal or a COMMON member), touches no COMMON at
+// all, performs no I/O or STOP, and calls only intrinsics or other pure
+// functions.  Calls to pure functions then behave like intrinsic calls for
+// the DOALL analysis instead of serializing the loop.
+#pragma once
+
+#include <set>
+
+#include "ir/program.h"
+
+namespace polaris {
+
+/// Names of the program's pure functions (fixed point over the call graph).
+std::set<std::string> pure_functions(const Program& program);
+
+/// True if the region contains a subprogram reference that could interfere
+/// with concurrent execution: a CALL statement, a function outside `pure`,
+/// or a pure function receiving a *whole array* that the region itself
+/// writes (the callee could read elements other iterations write; element
+/// actuals are visible to the dependence tests and are fine).
+bool has_impure_calls(Statement* first, Statement* last,
+                      const std::set<std::string>& pure,
+                      const std::set<Symbol*>& written_arrays);
+
+}  // namespace polaris

@@ -1,0 +1,27 @@
+// Array access collection for dependence testing.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace polaris {
+
+struct ArrayAccess {
+  const ArrayRef* ref = nullptr;  ///< the reference (owned by its statement)
+  Statement* stmt = nullptr;      ///< statement containing the reference
+  bool is_write = false;
+};
+
+/// All array accesses inside the body of `loop` (including inner loop
+/// bounds and IF conditions), grouped by array symbol.  The left-hand side
+/// of an assignment is the only write; its subscripts are reads.
+std::map<Symbol*, std::vector<ArrayAccess>> collect_array_accesses(
+    DoStmt* loop);
+
+/// Scalar symbols assigned within the loop body (targets of scalar
+/// assignments and inner-loop indices).
+std::vector<Symbol*> scalars_assigned(DoStmt* loop);
+
+}  // namespace polaris

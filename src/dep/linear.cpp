@@ -1,0 +1,197 @@
+#include "dep/linear.h"
+
+#include <numeric>
+
+#include "ir/stmt.h"
+#include "symbolic/simplify.h"
+
+namespace polaris {
+
+namespace {
+
+/// True if the atom's expression references `sym` anywhere (catches n*i
+/// composites hidden inside opaque atoms like z(i)).
+bool atom_references(AtomId a, const Symbol* sym) {
+  return AtomTable::instance().expr(a).references(sym);
+}
+
+}  // namespace
+
+LinearForm extract_linear(const Polynomial& f,
+                          const std::vector<DoStmt*>& nest) {
+  LinearForm out;
+  out.rest = f;
+  for (const DoStmt* loop : nest) {
+    Symbol* idx = loop->index();
+    AtomId a = AtomTable::instance().intern_symbol(idx);
+    // The index must occur only as the pure monomial idx^1.
+    Rational c = f.coefficient(Monomial::atom(a));
+    Polynomial linear_part =
+        Polynomial::atom(a) * Polynomial::constant(c);
+    Polynomial remainder = out.rest - linear_part;
+    if (remainder.contains(a)) return {};  // nonlinear or composite (n*i)
+    if (!c.is_integer()) return {};        // fractional coefficient
+    // Opaque atoms referencing the index (z(i), i/2 kept opaque, ...) also
+    // disqualify the form.
+    for (AtomId atom : remainder.atoms())
+      if (AtomTable::instance().symbol(atom) == nullptr &&
+          atom_references(atom, idx))
+        return {};
+    if (!c.is_zero()) out.coeffs[loop] = c.as_integer();
+    out.rest = remainder;
+  }
+  out.valid = true;
+  return out;
+}
+
+LinearVerdict gcd_test(const LinearForm& f, const LinearForm& g) {
+  if (!f.valid || !g.valid) return LinearVerdict::MayDepend;
+  Polynomial diff = g.rest - f.rest;
+  if (!diff.is_constant() || !diff.constant_value().is_integer())
+    return LinearVerdict::MayDepend;
+  std::int64_t c = diff.constant_value().as_integer();
+  std::int64_t gcd = 0;
+  for (const auto& [loop, a] : f.coeffs) gcd = std::gcd(gcd, a);
+  for (const auto& [loop, b] : g.coeffs) gcd = std::gcd(gcd, b);
+  if (gcd == 0) {
+    // No index dependence at all: equal iff constants are equal.
+    return c == 0 ? LinearVerdict::MayDepend : LinearVerdict::NoDependence;
+  }
+  return (c % gcd == 0) ? LinearVerdict::MayDepend
+                        : LinearVerdict::NoDependence;
+}
+
+LinearVerdict siv_carried(const LinearForm& f, const LinearForm& g,
+                          const std::vector<DoStmt*>& nest,
+                          const DoStmt* carrier) {
+  if (!f.valid || !g.valid) return LinearVerdict::MayDepend;
+  // Only the carrier index may appear (other indices range freely in a
+  // carried dependence, which symbolic bounds cannot constrain).
+  for (const DoStmt* loop : nest) {
+    if (loop == carrier) continue;
+    if (f.coeffs.count(loop) || g.coeffs.count(loop))
+      return LinearVerdict::MayDepend;
+  }
+  auto fit = f.coeffs.find(carrier);
+  auto git = g.coeffs.find(carrier);
+  std::int64_t a = fit == f.coeffs.end() ? 0 : fit->second;
+  std::int64_t b = git == g.coeffs.end() ? 0 : git->second;
+  if (a != b || a == 0) return LinearVerdict::MayDepend;
+  Polynomial diff = g.rest - f.rest;
+  if (!diff.is_constant() || !diff.constant_value().is_integer())
+    return LinearVerdict::MayDepend;
+  std::int64_t d = diff.constant_value().as_integer();
+  if (d == 0) return LinearVerdict::NoDependence;  // same-iteration only
+  if (d % a != 0) return LinearVerdict::NoDependence;
+  return LinearVerdict::MayDepend;  // constant nonzero distance: carried
+}
+
+std::optional<ConstBounds> constant_bounds(const DoStmt* loop) {
+  std::int64_t lo = 0, hi = 0, step = 1;
+  auto* d = const_cast<DoStmt*>(loop);
+  if (!try_fold_int(d->init(), &lo)) return std::nullopt;
+  if (!try_fold_int(d->limit(), &hi)) return std::nullopt;
+  if (!try_fold_int(d->step(), &step)) return std::nullopt;
+  if (step == 1) return ConstBounds{lo, hi};
+  if (step == -1) return ConstBounds{hi, lo};
+  // Non-unit steps: widen to the enclosing interval (sound for exclusion).
+  if (step > 1) return ConstBounds{lo, hi};
+  if (step < -1) return ConstBounds{hi, lo};
+  return std::nullopt;  // step 0 is malformed
+}
+
+namespace {
+
+enum class Dir { Eq, Lt, Gt, Any };
+
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+/// Extremes of a*i - b*j over the direction-constrained region of
+/// (i, j) in [L, U] x [L, U].  Returns nullopt if the region is empty.
+std::optional<Interval> level_extremes(std::int64_t a, std::int64_t b,
+                                       std::int64_t L, std::int64_t U,
+                                       Dir dir) {
+  if (U < L) return std::nullopt;  // empty loop: no iterations at all
+  auto eval = [&](std::int64_t i, std::int64_t j) { return a * i - b * j; };
+  std::vector<std::pair<std::int64_t, std::int64_t>> vertices;
+  switch (dir) {
+    case Dir::Eq:
+      vertices = {{L, L}, {U, U}};
+      break;
+    case Dir::Lt:
+      if (U <= L) return std::nullopt;  // i < j impossible
+      vertices = {{L, L + 1}, {L, U}, {U - 1, U}};
+      break;
+    case Dir::Gt:
+      if (U <= L) return std::nullopt;
+      vertices = {{L + 1, L}, {U, L}, {U, U - 1}};
+      break;
+    case Dir::Any:
+      vertices = {{L, L}, {L, U}, {U, L}, {U, U}};
+      break;
+  }
+  Interval out{eval(vertices[0].first, vertices[0].second),
+               eval(vertices[0].first, vertices[0].second)};
+  for (const auto& [i, j] : vertices) {
+    out.lo = std::min(out.lo, eval(i, j));
+    out.hi = std::max(out.hi, eval(i, j));
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearVerdict banerjee_carried(const LinearForm& f, const LinearForm& g,
+                               const std::vector<DoStmt*>& nest,
+                               const DoStmt* carrier) {
+  if (!f.valid || !g.valid) return LinearVerdict::MayDepend;
+  Polynomial diff = f.rest - g.rest;
+  if (!diff.is_constant() || !diff.constant_value().is_integer())
+    return LinearVerdict::MayDepend;
+  std::int64_t c0 = diff.constant_value().as_integer();
+
+  // A dependence carried by `carrier` has direction '=' for outer levels,
+  // '<' or '>' at the carrier, anything inside.  Exclude both carrier
+  // directions to prove independence.
+  bool inside = false;
+  std::vector<std::pair<const DoStmt*, Dir>> levels_base;
+  for (const DoStmt* loop : nest) {
+    if (loop == carrier) {
+      inside = true;
+      levels_base.emplace_back(loop, Dir::Lt);  // placeholder; varied below
+    } else {
+      levels_base.emplace_back(loop, inside ? Dir::Any : Dir::Eq);
+    }
+  }
+  p_assert_msg(inside, "carrier not in nest");
+
+  for (Dir carrier_dir : {Dir::Lt, Dir::Gt}) {
+    std::int64_t lo = c0, hi = c0;
+    bool feasible = true;
+    for (auto& [loop, dir] : levels_base) {
+      Dir use = (loop == carrier) ? carrier_dir : dir;
+      auto bounds = constant_bounds(loop);
+      if (!bounds) return LinearVerdict::MayDepend;
+      std::int64_t a = 0, b = 0;
+      auto fit = f.coeffs.find(loop);
+      if (fit != f.coeffs.end()) a = fit->second;
+      auto git = g.coeffs.find(loop);
+      if (git != g.coeffs.end()) b = git->second;
+      auto ext = level_extremes(a, b, bounds->lo, bounds->hi, use);
+      if (!ext) {
+        feasible = false;  // direction impossible (e.g. single iteration)
+        break;
+      }
+      lo += ext->lo;
+      hi += ext->hi;
+    }
+    if (feasible && lo <= 0 && 0 <= hi)
+      return LinearVerdict::MayDepend;  // zero crossing: dependence possible
+  }
+  return LinearVerdict::NoDependence;
+}
+
+}  // namespace polaris

@@ -1,0 +1,67 @@
+// Linear (affine) dependence tests: GCD and Banerjee's inequalities with
+// direction vectors.
+//
+// These are the "current compiler" tests the paper contrasts with the range
+// test: they require subscripts linear in the loop indices with integer
+// constant coefficients, and (for Banerjee) integer constant loop bounds.
+// Nonlinear or symbolic forms make them answer "maybe" — exactly the
+// limitation Section 3.3 describes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "symbolic/poly.h"
+
+namespace polaris {
+
+class DoStmt;
+
+/// f = sum_d coeff[d] * index_d + rest, rest free of all indices in `nest`.
+struct LinearForm {
+  bool valid = false;
+  std::map<const DoStmt*, std::int64_t> coeffs;  ///< absent => coefficient 0
+  Polynomial rest;
+};
+
+/// Extracts the linear form of a subscript polynomial over the loops of
+/// `nest`.  Fails (valid=false) when any index occurs nonlinearly, in a
+/// composite monomial (like n*i), inside an opaque atom, or with a
+/// non-integer coefficient.
+LinearForm extract_linear(const Polynomial& f,
+                          const std::vector<DoStmt*>& nest);
+
+/// Outcome of a linear test.
+enum class LinearVerdict { NoDependence, MayDepend };
+
+/// GCD test on one subscript pair: a dependence f(i..) == g(j..) requires
+/// gcd of all coefficients to divide the constant difference.
+LinearVerdict gcd_test(const LinearForm& f, const LinearForm& g);
+
+/// Constant [lo, hi] bounds per loop, folded through PARAMETERs; nullopt
+/// if a bound is not a compile-time integer constant.
+struct ConstBounds {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+std::optional<ConstBounds> constant_bounds(const DoStmt* loop);
+
+/// Strong-SIV test, symbolic-bounds capable: when both subscripts depend
+/// on no loop index except the carrier's, with equal coefficients, the
+/// dependence distance is constant; a zero or non-divisible distance rules
+/// out a carried dependence.  (Standard in 1996 compilers, so part of the
+/// baseline battery.)
+LinearVerdict siv_carried(const LinearForm& f, const LinearForm& g,
+                          const std::vector<DoStmt*>& nest,
+                          const DoStmt* carrier);
+
+/// Banerjee test with direction vectors: can iterations I of `carrier`
+/// (direction '<' or '>' at its level, '=' outside, any inside) satisfy
+/// f(I) == g(J)?  Requires constant bounds for every loop of the nest and a
+/// constant difference of the rest parts; returns MayDepend otherwise.
+LinearVerdict banerjee_carried(const LinearForm& f, const LinearForm& g,
+                               const std::vector<DoStmt*>& nest,
+                               const DoStmt* carrier);
+
+}  // namespace polaris

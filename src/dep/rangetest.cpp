@@ -1,0 +1,230 @@
+#include "dep/rangetest.h"
+
+#include <algorithm>
+
+#include "analysis/structure.h"
+#include "dep/regions.h"
+#include "symbolic/simplify.h"
+
+namespace polaris {
+
+namespace {
+
+/// Bounds of a loop as polynomials oriented so lo <= index <= hi, for
+/// constant steps (negative steps swap).  nullopt for symbolic steps.
+struct LoopBounds {
+  Polynomial lo;
+  Polynomial hi;
+};
+
+std::optional<LoopBounds> oriented_bounds(DoStmt* loop) {
+  std::int64_t step = 0;
+  if (!try_fold_int(loop->step(), &step) || step == 0) return std::nullopt;
+  Polynomial init = Polynomial::from_expr(loop->init());
+  Polynomial limit = Polynomial::from_expr(loop->limit());
+  if (step > 0) return LoopBounds{init, limit};
+  return LoopBounds{limit, init};
+}
+
+AtomId index_atom(const DoStmt* loop) {
+  return AtomTable::instance().intern_symbol(loop->index());
+}
+
+/// True if any atom of `p` is an opaque expression referencing `sym`
+/// (e.g. z(k) after k was eliminated) — the sweep result would then still
+/// depend on the swept index.
+bool references_through_atoms(const Polynomial& p, const Symbol* sym) {
+  for (AtomId a : p.atoms()) {
+    const Expression& e = AtomTable::instance().expr(a);
+    if (AtomTable::instance().symbol(a) == nullptr && e.references(sym))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RangeTest::RefRanges RangeTest::sweep(const Polynomial& f,
+                                      const std::vector<DoStmt*>& eliminate,
+                                      const FactContext& ctx) const {
+  RefRanges out;
+  out.min = f;
+  out.max = f;
+  for (DoStmt* loop : eliminate) {
+    auto bounds = oriented_bounds(loop);
+    if (!bounds) return {};
+    AtomId a = index_atom(loop);
+    Extremes lo_ext =
+        eliminate_range(*out.min, a, bounds->lo, bounds->hi, ctx);
+    Extremes hi_ext =
+        eliminate_range(*out.max, a, bounds->lo, bounds->hi, ctx);
+    if (!lo_ext.min || !hi_ext.max) return {};
+    out.min = std::move(lo_ext.min);
+    out.max = std::move(hi_ext.max);
+    if (references_through_atoms(*out.min, loop->index()) ||
+        references_through_atoms(*out.max, loop->index()))
+      return {};
+  }
+  return out;
+}
+
+bool RangeTest::test_dimension(DoStmt* carrier, const Polynomial& f,
+                               const Polynomial& g,
+                               const std::vector<DoStmt*>& elim_f,
+                               const std::vector<DoStmt*>& elim_g,
+                               std::int64_t step,
+                               const FactContext& ctx) const {
+  RefRanges rf = sweep(f, elim_f, ctx);
+  RefRanges rg = sweep(g, elim_g, ctx);
+  if (!rf.min || !rg.min) return false;
+
+  AtomId x = index_atom(carrier);
+  auto carrier_bounds = oriented_bounds(carrier);
+  if (!carrier_bounds) return false;
+
+  // (a) Whole-range disjointness: the two references never touch the same
+  // elements at all (for any iteration pair, equal or not).
+  {
+    Extremes f_lo = eliminate_range(*rf.min, x, carrier_bounds->lo,
+                                    carrier_bounds->hi, ctx);
+    Extremes f_hi = eliminate_range(*rf.max, x, carrier_bounds->lo,
+                                    carrier_bounds->hi, ctx);
+    Extremes g_lo = eliminate_range(*rg.min, x, carrier_bounds->lo,
+                                    carrier_bounds->hi, ctx);
+    Extremes g_hi = eliminate_range(*rg.max, x, carrier_bounds->lo,
+                                    carrier_bounds->hi, ctx);
+    if (f_lo.min && f_hi.max && g_lo.min && g_hi.max &&
+        !references_through_atoms(*f_hi.max, carrier->index()) &&
+        !references_through_atoms(*g_lo.min, carrier->index()) &&
+        !references_through_atoms(*f_lo.min, carrier->index()) &&
+        !references_through_atoms(*g_hi.max, carrier->index())) {
+      if (prove_gt0(*g_lo.min - *f_hi.max, ctx) ||
+          prove_gt0(*f_lo.min - *g_hi.max, ctx))
+        return true;
+    }
+  }
+
+  // (b) Consecutive-iteration test with the monotonicity extension.
+  Polynomial next = Polynomial::atom(x) + Polynomial::constant(Rational(step));
+  auto direction_ok = [&](const RefRanges& from, const RefRanges& to) {
+    // Ranges increase with the iteration number: max_from(x) < min_to(x+s),
+    // min_to monotone in the direction of travel.
+    Monotonicity want_up =
+        step > 0 ? Monotonicity::NonDecreasing : Monotonicity::NonIncreasing;
+    Monotonicity want_down =
+        step > 0 ? Monotonicity::NonIncreasing : Monotonicity::NonDecreasing;
+    Polynomial to_min_next = to.min->substitute(x, next);
+    if (prove_gt0(to_min_next - *from.max, ctx) &&
+        monotonicity(*to.min, x, ctx) == want_up)
+      return true;
+    // Ranges decrease with the iteration number.
+    Polynomial to_max_next = to.max->substitute(x, next);
+    if (prove_gt0(*from.min - to_max_next, ctx) &&
+        monotonicity(*to.max, x, ctx) == want_down)
+      return true;
+    return false;
+  };
+  return direction_ok(rf, rg) && direction_ok(rg, rf);
+}
+
+bool RangeTest::independent(DoStmt* carrier, const ArrayAccess& a,
+                            const ArrayAccess& b) const {
+  p_assert(a.ref->symbol() == b.ref->symbol());
+  p_assert(a.ref->rank() == b.ref->rank());
+
+  std::int64_t step = 0;
+  if (!try_fold_int(carrier->step(), &step) || step == 0) return false;
+
+  // Loop sets: common inner loops may be fixed or eliminated; loops
+  // enclosing only one access are always eliminated for that access.
+  std::vector<DoStmt*> nest_a = enclosing_loops(a.stmt);
+  std::vector<DoStmt*> nest_b = enclosing_loops(b.stmt);
+  auto inside_carrier = [&](const std::vector<DoStmt*>& nest) {
+    std::vector<DoStmt*> out;
+    bool in = false;
+    for (DoStmt* d : nest) {
+      if (in) out.push_back(d);
+      if (d == carrier) in = true;
+    }
+    p_assert_msg(in, "access not inside the carrier loop");
+    return out;
+  };
+  std::vector<DoStmt*> inner_a = inside_carrier(nest_a);
+  std::vector<DoStmt*> inner_b = inside_carrier(nest_b);
+
+  std::vector<DoStmt*> common;
+  for (DoStmt* d : inner_a)
+    if (std::find(inner_b.begin(), inner_b.end(), d) != inner_b.end())
+      common.push_back(d);
+
+  // Facts: every enclosing loop of either access contributes its bounds,
+  // plus the guard conditions around the carrier (they hold for every
+  // execution of the body); ranks make inner indices eliminate first.
+  FactContext ctx;
+  add_guard_facts(ctx, carrier);
+  int rank = 1;
+  for (DoStmt* d : nest_a) {
+    auto bounds = oriented_bounds(d);
+    if (bounds) {
+      ctx.add_ge0(Polynomial::symbol(d->index()) - bounds->lo);
+      ctx.add_ge0(bounds->hi - Polynomial::symbol(d->index()));
+      ctx.add_ge0(bounds->hi - bounds->lo);  // at least one iteration
+    }
+    ctx.set_rank(index_atom(d), rank++);
+  }
+  for (DoStmt* d : nest_b) {
+    if (std::find(nest_a.begin(), nest_a.end(), d) != nest_a.end()) continue;
+    auto bounds = oriented_bounds(d);
+    if (bounds) {
+      ctx.add_ge0(Polynomial::symbol(d->index()) - bounds->lo);
+      ctx.add_ge0(bounds->hi - Polynomial::symbol(d->index()));
+      ctx.add_ge0(bounds->hi - bounds->lo);
+    }
+    ctx.set_rank(index_atom(d), rank++);
+  }
+
+  // Enumerate fixed-subsets of the common inner loops ("loop permutations"
+  // in the paper's terms), bounded by the option.
+  const size_t n_common = common.size();
+  const size_t subsets = n_common >= 10 ? 1024 : (size_t{1} << n_common);
+  size_t budget = static_cast<size_t>(std::max(1, opts_.max_loop_permutations));
+
+  auto deeper_first = [this](std::vector<DoStmt*> v) {
+    std::stable_sort(v.begin(), v.end(), [](DoStmt* p, DoStmt* q) {
+      // Deeper loops (more enclosing DOs) first.
+      int dp = 0, dq = 0;
+      for (DoStmt* o = p->outer(); o; o = o->outer()) ++dp;
+      for (DoStmt* o = q->outer(); o; o = o->outer()) ++dq;
+      return dp > dq;
+    });
+    return v;
+  };
+
+  for (size_t mask = 0; mask < subsets && mask < budget * 2; ++mask) {
+    std::vector<DoStmt*> fixed;
+    for (size_t bit = 0; bit < n_common; ++bit)
+      if (mask & (size_t{1} << bit)) fixed.push_back(common[bit]);
+
+    auto build_elim = [&](const std::vector<DoStmt*>& inner) {
+      std::vector<DoStmt*> elim;
+      for (DoStmt* d : inner)
+        if (std::find(fixed.begin(), fixed.end(), d) == fixed.end())
+          elim.push_back(d);
+      return deeper_first(std::move(elim));
+    };
+    std::vector<DoStmt*> elim_f = build_elim(inner_a);
+    std::vector<DoStmt*> elim_g = build_elim(inner_b);
+
+    // Per-dimension: any provably disjoint dimension kills the pair.
+    bool ok = false;
+    for (int d = 0; d < a.ref->rank() && !ok; ++d) {
+      Polynomial f = Polynomial::from_expr(*a.ref->subscripts()[d]);
+      Polynomial g = Polynomial::from_expr(*b.ref->subscripts()[d]);
+      ok = test_dimension(carrier, f, g, elim_f, elim_g, step, ctx);
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+}  // namespace polaris

@@ -1,0 +1,49 @@
+// Array-region helpers shared by privatization and dependence analysis:
+// the interval of one subscript dimension as the loops between an access
+// and an enclosing loop sweep their ranges.
+#pragma once
+
+#include <optional>
+
+#include "ir/program.h"
+#include "symbolic/compare.h"
+
+namespace polaris {
+
+/// A closed symbolic interval [lo, hi].
+struct Interval {
+  Polynomial lo;
+  Polynomial hi;
+};
+
+/// Builds a FactContext with the bounds of every loop enclosing `s`
+/// (outer loops included), ranked innermost-first for elimination, plus
+/// the guard conditions of enclosing IF arms (range propagation "from the
+/// program's control flow", paper Section 3.3.1).
+FactContext loop_fact_context(Statement* s);
+
+/// Adds facts derived from the conditions of the IF arms enclosing `s`:
+/// a statement in the taken arm of `if (a .ge. b)` contributes a - b >= 0,
+/// conjunctions are split, strict integer comparisons are tightened by 1.
+/// (ELSE arms contribute nothing — negations are not synthesized.)
+void add_guard_facts(FactContext& ctx, Statement* s);
+
+/// Adds one loop's bound facts (index range + non-empty trip assumption)
+/// to `ctx` with the given elimination rank.  No-op for non-constant
+/// steps.
+void add_loop_facts(FactContext& ctx, DoStmt* loop, int rank);
+
+/// The interval of subscript dimension `dim` of `ref` at `stmt` as every
+/// loop strictly inside `within` (and enclosing `stmt`) sweeps its range;
+/// `within`'s own index and outer indices stay symbolic.  nullopt when a
+/// bound is non-constant-step, monotonicity fails, or the result still
+/// depends on a swept index through an opaque atom.
+std::optional<Interval> access_interval(const ArrayRef& ref, int dim,
+                                        Statement* stmt, DoStmt* within,
+                                        const FactContext& ctx);
+
+/// Proves interval containment inner ⊆ outer under `ctx`.
+bool interval_contains(const Interval& outer, const Interval& inner,
+                       const FactContext& ctx);
+
+}  // namespace polaris

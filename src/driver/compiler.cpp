@@ -1,0 +1,96 @@
+#include "driver/compiler.h"
+
+#include "parser/parser.h"
+#include "parser/printer.h"
+#include "passes/constprop.h"
+#include "passes/forwardsub.h"
+#include "passes/normalize.h"
+#include "passes/strength.h"
+#include "symbolic/simplify.h"
+
+namespace polaris {
+
+std::unique_ptr<Program> Compiler::compile(const std::string& source,
+                                           CompileReport* report) {
+  std::unique_ptr<Program> program = parse_program(source);
+  transform(*program, report);
+  return program;
+}
+
+void Compiler::transform(Program& program, CompileReport* report) {
+  CompileReport local;
+  CompileReport& rep = report ? *report : local;
+
+  // 1. Interprocedural analysis via inline expansion (Section 3.1).
+  rep.inlining = inline_calls(program, opts_, rep.diagnostics);
+
+  for (const auto& unit : program.units()) {
+    // 2. Constant propagation / simplification, then loop normalization
+    //    (unit steps for the induction and dependence machinery).
+    propagate_constants(*unit);
+    normalize_loops(*unit, opts_, rep.diagnostics);
+    // 3. Induction variable substitution (Section 3.2).
+    InductionResult ind =
+        substitute_inductions(*unit, opts_, rep.diagnostics);
+    rep.induction.substituted += ind.substituted;
+    rep.induction.rejected += ind.rejected;
+    // 3b. Forward substitution exposes subscripts written through scalar
+    //     temporaries to the dependence tests.
+    forward_substitute(*unit, opts_, rep.diagnostics);
+    // 4. DOALL recognition: reductions, privatization, dependence tests
+    //    (Sections 3.2-3.5).
+    DoallSummary ds =
+        mark_doall_loops(&program, *unit, opts_, rep.diagnostics);
+    // 5. Strength reduction of substituted induction expressions inside
+    //    parallel loops (the paper's private-copy scheme).
+    strength_reduce(*unit, opts_, rep.diagnostics);
+    rep.doall.loops += ds.loops;
+    rep.doall.parallel += ds.parallel;
+    rep.doall.speculative += ds.speculative;
+
+    for (DoStmt* loop : unit->stmts().loops()) {
+      LoopReport lr;
+      lr.unit = unit->name();
+      lr.loop = loop->loop_name();
+      lr.depth = unit->stmts().depth(loop);
+      lr.parallel = loop->par.is_parallel;
+      lr.speculative = loop->par.speculative;
+      lr.serial_reason = loop->par.serial_reason;
+      lr.dep_pairs = loop->par.dep_pairs;
+      lr.dep_by_gcd = loop->par.dep_by_gcd;
+      lr.dep_by_banerjee = loop->par.dep_by_banerjee;
+      lr.dep_by_rangetest = loop->par.dep_by_rangetest;
+      rep.loops.push_back(std::move(lr));
+    }
+  }
+  rep.annotated_source = to_source(program);
+}
+
+ExecutionConfig backend_config(CompilerMode mode, const Program& program,
+                               int processors) {
+  ExecutionConfig cfg;
+  cfg.machine.processors = processors;
+  if (mode == CompilerMode::Polaris) return cfg;
+
+  // The PFA back end restructures loops aggressively (interchange,
+  // unrolling, fusion).  On long regular loops that lowers overhead and
+  // improves locality; on nests whose *inner* loops have short constant
+  // trip counts the restructuring backfires (extra bookkeeping dominates).
+  bool short_inner = false;
+  bool any_nest = false;
+  for (const auto& unit : program.units()) {
+    for (DoStmt* loop : unit->stmts().loops()) {
+      if (loop->outer() == nullptr) continue;  // want inner loops
+      any_nest = true;
+      std::int64_t init = 0, limit = 0;
+      if (try_fold_int(loop->init(), &init) &&
+          try_fold_int(loop->limit(), &limit)) {
+        if (limit - init + 1 <= 8) short_inner = true;
+      }
+    }
+  }
+  cfg.codegen_factor = short_inner ? 1.8 : (any_nest ? 0.92 : 1.0);
+  return cfg;
+}
+
+}  // namespace polaris

@@ -1,0 +1,93 @@
+// The Polaris driver: full source-to-source restructuring pipeline.
+//
+//   parse -> inline expansion -> constant propagation -> induction
+//   substitution -> DOALL recognition (reductions, privatization,
+//   dependence tests) -> annotated source + per-loop report.
+//
+// Two modes reproduce the paper's comparison: CompilerMode::Polaris runs
+// the full battery; CompilerMode::Baseline models the 1996 commercial
+// compiler ("PFA"): linear dependence tests only, scalar privatization,
+// simple inductions, no inlining, no range test, no array privatization.
+// The baseline's stronger *back end* (loop interchange/unrolling/fusion)
+// is modeled by backend_config(): a code-generation time factor that
+// usually helps but hurts loops with short constant-trip inner loops —
+// the paper's explanation for appsp and tomcatv (Section 4.2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "machine/machine.h"
+#include "passes/doall.h"
+#include "passes/induction.h"
+#include "passes/inliner.h"
+#include "support/diagnostics.h"
+#include "support/options.h"
+
+namespace polaris {
+
+enum class CompilerMode { Polaris, Baseline };
+
+struct LoopReport {
+  std::string unit;
+  std::string loop;
+  int depth = 0;
+  bool parallel = false;
+  bool speculative = false;
+  std::string serial_reason;
+  // Dependence-test accounting (pairs tested / resolved per test).
+  int dep_pairs = 0;
+  int dep_by_gcd = 0;
+  int dep_by_banerjee = 0;
+  int dep_by_rangetest = 0;
+};
+
+struct CompileReport {
+  InlineResult inlining;
+  InductionResult induction;
+  DoallSummary doall;
+  std::vector<LoopReport> loops;
+  Diagnostics diagnostics;
+  std::string annotated_source;  ///< the source-to-source output
+};
+
+class Compiler {
+ public:
+  explicit Compiler(Options opts) : opts_(std::move(opts)) {}
+  explicit Compiler(CompilerMode mode)
+      : opts_(mode == CompilerMode::Polaris ? Options::polaris()
+                                            : Options::baseline()) {}
+
+  const Options& options() const { return opts_; }
+  Options& options() { return opts_; }
+
+  /// Parses and restructures `source`.  The returned program carries the
+  /// DOALL annotations the execution engine consumes.
+  std::unique_ptr<Program> compile(const std::string& source,
+                                   CompileReport* report = nullptr);
+
+  /// Restructures an already-parsed program in place.
+  void transform(Program& program, CompileReport* report = nullptr);
+
+ private:
+  Options opts_;
+};
+
+/// Execution-time configuration for a compiled program under a backend.
+struct ExecutionConfig {
+  MachineConfig machine;
+  /// Multiplier on the compiled program's execution time modeling backend
+  /// code quality (1.0 for the Polaris-generated code).
+  double codegen_factor = 1.0;
+};
+
+/// Models the paper's PFA back end: inspects the program's parallel loops
+/// and returns a factor < 1 when aggressive restructuring helps (long
+/// regular loops) or > 1 when it backfires (short constant-trip inner
+/// loops, cf. appsp/tomcatv).
+ExecutionConfig backend_config(CompilerMode mode, const Program& program,
+                               int processors);
+
+}  // namespace polaris

@@ -1,0 +1,148 @@
+// The `polaris` command-line driver: source-to-source restructuring of
+// PF77 files, like the original compiler's front door.
+//
+//   polaris file.f                 annotated parallel source to stdout
+//   polaris -report file.f         per-loop analysis report
+//   polaris -diag file.f           full pass diagnostics
+//   polaris -baseline file.f       run the 1996-compiler battery instead
+//   polaris -omp file.f            emit OpenMP directives instead of csrd$
+//   polaris -run [-p N] file.f     execute on the simulated N-processor
+//                                  machine (default 8) and print speedup
+//   polaris -seq file.f            execute sequentially (reference)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/compiler.h"
+#include "interp/interp.h"
+#include "parser/parser.h"
+#include "parser/printer.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: polaris [-report] [-diag] [-baseline] [-omp] [-run] "
+               "[-seq] [-p N] file.f\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace polaris;
+
+  bool report_mode = false, diag_mode = false, baseline = false;
+  bool run_mode = false, seq_mode = false, omp = false;
+  int processors = 8;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-report") == 0) report_mode = true;
+    else if (std::strcmp(argv[i], "-diag") == 0) diag_mode = true;
+    else if (std::strcmp(argv[i], "-baseline") == 0) baseline = true;
+    else if (std::strcmp(argv[i], "-run") == 0) run_mode = true;
+    else if (std::strcmp(argv[i], "-omp") == 0) omp = true;
+    else if (std::strcmp(argv[i], "-seq") == 0) seq_mode = true;
+    else if (std::strcmp(argv[i], "-p") == 0 && i + 1 < argc) {
+      processors = std::atoi(argv[++i]);
+      if (processors < 1) return usage();
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "polaris: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string source = buf.str();
+
+  try {
+    if (seq_mode) {
+      auto prog = parse_program(source);
+      RunResult r = run_program(*prog, MachineConfig{});
+      for (const std::string& line : r.output)
+        std::printf("%s\n", line.c_str());
+      std::fprintf(stderr, "[polaris] sequential time: %llu units\n",
+                   static_cast<unsigned long long>(r.clock.serial));
+      return r.stopped ? 1 : 0;
+    }
+
+    CompilerMode mode =
+        baseline ? CompilerMode::Baseline : CompilerMode::Polaris;
+    Compiler compiler(mode);
+    CompileReport report;
+    auto prog = compiler.compile(source, &report);
+
+    if (report_mode) {
+      std::printf("%d loops, %d parallel, %d speculative; %d calls "
+                  "inlined; %d inductions substituted\n",
+                  report.doall.loops, report.doall.parallel,
+                  report.doall.speculative, report.inlining.expanded,
+                  report.induction.substituted);
+      for (const LoopReport& lr : report.loops) {
+        std::printf("  %s/%-8s depth %d : %s%s", lr.unit.c_str(),
+                    lr.loop.c_str(), lr.depth,
+                    lr.parallel
+                        ? "PARALLEL"
+                        : (lr.speculative ? "SPECULATIVE" : "serial"),
+                    lr.serial_reason.empty()
+                        ? ""
+                        : ("  (" + lr.serial_reason + ")").c_str());
+        if (lr.dep_pairs > 0)
+          std::printf("  [%d pairs: %d gcd, %d banerjee/siv, %d rangetest]",
+                      lr.dep_pairs, lr.dep_by_gcd, lr.dep_by_banerjee,
+                      lr.dep_by_rangetest);
+        std::printf("\n");
+      }
+    }
+    if (diag_mode) {
+      for (const Diagnostic& d : report.diagnostics.all())
+        std::printf("[%s] %s: %s\n", d.pass.c_str(), d.context.c_str(),
+                    d.message.c_str());
+    }
+    if (run_mode) {
+      auto ref = parse_program(source);
+      RunResult ref_run = run_program(*ref, MachineConfig{});
+      ExecutionConfig cfg = backend_config(mode, *prog, processors);
+      RunResult run = run_program(*prog, cfg.machine);
+      for (const std::string& line : run.output)
+        std::printf("%s\n", line.c_str());
+      if (ref_run.output != run.output) {
+        std::fprintf(stderr,
+                     "[polaris] ERROR: output differs from sequential "
+                     "reference\n");
+        return 1;
+      }
+      std::fprintf(
+          stderr, "[polaris] %d processors: %llu units (speedup %.2f)\n",
+          processors, static_cast<unsigned long long>(run.clock.parallel),
+          static_cast<double>(ref_run.clock.serial) /
+              (static_cast<double>(run.clock.parallel) *
+               cfg.codegen_factor));
+    }
+    if (!report_mode && !diag_mode && !run_mode) {
+      if (omp)
+        std::printf("%s",
+                    to_source(*prog, DirectiveStyle::OpenMP).c_str());
+      else
+        std::printf("%s", report.annotated_source.c_str());
+    }
+    return 0;
+  } catch (const UserError& e) {
+    std::fprintf(stderr, "polaris: %s\n", e.what());
+    return 1;
+  } catch (const InternalError& e) {
+    std::fprintf(stderr, "polaris: internal error: %s\n", e.what());
+    return 3;
+  }
+}

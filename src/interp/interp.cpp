@@ -1,0 +1,862 @@
+#include "interp/interp.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "dep/access.h"
+#include "parser/parser.h"
+
+namespace polaris {
+
+namespace {
+
+std::int64_t ipow(std::int64_t base, std::int64_t exp) {
+  p_assert_msg(exp >= 0, "negative integer exponent");
+  std::int64_t r = 1;
+  for (std::int64_t i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+std::string format_value(const Value& v) {
+  if (v.is_integer()) return std::to_string(v.as_int());
+  if (v.is_logical()) return v.as_logical() ? "T" : "F";
+  std::ostringstream os;
+  os.precision(9);
+  os << v.as_real();
+  return os.str();
+}
+
+}  // namespace
+
+Interpreter::Interpreter(Program& program, MachineConfig config,
+                         CostModel costs)
+    : program_(program), config_(config), costs_(costs) {}
+
+RunResult run_program(Program& program, MachineConfig config) {
+  Interpreter interp(program, config);
+  return interp.run();
+}
+
+void Interpreter::count_statement() {
+  ++result_.statements;
+  if (result_.statements > stmt_limit_)
+    throw UserError("interpreter statement limit exceeded");
+}
+
+RunResult Interpreter::run() {
+  result_ = RunResult{};
+  segment_cost_ = 0;
+  cost_acc_ = &segment_cost_;
+  ProgramUnit* main = program_.main();
+  Frame frame;
+  init_frame(*main, frame);
+  UnitResult r;
+  execute_unit(*main, frame, &r);
+  result_.stopped = r.stopped;
+  result_.clock.add_sequential(segment_cost_);
+  segment_cost_ = 0;
+  return result_;
+}
+
+void Interpreter::init_frame(ProgramUnit& unit, Frame& frame) {
+  for (Symbol* sym : unit.symtab().symbols()) {
+    if (frame.bound(sym)) continue;  // formal already bound by the caller
+    if (sym->kind() != SymbolKind::Variable) continue;
+    Cell* cell = nullptr;
+    if (sym->in_common()) {
+      cell = commons_.lookup(sym->common_block(), sym->name());
+      bool fresh = (cell == nullptr);
+      if (fresh) cell = commons_.create(sym->common_block(), sym->name());
+      frame.bind(sym, cell);
+      if (!fresh) continue;  // already initialized by another unit
+    } else {
+      cell = frame.create_local(sym);
+    }
+    if (sym->is_array()) {
+      cell->is_array = true;
+      resolve_array_bounds(unit, frame, sym, cell);
+      std::size_t n = static_cast<std::size_t>(cell->array.element_count());
+      cell->array.data = std::make_shared<std::vector<Value>>(
+          n, Value::zero_of(sym->type()));
+    } else {
+      cell->scalar = Value::zero_of(sym->type());
+    }
+    // DATA initialization.
+    if (!sym->data_values().empty()) {
+      if (sym->is_array()) {
+        p_assert_msg(sym->data_values().size() ==
+                         cell->array.data->size(),
+                     "DATA value count mismatch for " + sym->name());
+        for (std::size_t i = 0; i < cell->array.data->size(); ++i)
+          (*cell->array.data)[i] =
+              eval(unit, frame, *sym->data_values()[i]).coerce_to(sym->type());
+      } else {
+        cell->scalar =
+            eval(unit, frame, *sym->data_values()[0]).coerce_to(sym->type());
+      }
+    }
+  }
+}
+
+void Interpreter::resolve_array_bounds(ProgramUnit& unit, Frame& frame,
+                                       Symbol* sym, Cell* cell) {
+  cell->array.bounds.clear();
+  for (std::size_t d = 0; d < sym->dims().size(); ++d) {
+    const Dimension& dim = sym->dims()[d];
+    std::int64_t lo =
+        dim.lower ? eval(unit, frame, *dim.lower).as_int() : 1;
+    std::int64_t hi;
+    if (dim.upper) {
+      hi = eval(unit, frame, *dim.upper).as_int();
+    } else {
+      // Assumed size: must be the last dimension of a bound formal whose
+      // payload already exists.
+      p_assert_msg(d + 1 == sym->dims().size(),
+                   "assumed-size dimension must be last: " + sym->name());
+      p_assert_msg(cell->array.data != nullptr,
+                   "assumed-size array without payload: " + sym->name());
+      std::int64_t stride = 1;
+      for (const auto& [blo, bhi] : cell->array.bounds)
+        stride *= (bhi - blo + 1);
+      std::int64_t remaining =
+          static_cast<std::int64_t>(cell->array.data->size()) -
+          cell->array.offset;
+      hi = lo + remaining / stride - 1;
+    }
+    p_assert_msg(hi >= lo, "empty array dimension for " + sym->name());
+    cell->array.bounds.emplace_back(lo, hi);
+  }
+}
+
+void Interpreter::execute_unit(ProgramUnit& unit, Frame& frame,
+                               UnitResult* out) {
+  UnitResult r = execute_range(unit, frame, unit.stmts().first(), nullptr);
+  if (out) *out = r;
+}
+
+Interpreter::UnitResult Interpreter::execute_range(ProgramUnit& unit,
+                                                   Frame& frame,
+                                                   Statement* first,
+                                                   Statement* stop) {
+  Statement* s = first;
+  while (s != stop && s != nullptr) {
+    UnitResult r = execute_statement(unit, frame, s);
+    if (r.returned || r.stopped) return r;
+  }
+  return {};
+}
+
+Interpreter::UnitResult Interpreter::execute_statement(ProgramUnit& unit,
+                                                       Frame& frame,
+                                                       Statement*& s) {
+  count_statement();
+  switch (s->kind()) {
+    case StmtKind::Assign: {
+      auto* a = static_cast<AssignStmt*>(s);
+      if (in_parallel_ && a->reduction_flag != ReductionKind::None)
+        ++reduction_updates_;
+      Value v = eval(unit, frame, a->rhs());
+      store(unit, frame, a->lhs(), v);
+      s = s->next();
+      return {};
+    }
+    case StmtKind::Do: {
+      auto* d = static_cast<DoStmt*>(s);
+      std::int64_t init = eval(unit, frame, d->init()).as_int();
+      std::int64_t limit = eval(unit, frame, d->limit()).as_int();
+      std::int64_t step = eval(unit, frame, d->step()).as_int();
+      p_assert_msg(step != 0, "DO step is zero");
+
+      const bool wants_parallel =
+          (d->par.is_parallel || d->par.speculative) && !in_parallel_ &&
+          config_.processors > 1;
+      if (wants_parallel) {
+        UnitResult r =
+            d->par.speculative
+                ? run_speculative_loop(unit, frame, d, init, limit, step)
+                : run_parallel_loop(unit, frame, d, init, limit, step);
+        if (r.returned || r.stopped) return r;
+        s = d->follow()->next();
+        return {};
+      }
+
+      Cell* idx = frame.lookup(d->index());
+      p_assert(idx != nullptr && !idx->is_array);
+      for (std::int64_t v = init; step > 0 ? v <= limit : v >= limit;
+           v += step) {
+        idx->scalar = Value::integer(v);
+        charge(costs_.loop_iter);
+        UnitResult r = execute_range(unit, frame, d->next(), d->follow());
+        if (r.returned || r.stopped) return r;
+      }
+      idx->scalar = Value::integer(
+          step > 0 ? std::max(init, limit + step) : std::min(init, limit + step));
+      s = d->follow()->next();
+      return {};
+    }
+    case StmtKind::EndDo:
+      s = s->next();
+      return {};
+    case StmtKind::If: {
+      // Dispatch over the whole arm chain here; arm headers reached by
+      // *sequential flow* (below) mean the previous arm completed and jump
+      // to the END IF instead.
+      Statement* arm = s;
+      while (true) {
+        if (arm->kind() == StmtKind::If || arm->kind() == StmtKind::ElseIf) {
+          charge(costs_.branch);
+          const Expression& cond =
+              arm->kind() == StmtKind::If
+                  ? static_cast<IfStmt*>(arm)->cond()
+                  : static_cast<ElseIfStmt*>(arm)->cond();
+          if (eval(unit, frame, cond).as_logical()) {
+            s = arm->next();
+            return {};
+          }
+          arm = arm->kind() == StmtKind::If
+                    ? static_cast<IfStmt*>(arm)->next_arm()
+                    : static_cast<ElseIfStmt*>(arm)->next_arm();
+        } else {
+          // ELSE (unconditionally taken) or END IF (no arm taken).
+          s = arm->next();
+          return {};
+        }
+      }
+    }
+    case StmtKind::ElseIf:
+      s = static_cast<ElseIfStmt*>(s)->end();  // previous arm completed
+      return {};
+    case StmtKind::Else:
+      s = static_cast<ElseStmt*>(s)->end();  // previous arm completed
+      return {};
+    case StmtKind::EndIf:
+      s = s->next();
+      return {};
+    case StmtKind::Goto: {
+      charge(costs_.branch);
+      Statement* target =
+          unit.stmts().find_label(static_cast<GotoStmt*>(s)->target());
+      p_assert_msg(target != nullptr, "GOTO to unknown label");
+      s = target;
+      return {};
+    }
+    case StmtKind::Continue:
+    case StmtKind::Comment:
+      s = s->next();
+      return {};
+    case StmtKind::Call: {
+      bool stopped = run_call(unit, frame, *static_cast<CallStmt*>(s));
+      if (stopped) {
+        UnitResult r;
+        r.stopped = true;
+        return r;
+      }
+      s = s->next();
+      return {};
+    }
+    case StmtKind::Return: {
+      UnitResult r;
+      r.returned = true;
+      return r;
+    }
+    case StmtKind::Stop: {
+      UnitResult r;
+      r.stopped = true;
+      return r;
+    }
+    case StmtKind::Print: {
+      auto* p = static_cast<PrintStmt*>(s);
+      std::ostringstream line;
+      bool first_item = true;
+      for (const ExprPtr& item : p->items()) {
+        if (!first_item) line << " ";
+        first_item = false;
+        if (item->kind() == ExprKind::StringConst) {
+          line << static_cast<const StringConst&>(*item).value();
+        } else {
+          line << format_value(eval(unit, frame, *item));
+        }
+      }
+      result_.output.push_back(line.str());
+      s = s->next();
+      return {};
+    }
+  }
+  p_unreachable("bad statement kind");
+}
+
+// --- expression evaluation ------------------------------------------------------
+
+Value Interpreter::eval(ProgramUnit& unit, Frame& frame,
+                        const Expression& e) {
+  switch (e.kind()) {
+    case ExprKind::IntConst:
+      return Value::integer(static_cast<const IntConst&>(e).value());
+    case ExprKind::RealConst:
+      return Value::real(static_cast<const RealConst&>(e).value());
+    case ExprKind::LogicalConst:
+      return Value::logical(static_cast<const LogicalConst&>(e).value());
+    case ExprKind::StringConst:
+      p_assert_msg(false, "string value outside PRINT");
+    case ExprKind::VarRef: {
+      Symbol* sym = static_cast<const VarRef&>(e).symbol();
+      if (sym->kind() == SymbolKind::Parameter) {
+        p_assert(sym->param_value() != nullptr);
+        return eval(unit, frame, *sym->param_value()).coerce_to(sym->type());
+      }
+      Cell* cell = frame.lookup(sym);
+      p_assert_msg(cell != nullptr, "unbound variable " + sym->name());
+      p_assert_msg(!cell->is_array,
+                   "whole array used as a value: " + sym->name());
+      charge(costs_.mem);
+      return cell->scalar;
+    }
+    case ExprKind::ArrayRef: {
+      const auto& ref = static_cast<const ArrayRef&>(e);
+      Cell* cell = frame.lookup(ref.symbol());
+      p_assert_msg(cell != nullptr && cell->is_array,
+                   "array not bound: " + ref.symbol()->name());
+      std::vector<std::int64_t> subs = eval_subscripts(unit, frame, ref);
+      std::size_t flat = cell->array.flat_index(subs);
+      charge(costs_.mem);
+      auto shadow = shadows_.find(ref.symbol());
+      if (shadow != shadows_.end()) shadow->second->record_read(flat);
+      return (*cell->array.data)[flat];
+    }
+    case ExprKind::BinOp: {
+      const auto& b = static_cast<const BinOp&>(e);
+      Value l = eval(unit, frame, b.left());
+      Value r = eval(unit, frame, b.right());
+      switch (b.op()) {
+        case BinOpKind::Add:
+          charge(costs_.add);
+          if (l.is_integer() && r.is_integer())
+            return Value::integer(l.as_int() + r.as_int());
+          return Value::real(l.as_real() + r.as_real());
+        case BinOpKind::Sub:
+          charge(costs_.add);
+          if (l.is_integer() && r.is_integer())
+            return Value::integer(l.as_int() - r.as_int());
+          return Value::real(l.as_real() - r.as_real());
+        case BinOpKind::Mul:
+          charge(costs_.mul);
+          if (l.is_integer() && r.is_integer())
+            return Value::integer(l.as_int() * r.as_int());
+          return Value::real(l.as_real() * r.as_real());
+        case BinOpKind::Div:
+          charge(costs_.div);
+          if (l.is_integer() && r.is_integer()) {
+            p_assert_msg(r.as_int() != 0, "integer division by zero");
+            return Value::integer(l.as_int() / r.as_int());
+          }
+          return Value::real(l.as_real() / r.as_real());
+        case BinOpKind::Pow:
+          charge(costs_.pow);
+          if (l.is_integer() && r.is_integer())
+            return Value::integer(ipow(l.as_int(), r.as_int()));
+          return Value::real(std::pow(l.as_real(), r.as_real()));
+        case BinOpKind::Eq: charge(costs_.add);
+          if (l.is_integer() && r.is_integer())
+            return Value::logical(l.as_int() == r.as_int());
+          return Value::logical(l.as_real() == r.as_real());
+        case BinOpKind::Ne: charge(costs_.add);
+          if (l.is_integer() && r.is_integer())
+            return Value::logical(l.as_int() != r.as_int());
+          return Value::logical(l.as_real() != r.as_real());
+        case BinOpKind::Lt: charge(costs_.add);
+          if (l.is_integer() && r.is_integer())
+            return Value::logical(l.as_int() < r.as_int());
+          return Value::logical(l.as_real() < r.as_real());
+        case BinOpKind::Le: charge(costs_.add);
+          if (l.is_integer() && r.is_integer())
+            return Value::logical(l.as_int() <= r.as_int());
+          return Value::logical(l.as_real() <= r.as_real());
+        case BinOpKind::Gt: charge(costs_.add);
+          if (l.is_integer() && r.is_integer())
+            return Value::logical(l.as_int() > r.as_int());
+          return Value::logical(l.as_real() > r.as_real());
+        case BinOpKind::Ge: charge(costs_.add);
+          if (l.is_integer() && r.is_integer())
+            return Value::logical(l.as_int() >= r.as_int());
+          return Value::logical(l.as_real() >= r.as_real());
+        case BinOpKind::And:
+          charge(costs_.add);
+          return Value::logical(l.as_logical() && r.as_logical());
+        case BinOpKind::Or:
+          charge(costs_.add);
+          return Value::logical(l.as_logical() || r.as_logical());
+      }
+      p_unreachable("bad binop");
+    }
+    case ExprKind::UnOp: {
+      const auto& u = static_cast<const UnOp&>(e);
+      Value v = eval(unit, frame, u.operand());
+      charge(costs_.add);
+      if (u.op() == UnOpKind::Neg) {
+        if (v.is_integer()) return Value::integer(-v.as_int());
+        return Value::real(-v.as_real());
+      }
+      return Value::logical(!v.as_logical());
+    }
+    case ExprKind::FuncCall: {
+      const auto& f = static_cast<const FuncCall&>(e);
+      if (is_intrinsic_name(f.name())) return eval_intrinsic(unit, frame, f);
+      return eval_user_function(unit, frame, f);
+    }
+    case ExprKind::Wildcard:
+      p_assert_msg(false, "wildcard evaluated at run time");
+  }
+  p_unreachable("bad expression kind");
+}
+
+Value Interpreter::eval_intrinsic(ProgramUnit& unit, Frame& frame,
+                                  const FuncCall& f) {
+  charge(costs_.intrinsic);
+  std::vector<Value> args;
+  args.reserve(f.args().size());
+  for (const ExprPtr& a : f.args()) args.push_back(eval(unit, frame, *a));
+  const std::string& name = f.name();
+  auto arity = [&](size_t n) {
+    p_assert_msg(args.size() == n, "bad arity for intrinsic " + name);
+  };
+  if (name == "abs") {
+    arity(1);
+    if (args[0].is_integer())
+      return Value::integer(std::abs(args[0].as_int()));
+    return Value::real(std::fabs(args[0].as_real()));
+  }
+  if (name == "max" || name == "min") {
+    p_assert_msg(args.size() >= 2, "bad arity for " + name);
+    bool all_int = true;
+    for (const Value& v : args) all_int = all_int && v.is_integer();
+    if (all_int) {
+      std::int64_t r = args[0].as_int();
+      for (const Value& v : args)
+        r = name == "max" ? std::max(r, v.as_int())
+                          : std::min(r, v.as_int());
+      return Value::integer(r);
+    }
+    double r = args[0].as_real();
+    for (const Value& v : args)
+      r = name == "max" ? std::max(r, v.as_real())
+                        : std::min(r, v.as_real());
+    return Value::real(r);
+  }
+  if (name == "mod") {
+    arity(2);
+    if (args[0].is_integer() && args[1].is_integer()) {
+      p_assert_msg(args[1].as_int() != 0, "mod by zero");
+      return Value::integer(args[0].as_int() % args[1].as_int());
+    }
+    return Value::real(std::fmod(args[0].as_real(), args[1].as_real()));
+  }
+  if (name == "sqrt") { arity(1); return Value::real(std::sqrt(args[0].as_real())); }
+  if (name == "exp") { arity(1); return Value::real(std::exp(args[0].as_real())); }
+  if (name == "log") { arity(1); return Value::real(std::log(args[0].as_real())); }
+  if (name == "log10") { arity(1); return Value::real(std::log10(args[0].as_real())); }
+  if (name == "sin") { arity(1); return Value::real(std::sin(args[0].as_real())); }
+  if (name == "cos") { arity(1); return Value::real(std::cos(args[0].as_real())); }
+  if (name == "tan") { arity(1); return Value::real(std::tan(args[0].as_real())); }
+  if (name == "atan") { arity(1); return Value::real(std::atan(args[0].as_real())); }
+  if (name == "atan2") {
+    arity(2);
+    return Value::real(std::atan2(args[0].as_real(), args[1].as_real()));
+  }
+  if (name == "sign") {
+    arity(2);
+    if (args[0].is_integer() && args[1].is_integer()) {
+      std::int64_t m = std::abs(args[0].as_int());
+      return Value::integer(args[1].as_int() >= 0 ? m : -m);
+    }
+    double m = std::fabs(args[0].as_real());
+    return Value::real(args[1].as_real() >= 0 ? m : -m);
+  }
+  if (name == "int") {
+    arity(1);
+    return Value::integer(args[0].as_int());
+  }
+  if (name == "nint") {
+    arity(1);
+    return Value::integer(std::llround(args[0].as_real()));
+  }
+  if (name == "real") { arity(1); return Value::real(args[0].as_real()); }
+  if (name == "dble") { arity(1); return Value::real(args[0].as_real()); }
+  if (name == "iand") {
+    arity(2);
+    return Value::integer(args[0].as_int() & args[1].as_int());
+  }
+  if (name == "ior") {
+    arity(2);
+    return Value::integer(args[0].as_int() | args[1].as_int());
+  }
+  if (name == "ieor") {
+    arity(2);
+    return Value::integer(args[0].as_int() ^ args[1].as_int());
+  }
+  p_assert_msg(false, "unimplemented intrinsic " + name);
+}
+
+std::vector<std::int64_t> Interpreter::eval_subscripts(ProgramUnit& unit,
+                                                       Frame& frame,
+                                                       const ArrayRef& ref) {
+  std::vector<std::int64_t> subs;
+  subs.reserve(ref.subscripts().size());
+  for (const ExprPtr& s : ref.subscripts())
+    subs.push_back(eval(unit, frame, *s).as_int());
+  return subs;
+}
+
+void Interpreter::store(ProgramUnit& unit, Frame& frame,
+                        const Expression& lhs, Value v) {
+  charge(costs_.mem);
+  if (lhs.kind() == ExprKind::VarRef) {
+    Symbol* sym = static_cast<const VarRef&>(lhs).symbol();
+    Cell* cell = frame.lookup(sym);
+    p_assert_msg(cell != nullptr && !cell->is_array,
+                 "bad scalar store to " + sym->name());
+    cell->scalar = v.coerce_to(sym->type());
+    return;
+  }
+  const auto& ref = static_cast<const ArrayRef&>(lhs);
+  Cell* cell = frame.lookup(ref.symbol());
+  p_assert_msg(cell != nullptr && cell->is_array,
+               "bad array store to " + ref.symbol()->name());
+  std::vector<std::int64_t> subs = eval_subscripts(unit, frame, ref);
+  std::size_t flat = cell->array.flat_index(subs);
+  auto shadow = shadows_.find(ref.symbol());
+  if (shadow != shadows_.end()) shadow->second->record_write(flat);
+  (*cell->array.data)[flat] = v.coerce_to(ref.symbol()->type());
+}
+
+// --- calls ----------------------------------------------------------------------
+
+namespace {
+/// Copy-restore binding for array-element or expression actuals.
+struct CopyBack {
+  Cell* temp;
+  Cell* target_cell;  // array cell
+  std::size_t flat;
+};
+}  // namespace
+
+bool Interpreter::run_call(ProgramUnit& unit, Frame& frame,
+                           const CallStmt& call) {
+  charge(costs_.call);
+  ProgramUnit* callee = program_.find(call.name());
+  p_assert_msg(callee != nullptr && callee->kind() == UnitKind::Subroutine,
+               "call to unknown subroutine " + call.name());
+  p_assert_msg(call.args().size() == callee->formals().size(),
+               "argument count mismatch calling " + call.name());
+
+  Frame inner;
+  std::vector<CopyBack> copybacks;
+  std::vector<std::unique_ptr<Cell>> temps;
+
+  for (size_t i = 0; i < call.args().size(); ++i) {
+    Symbol* formal = callee->formals()[i];
+    const Expression& actual = *call.args()[i];
+    if (actual.kind() == ExprKind::VarRef) {
+      Symbol* asym = static_cast<const VarRef&>(actual).symbol();
+      if (asym->kind() == SymbolKind::Parameter) {
+        auto temp = std::make_unique<Cell>();
+        temp->scalar = eval(unit, frame, actual).coerce_to(formal->type());
+        inner.bind(formal, temp.get());
+        temps.push_back(std::move(temp));
+        continue;
+      }
+      Cell* cell = frame.lookup(asym);
+      p_assert_msg(cell != nullptr, "unbound actual " + asym->name());
+      if (cell->is_array) {
+        // Whole-array aliasing: share the payload; bounds re-resolved in
+        // callee terms below.
+        auto view = std::make_unique<Cell>();
+        view->is_array = true;
+        view->array.data = cell->array.data;
+        view->array.offset = cell->array.offset;
+        inner.bind(formal, view.get());
+        temps.push_back(std::move(view));
+      } else {
+        inner.bind(formal, cell);  // scalar by reference
+      }
+      continue;
+    }
+    if (actual.kind() == ExprKind::ArrayRef) {
+      const auto& aref = static_cast<const ArrayRef&>(actual);
+      Cell* cell = frame.lookup(aref.symbol());
+      p_assert(cell != nullptr && cell->is_array);
+      std::vector<std::int64_t> subs = eval_subscripts(unit, frame, aref);
+      std::size_t flat = cell->array.flat_index(subs);
+      if (formal->is_array()) {
+        // Array section starting at the element.
+        auto view = std::make_unique<Cell>();
+        view->is_array = true;
+        view->array.data = cell->array.data;
+        view->array.offset = static_cast<std::int64_t>(flat);
+        inner.bind(formal, view.get());
+        temps.push_back(std::move(view));
+      } else {
+        // Scalar formal bound to an array element: copy-restore.
+        auto temp = std::make_unique<Cell>();
+        temp->scalar = (*cell->array.data)[flat];
+        copybacks.push_back({temp.get(), cell, flat});
+        inner.bind(formal, temp.get());
+        temps.push_back(std::move(temp));
+      }
+      continue;
+    }
+    // Expression actual: evaluated copy (no copy-back).
+    auto temp = std::make_unique<Cell>();
+    temp->scalar = eval(unit, frame, actual).coerce_to(formal->type());
+    inner.bind(formal, temp.get());
+    temps.push_back(std::move(temp));
+  }
+
+  // Resolve bound array formals' dims in callee terms (scalars first —
+  // already bound above).
+  for (Symbol* formal : callee->formals()) {
+    if (!formal->is_array()) continue;
+    Cell* cell = inner.lookup(formal);
+    p_assert(cell != nullptr);
+    p_assert_msg(cell->is_array,
+                 "scalar actual for array formal " + formal->name());
+    resolve_array_bounds(*callee, inner, formal, cell);
+  }
+
+  init_frame(*callee, inner);
+  UnitResult r;
+  execute_unit(*callee, inner, &r);
+  for (const CopyBack& cb : copybacks)
+    (*cb.target_cell->array.data)[cb.flat] = cb.temp->scalar;
+  return r.stopped;
+}
+
+Value Interpreter::eval_user_function(ProgramUnit& unit, Frame& frame,
+                                      const FuncCall& f) {
+  charge(costs_.call);
+  ProgramUnit* callee = program_.find(f.name());
+  p_assert_msg(callee != nullptr && callee->kind() == UnitKind::Function,
+               "call to unknown function " + f.name());
+  p_assert_msg(f.args().size() == callee->formals().size(),
+               "argument count mismatch calling " + f.name());
+
+  Frame inner;
+  std::vector<std::unique_ptr<Cell>> temps;
+  for (size_t i = 0; i < f.args().size(); ++i) {
+    Symbol* formal = callee->formals()[i];
+    const Expression& actual = *f.args()[i];
+    if (actual.kind() == ExprKind::VarRef) {
+      Symbol* asym = static_cast<const VarRef&>(actual).symbol();
+      Cell* cell =
+          asym->kind() == SymbolKind::Parameter ? nullptr : frame.lookup(asym);
+      if (cell != nullptr && cell->is_array && formal->is_array()) {
+        auto view = std::make_unique<Cell>();
+        view->is_array = true;
+        view->array.data = cell->array.data;
+        view->array.offset = cell->array.offset;
+        inner.bind(formal, view.get());
+        temps.push_back(std::move(view));
+        continue;
+      }
+      if (cell != nullptr && !cell->is_array) {
+        inner.bind(formal, cell);
+        continue;
+      }
+    }
+    auto temp = std::make_unique<Cell>();
+    temp->scalar = eval(unit, frame, actual).coerce_to(formal->type());
+    inner.bind(formal, temp.get());
+    temps.push_back(std::move(temp));
+  }
+  for (Symbol* formal : callee->formals()) {
+    if (!formal->is_array()) continue;
+    Cell* cell = inner.lookup(formal);
+    p_assert(cell != nullptr && cell->is_array);
+    resolve_array_bounds(*callee, inner, formal, cell);
+  }
+  init_frame(*callee, inner);
+  UnitResult r;
+  execute_unit(*callee, inner, &r);
+  if (r.stopped) {
+    result_.stopped = true;
+    throw UserError("STOP inside function");
+  }
+  Cell* res = inner.lookup(callee->result());
+  p_assert_msg(res != nullptr && !res->is_array,
+               "function result unset: " + f.name());
+  return res->scalar;
+}
+
+// --- parallel execution -----------------------------------------------------------
+
+std::size_t Interpreter::reduction_elements(Frame& frame, const DoStmt* d) {
+  std::size_t total = 0;
+  for (const ReductionInfo& r : d->par.reductions) {
+    Cell* cell = frame.lookup(r.var);
+    if (cell != nullptr && cell->is_array)
+      total += static_cast<std::size_t>(cell->array.element_count());
+    else
+      total += 1;
+  }
+  return total;
+}
+
+Interpreter::UnitResult Interpreter::run_parallel_loop(
+    ProgramUnit& unit, Frame& frame, DoStmt* d, std::int64_t init,
+    std::int64_t limit, std::int64_t step) {
+  ++result_.parallel_instances;
+  in_parallel_ = true;
+  Cell* idx = frame.lookup(d->index());
+  p_assert(idx != nullptr);
+  const std::uint64_t updates_before = reduction_updates_;
+
+  std::vector<std::uint64_t> iter_costs;
+  std::uint64_t* saved_acc = cost_acc_;
+  UnitResult out;
+  for (std::int64_t v = init; step > 0 ? v <= limit : v >= limit;
+       v += step) {
+    idx->scalar = Value::integer(v);
+    std::uint64_t iter_cost = costs_.loop_iter;
+    cost_acc_ = &iter_cost;
+    UnitResult r = execute_range(unit, frame, d->next(), d->follow());
+    cost_acc_ = saved_acc;
+    iter_costs.push_back(iter_cost);
+    if (r.returned || r.stopped) {
+      out = r;
+      break;
+    }
+  }
+  idx->scalar = Value::integer(
+      step > 0 ? std::max(init, limit + step) : std::min(init, limit + step));
+  in_parallel_ = false;
+
+  std::uint64_t serial_sum = 0;
+  for (std::uint64_t c : iter_costs) serial_sum += c;
+  std::uint64_t par = schedule_doall(iter_costs, config_,
+                                     reduction_elements(frame, d),
+                                     d->par.lastvalue_vars.size(),
+                                     reduction_updates_ - updates_before);
+  result_.clock.serial += serial_sum;
+  result_.clock.parallel += par;
+  return out;
+}
+
+Interpreter::UnitResult Interpreter::run_speculative_loop(
+    ProgramUnit& unit, Frame& frame, DoStmt* d, std::int64_t init,
+    std::int64_t limit, std::int64_t step) {
+  ++result_.speculative_attempts;
+  Cell* idx = frame.lookup(d->index());
+  p_assert(idx != nullptr);
+
+  // Checkpoint: snapshot everything the loop may write (arrays in full,
+  // assigned scalars).  The paper's implementation writes to temporaries;
+  // the state-restoration cost is modeled below either way.
+  std::map<Cell*, std::vector<Value>> array_checkpoint;
+  std::map<Cell*, Value> scalar_checkpoint;
+  std::uint64_t checkpoint_cost = 0;
+  auto accesses = collect_array_accesses(d);
+  for (const auto& [array, refs] : accesses) {
+    bool written = false;
+    for (const ArrayAccess& a : refs) written = written || a.is_write;
+    if (!written) continue;
+    Cell* cell = frame.lookup(array);
+    if (cell == nullptr || !cell->is_array) continue;
+    array_checkpoint[cell] = *cell->array.data;
+    checkpoint_cost += cell->array.data->size() * costs_.mem;
+  }
+  for (Symbol* s : scalars_assigned(d)) {
+    Cell* cell = frame.lookup(s);
+    if (cell != nullptr && !cell->is_array)
+      scalar_checkpoint[cell] = cell->scalar;
+  }
+
+  // Shadow arrays for the statically unanalyzable arrays.
+  std::vector<std::unique_ptr<ShadowArrays>> shadow_storage;
+  p_assert_msg(!d->par.speculative_arrays.empty(),
+               "speculative loop without arrays under test");
+  for (Symbol* s : d->par.speculative_arrays) {
+    Cell* cell = frame.lookup(s);
+    p_assert_msg(cell != nullptr && cell->is_array,
+                 "speculative array not bound: " + s->name());
+    shadow_storage.push_back(
+        std::make_unique<ShadowArrays>(cell->array.data->size()));
+    shadows_[s] = shadow_storage.back().get();
+  }
+
+  // Speculative parallel execution with marking.
+  in_parallel_ = true;
+  std::vector<std::uint64_t> iter_costs;
+  std::uint64_t* saved_acc = cost_acc_;
+  UnitResult out;
+  for (std::int64_t v = init; step > 0 ? v <= limit : v >= limit;
+       v += step) {
+    idx->scalar = Value::integer(v);
+    for (auto& sh : shadow_storage) sh->begin_iteration();
+    std::uint64_t iter_cost = costs_.loop_iter;
+    cost_acc_ = &iter_cost;
+    UnitResult r = execute_range(unit, frame, d->next(), d->follow());
+    cost_acc_ = saved_acc;
+    for (auto& sh : shadow_storage) sh->end_iteration();
+    iter_costs.push_back(iter_cost);
+    if (r.returned || r.stopped) {
+      out = r;
+      break;
+    }
+  }
+  in_parallel_ = false;
+  for (Symbol* s : d->par.speculative_arrays) shadows_.erase(s);
+
+  // Post-execution analysis.
+  bool pass = true;
+  std::uint64_t pd_cost = 0;
+  for (auto& sh : shadow_storage) {
+    pass = pass && sh->analyze().pass();
+    pd_cost += sh->cost(config_.processors);
+  }
+  result_.pd_test_cost += pd_cost;
+
+  std::uint64_t serial_sum = 0;
+  for (std::uint64_t c : iter_costs) serial_sum += c;
+  result_.clock.serial += serial_sum;
+
+  if (pass) {
+    std::uint64_t par = schedule_doall(iter_costs, config_,
+                                       reduction_elements(frame, d),
+                                       d->par.lastvalue_vars.size());
+    result_.clock.parallel += par + pd_cost + checkpoint_cost;
+    idx->scalar = Value::integer(step > 0 ? std::max(init, limit + step)
+                                          : std::min(init, limit + step));
+    return out;
+  }
+
+  // Failed: restore state, charge the wasted attempt, re-execute serially.
+  ++result_.speculative_failures;
+  for (auto& [cell, snapshot] : array_checkpoint)
+    *cell->array.data = snapshot;
+  for (auto& [cell, snapshot] : scalar_checkpoint) cell->scalar = snapshot;
+
+  std::uint64_t wasted = schedule_doall(iter_costs, config_, 0, 0) + pd_cost +
+                         checkpoint_cost;
+  result_.speculative_wasted += wasted;
+  result_.clock.parallel += wasted;
+
+  // Sequential re-execution (results recomputed identically; costs flow
+  // into both clocks... the serial reference already includes one
+  // execution, so charge only the parallel clock for the re-run).
+  std::uint64_t rerun_cost = 0;
+  cost_acc_ = &rerun_cost;
+  UnitResult r2;
+  for (std::int64_t v = init; step > 0 ? v <= limit : v >= limit;
+       v += step) {
+    idx->scalar = Value::integer(v);
+    charge(costs_.loop_iter);
+    r2 = execute_range(unit, frame, d->next(), d->follow());
+    if (r2.returned || r2.stopped) break;
+  }
+  cost_acc_ = saved_acc;
+  result_.clock.parallel += rerun_cost;
+  idx->scalar = Value::integer(step > 0 ? std::max(init, limit + step)
+                                        : std::min(init, limit + step));
+  return r2;
+}
+
+}  // namespace polaris

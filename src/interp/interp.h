@@ -1,0 +1,116 @@
+// PF77 interpreter with cost accounting and parallel-loop simulation.
+//
+// The interpreter plays two roles in the reproduction:
+//   1. Semantics oracle: transformed programs must print exactly what the
+//      originals print (the property tests' equivalence check).
+//   2. Timing substrate: every operation charges cost units; loops marked
+//      parallel by the DOALL pass are "executed" on the simulated
+//      multiprocessor (per-iteration costs measured, then scheduled over p
+//      processors with overheads), and loops marked speculative run the
+//      full PD-test protocol — shadow marking, post-analysis, commit or
+//      restore-and-reexecute (paper Section 3.5).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interp/memory.h"
+#include "ir/program.h"
+#include "machine/machine.h"
+#include "runtime/pdtest.h"
+
+namespace polaris {
+
+struct CostModel {
+  std::uint64_t add = 1;
+  std::uint64_t mul = 2;
+  std::uint64_t div = 8;
+  std::uint64_t pow = 12;
+  std::uint64_t intrinsic = 16;
+  std::uint64_t mem = 1;       ///< per scalar/array element access
+  std::uint64_t branch = 1;
+  std::uint64_t loop_iter = 2;
+  std::uint64_t call = 24;
+};
+
+struct RunResult {
+  std::vector<std::string> output;   ///< PRINT lines
+  RunClock clock;                    ///< serial vs modeled parallel time
+  std::uint64_t statements = 0;      ///< executed statement count
+  int parallel_instances = 0;        ///< DOALL loop executions
+  int speculative_attempts = 0;
+  int speculative_failures = 0;
+  std::uint64_t pd_test_cost = 0;    ///< total shadow+analysis cost
+  std::uint64_t speculative_wasted = 0;  ///< failed-attempt parallel time
+  bool stopped = false;              ///< STOP executed
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(Program& program, MachineConfig config = {},
+                       CostModel costs = {});
+
+  /// Executes the main program to completion.
+  RunResult run();
+
+  /// Safety valve for runaway programs (default 500M statements).
+  void set_statement_limit(std::uint64_t limit) { stmt_limit_ = limit; }
+
+ private:
+  struct UnitResult {
+    bool returned = false;
+    bool stopped = false;
+  };
+
+  void execute_unit(ProgramUnit& unit, Frame& frame, UnitResult* out);
+  UnitResult execute_range(ProgramUnit& unit, Frame& frame,
+                           Statement* first, Statement* stop);
+  UnitResult execute_statement(ProgramUnit& unit, Frame& frame,
+                               Statement*& s);
+
+  void init_frame(ProgramUnit& unit, Frame& frame);
+  void resolve_array_bounds(ProgramUnit& unit, Frame& frame, Symbol* sym,
+                            Cell* cell);
+
+  Value eval(ProgramUnit& unit, Frame& frame, const Expression& e);
+  Value eval_intrinsic(ProgramUnit& unit, Frame& frame, const FuncCall& f);
+  Value eval_user_function(ProgramUnit& unit, Frame& frame,
+                           const FuncCall& f);
+  std::vector<std::int64_t> eval_subscripts(ProgramUnit& unit, Frame& frame,
+                                            const ArrayRef& ref);
+  void store(ProgramUnit& unit, Frame& frame, const Expression& lhs,
+             Value v);
+  /// Returns true if the callee executed STOP.
+  bool run_call(ProgramUnit& unit, Frame& frame, const CallStmt& call);
+
+  /// Parallel and speculative loop execution (see class comment).
+  UnitResult run_parallel_loop(ProgramUnit& unit, Frame& frame, DoStmt* d,
+                               std::int64_t init, std::int64_t limit,
+                               std::int64_t step);
+  UnitResult run_speculative_loop(ProgramUnit& unit, Frame& frame, DoStmt* d,
+                                  std::int64_t init, std::int64_t limit,
+                                  std::int64_t step);
+  std::size_t reduction_elements(Frame& frame, const DoStmt* d);
+
+  void charge(std::uint64_t cost) { *cost_acc_ += cost; }
+  void count_statement();
+
+  Program& program_;
+  MachineConfig config_;
+  CostModel costs_;
+  CommonStore commons_;
+  RunResult result_;
+  std::uint64_t segment_cost_ = 0;   ///< cost since last clock flush
+  std::uint64_t* cost_acc_ = &segment_cost_;
+  bool in_parallel_ = false;
+  std::uint64_t reduction_updates_ = 0;  ///< flagged-stmt executions
+  std::uint64_t stmt_limit_ = 500'000'000;
+  std::map<Symbol*, ShadowArrays*> shadows_;  ///< active PD-test shadows
+};
+
+/// Convenience: run a program and return the result.
+RunResult run_program(Program& program, MachineConfig config = {});
+
+}  // namespace polaris

@@ -1,0 +1,60 @@
+#include "interp/memory.h"
+
+namespace polaris {
+
+std::size_t ArrayStorage::flat_index(
+    const std::vector<std::int64_t>& subs) const {
+  p_assert_msg(subs.size() == bounds.size(),
+               "subscript rank mismatch at run time");
+  std::int64_t index = 0;
+  std::int64_t stride = 1;
+  for (std::size_t d = 0; d < subs.size(); ++d) {
+    const auto& [lo, hi] = bounds[d];
+    p_assert_msg(subs[d] >= lo && subs[d] <= hi,
+                 "array subscript out of declared bounds");
+    index += (subs[d] - lo) * stride;
+    stride *= (hi - lo + 1);
+  }
+  std::int64_t flat = offset + index;
+  p_assert_msg(flat >= 0 &&
+                   static_cast<std::size_t>(flat) < data->size(),
+               "flat array index out of storage");
+  return static_cast<std::size_t>(flat);
+}
+
+Cell* CommonStore::lookup(const std::string& block, const std::string& name) {
+  auto it = cells_.find({block, name});
+  return it == cells_.end() ? nullptr : it->second.get();
+}
+
+Cell* CommonStore::create(const std::string& block, const std::string& name) {
+  auto cell = std::make_unique<Cell>();
+  Cell* raw = cell.get();
+  auto [it, inserted] = cells_.emplace(std::make_pair(block, name),
+                                       std::move(cell));
+  p_assert_msg(inserted, "duplicate common cell " + block + "/" + name);
+  return raw;
+}
+
+Cell* Frame::create_local(Symbol* sym) {
+  p_assert(sym != nullptr);
+  p_assert_msg(!bound(sym), "symbol already bound: " + sym->name());
+  auto cell = std::make_unique<Cell>();
+  Cell* raw = cell.get();
+  owned_.push_back(std::move(cell));
+  cells_[sym] = raw;
+  return raw;
+}
+
+void Frame::bind(Symbol* sym, Cell* cell) {
+  p_assert(sym != nullptr && cell != nullptr);
+  p_assert_msg(!bound(sym), "symbol already bound: " + sym->name());
+  cells_[sym] = cell;
+}
+
+Cell* Frame::lookup(Symbol* sym) const {
+  auto it = cells_.find(sym);
+  return it == cells_.end() ? nullptr : it->second;
+}
+
+}  // namespace polaris

@@ -1,0 +1,76 @@
+// Storage for the PF77 interpreter: scalars, arrays with resolved bounds,
+// by-reference argument binding, and COMMON blocks.
+//
+// Array payloads are shared_ptr vectors so that whole-array arguments
+// alias the caller's storage (Fortran by-reference semantics), including
+// reshaped/linearized views with an element offset.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "interp/value.h"
+#include "ir/symbol.h"
+
+namespace polaris {
+
+/// A resolved array: payload + per-dimension [lo, hi] bounds + flat offset
+/// into the payload (for views starting mid-array).
+struct ArrayStorage {
+  std::shared_ptr<std::vector<Value>> data;
+  std::vector<std::pair<std::int64_t, std::int64_t>> bounds;
+  std::int64_t offset = 0;
+
+  std::int64_t element_count() const {
+    std::int64_t n = 1;
+    for (const auto& [lo, hi] : bounds) n *= (hi - lo + 1);
+    return n;
+  }
+
+  /// Column-major (Fortran) flat index of a subscript tuple; bounds
+  /// checked with p_assert.
+  std::size_t flat_index(const std::vector<std::int64_t>& subs) const;
+
+  Value& at(const std::vector<std::int64_t>& subs) {
+    return (*data)[flat_index(subs)];
+  }
+};
+
+/// One variable's storage: scalar or array.
+struct Cell {
+  bool is_array = false;
+  Value scalar;
+  ArrayStorage array;
+};
+
+/// COMMON storage, shared across activations, keyed by (block, member
+/// name) — the PF77 convention of name-matched common members.
+class CommonStore {
+ public:
+  Cell* lookup(const std::string& block, const std::string& name);
+  Cell* create(const std::string& block, const std::string& name);
+
+ private:
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Cell>>
+      cells_;
+};
+
+/// One activation frame: maps symbols to cells.  Cells for locals are
+/// owned by the frame; formals and commons point elsewhere.
+class Frame {
+ public:
+  /// Binds `sym` to frame-owned storage.
+  Cell* create_local(Symbol* sym);
+  /// Binds `sym` to external storage (argument/common aliasing).
+  void bind(Symbol* sym, Cell* cell);
+
+  Cell* lookup(Symbol* sym) const;
+  bool bound(Symbol* sym) const { return cells_.count(sym) > 0; }
+
+ private:
+  std::map<Symbol*, Cell*> cells_;
+  std::vector<std::unique_ptr<Cell>> owned_;
+};
+
+}  // namespace polaris

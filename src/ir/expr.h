@@ -1,0 +1,307 @@
+// Expression trees.
+//
+// Expressions are strict trees: sharing is not allowed (the paper:
+// "detection of aliased structures ... causes a run-time error" — inserting
+// one expression into two statements without copying is a bug).  We enforce
+// this structurally with unique_ptr ownership; clone() produces deep copies.
+//
+// The Wildcard node supports Polaris's structural pattern matching
+// ("Forbol"): a pattern is an ordinary expression tree that may contain
+// wildcards anywhere; match() compares a pattern against a subject and binds
+// wildcard names to subtrees, requiring consistent bindings for repeated
+// names (needed for idioms like A(α) = A(α) + β).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/symbol.h"
+#include "ir/type.h"
+#include "support/assert.h"
+
+namespace polaris {
+
+enum class ExprKind {
+  IntConst,
+  RealConst,
+  LogicalConst,
+  StringConst,
+  VarRef,
+  ArrayRef,
+  BinOp,
+  UnOp,
+  FuncCall,
+  Wildcard,
+};
+
+enum class BinOpKind {
+  Add, Sub, Mul, Div, Pow,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+};
+
+enum class UnOpKind { Neg, Not };
+
+bool is_comparison(BinOpKind k);
+bool is_arithmetic(BinOpKind k);
+/// Fortran spelling: "+", ".lt.", ".and.", ...
+std::string binop_spelling(BinOpKind k);
+
+class Expression;
+using ExprPtr = std::unique_ptr<Expression>;
+
+/// Wildcard bindings produced by matching: name -> matched subtree
+/// (non-owning views into the subject).
+using Bindings = std::map<std::string, const Expression*>;
+
+class Expression {
+ public:
+  virtual ~Expression() = default;
+  Expression(const Expression&) = delete;
+  Expression& operator=(const Expression&) = delete;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Deep copy.
+  virtual ExprPtr clone() const = 0;
+
+  /// Structural equality (symbol identity for references, exact constants).
+  bool equals(const Expression& other) const;
+
+  /// Mutable child slots, for generic traversal and in-place replacement.
+  virtual std::vector<ExprPtr*> children() = 0;
+  std::vector<const Expression*> children() const;
+
+  /// Approximate Fortran type of the expression's value.
+  virtual Type type() const = 0;
+
+  virtual void print(std::ostream& os) const = 0;
+  std::string to_string() const;
+
+  /// Structural hash, consistent with equals().
+  std::size_t hash() const;
+
+  /// Pattern matching: `this` is the pattern (may contain Wildcards),
+  /// `subject` must not.  On success, bindings maps each wildcard name to
+  /// the matched subject subtree; repeated names must match equal subtrees.
+  bool match(const Expression& subject, Bindings& bindings) const;
+
+  /// True if any node in the tree satisfies `pred`.
+  bool contains(const std::function<bool(const Expression&)>& pred) const;
+  /// True if the tree references `sym` (as VarRef or ArrayRef base).
+  bool references(const Symbol* sym) const;
+
+ protected:
+  explicit Expression(ExprKind k) : kind_(k) {}
+
+ private:
+  ExprKind kind_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Expression& e);
+
+// --- leaf nodes -------------------------------------------------------------
+
+class IntConst final : public Expression {
+ public:
+  explicit IntConst(std::int64_t v)
+      : Expression(ExprKind::IntConst), value_(v) {}
+  std::int64_t value() const { return value_; }
+  ExprPtr clone() const override;
+  std::vector<ExprPtr*> children() override { return {}; }
+  Type type() const override { return Type::integer(); }
+  void print(std::ostream& os) const override;
+
+ private:
+  std::int64_t value_;
+};
+
+class RealConst final : public Expression {
+ public:
+  RealConst(double v, bool is_double)
+      : Expression(ExprKind::RealConst), value_(v), is_double_(is_double) {}
+  double value() const { return value_; }
+  bool is_double() const { return is_double_; }
+  ExprPtr clone() const override;
+  std::vector<ExprPtr*> children() override { return {}; }
+  Type type() const override {
+    return is_double_ ? Type::double_precision() : Type::real();
+  }
+  void print(std::ostream& os) const override;
+
+ private:
+  double value_;
+  bool is_double_;
+};
+
+class LogicalConst final : public Expression {
+ public:
+  explicit LogicalConst(bool v)
+      : Expression(ExprKind::LogicalConst), value_(v) {}
+  bool value() const { return value_; }
+  ExprPtr clone() const override;
+  std::vector<ExprPtr*> children() override { return {}; }
+  Type type() const override { return Type::logical(); }
+  void print(std::ostream& os) const override;
+
+ private:
+  bool value_;
+};
+
+class StringConst final : public Expression {
+ public:
+  explicit StringConst(std::string v)
+      : Expression(ExprKind::StringConst), value_(std::move(v)) {}
+  const std::string& value() const { return value_; }
+  ExprPtr clone() const override;
+  std::vector<ExprPtr*> children() override { return {}; }
+  Type type() const override { return Type::character(); }
+  void print(std::ostream& os) const override;
+
+ private:
+  std::string value_;
+};
+
+/// Reference to a scalar variable (or to a whole array when used as an
+/// actual argument).
+class VarRef final : public Expression {
+ public:
+  explicit VarRef(Symbol* sym) : Expression(ExprKind::VarRef), sym_(sym) {
+    p_assert(sym != nullptr);
+  }
+  Symbol* symbol() const { return sym_; }
+  void set_symbol(Symbol* s) { p_assert(s); sym_ = s; }
+  ExprPtr clone() const override;
+  std::vector<ExprPtr*> children() override { return {}; }
+  Type type() const override { return sym_->type(); }
+  void print(std::ostream& os) const override;
+
+ private:
+  Symbol* sym_;
+};
+
+/// Subscripted array reference A(s1, ..., sk).
+class ArrayRef final : public Expression {
+ public:
+  ArrayRef(Symbol* sym, std::vector<ExprPtr> subs);
+  Symbol* symbol() const { return sym_; }
+  void set_symbol(Symbol* s) { p_assert(s); sym_ = s; }
+  const std::vector<ExprPtr>& subscripts() const { return subs_; }
+  std::vector<ExprPtr>& subscripts() { return subs_; }
+  int rank() const { return static_cast<int>(subs_.size()); }
+  ExprPtr clone() const override;
+  std::vector<ExprPtr*> children() override;
+  Type type() const override { return sym_->type(); }
+  void print(std::ostream& os) const override;
+
+ private:
+  Symbol* sym_;
+  std::vector<ExprPtr> subs_;
+};
+
+class BinOp final : public Expression {
+ public:
+  BinOp(BinOpKind op, ExprPtr l, ExprPtr r);
+  BinOpKind op() const { return op_; }
+  const Expression& left() const { return *left_; }
+  const Expression& right() const { return *right_; }
+  Expression& left() { return *left_; }
+  Expression& right() { return *right_; }
+  ExprPtr take_left() { return std::move(left_); }
+  ExprPtr take_right() { return std::move(right_); }
+  ExprPtr clone() const override;
+  std::vector<ExprPtr*> children() override { return {&left_, &right_}; }
+  Type type() const override;
+  void print(std::ostream& os) const override;
+
+ private:
+  BinOpKind op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class UnOp final : public Expression {
+ public:
+  UnOp(UnOpKind op, ExprPtr e);
+  UnOpKind op() const { return op_; }
+  const Expression& operand() const { return *operand_; }
+  Expression& operand() { return *operand_; }
+  ExprPtr take_operand() { return std::move(operand_); }
+  ExprPtr clone() const override;
+  std::vector<ExprPtr*> children() override { return {&operand_}; }
+  Type type() const override { return operand_->type(); }
+  void print(std::ostream& os) const override;
+
+ private:
+  UnOpKind op_;
+  ExprPtr operand_;
+};
+
+/// Call to an intrinsic or user function: name(args...).
+class FuncCall final : public Expression {
+ public:
+  FuncCall(std::string name, std::vector<ExprPtr> args, Type result_type);
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+  std::vector<ExprPtr>& args() { return args_; }
+  ExprPtr clone() const override;
+  std::vector<ExprPtr*> children() override;
+  Type type() const override { return result_type_; }
+  void set_type(Type t) { result_type_ = t; }
+  void print(std::ostream& os) const override;
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+  Type result_type_;
+};
+
+/// Pattern wildcard.  Matches any subtree (optionally constrained to a
+/// particular ExprKind); repeated use of the same name requires the matched
+/// subtrees to be structurally equal.
+class Wildcard final : public Expression {
+ public:
+  explicit Wildcard(std::string name)
+      : Expression(ExprKind::Wildcard), name_(std::move(name)) {}
+  Wildcard(std::string name, ExprKind required)
+      : Expression(ExprKind::Wildcard),
+        name_(std::move(name)),
+        constrained_(true),
+        required_(required) {}
+  const std::string& name() const { return name_; }
+  bool constrained() const { return constrained_; }
+  ExprKind required_kind() const { return required_; }
+  ExprPtr clone() const override;
+  std::vector<ExprPtr*> children() override { return {}; }
+  Type type() const override { return Type(); }
+  void print(std::ostream& os) const override;
+
+ private:
+  std::string name_;
+  bool constrained_ = false;
+  ExprKind required_ = ExprKind::IntConst;
+};
+
+// --- generic walks ----------------------------------------------------------
+
+/// Pre-order visit of every node in the tree (const).
+void walk(const Expression& e,
+          const std::function<void(const Expression&)>& fn);
+
+/// Pre-order visit with mutable slot access: fn receives each slot; if it
+/// replaces the slot's contents the new subtree is not revisited.
+void walk_slots(ExprPtr& root, const std::function<void(ExprPtr&)>& fn);
+
+/// Replaces every occurrence of a subtree equal to `from` with a clone of
+/// `to`; returns the number of replacements.
+int replace_all(ExprPtr& root, const Expression& from, const Expression& to);
+
+/// Replaces every reference to scalar symbol `sym` with a clone of `to`.
+int replace_var(ExprPtr& root, const Symbol* sym, const Expression& to);
+
+}  // namespace polaris

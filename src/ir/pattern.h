@@ -1,0 +1,34 @@
+// Pattern matching and replacement — the "Forbol" layer (paper Section 2:
+// "powerful routines to test the structural-equality of expressions, as
+// well as pattern-matching and replacement routines ... based on an
+// abstract Wildcard class").
+//
+// A pattern is an ordinary expression tree that may contain Wildcards; a
+// replacement template may contain wildcards with the same names, which
+// are spliced with the matched subtrees:
+//
+//   rewrite_all(e, *pattern("?a + ?a"), *pattern("2*?a"))
+//
+// turns every `x + x` into `2*x`.
+#pragma once
+
+#include "ir/expr.h"
+
+namespace polaris {
+
+/// Instantiates a template: every Wildcard is replaced by a clone of its
+/// binding.  Asserts that all wildcard names are bound.
+ExprPtr instantiate(const Expression& templ, const Bindings& bindings);
+
+/// Rewrites every subtree of `root` matching `pattern` (outermost-first,
+/// left to right; rewritten subtrees are not revisited) with the
+/// instantiated `replacement`.  Returns the number of rewrites.
+int rewrite_all(ExprPtr& root, const Expression& pattern,
+                const Expression& replacement);
+
+/// Finds the first subtree of `e` matching `pattern` (pre-order); fills
+/// `bindings` and returns it, or null.
+const Expression* find_match(const Expression& e, const Expression& pattern,
+                             Bindings* bindings);
+
+}  // namespace polaris

@@ -1,0 +1,85 @@
+// ProgramUnit and Program.
+//
+// A Program is a collection of ProgramUnits (paper, Section 2); a
+// ProgramUnit holds a Fortran program unit's statements, symbol table,
+// formal-parameter list and common-block membership.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/stmtlist.h"
+#include "ir/symbol.h"
+
+namespace polaris {
+
+enum class UnitKind { Program, Subroutine, Function };
+
+class ProgramUnit {
+ public:
+  ProgramUnit(UnitKind kind, std::string name);
+
+  UnitKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  SymbolTable& symtab() { return symtab_; }
+  const SymbolTable& symtab() const { return symtab_; }
+
+  StmtList& stmts() { return stmts_; }
+  const StmtList& stmts() const { return stmts_; }
+
+  /// Formal parameters in declaration order (symbols live in symtab()).
+  const std::vector<Symbol*>& formals() const { return formals_; }
+  void add_formal(Symbol* s);
+
+  /// For UnitKind::Function: the result variable (same name as the unit).
+  Symbol* result() const { return result_; }
+  void set_result(Symbol* s) { result_ = s; }
+
+  /// Deep copy with a fresh symbol table; all statement/expression symbol
+  /// references are remapped to the new table.  Used by the inliner to
+  /// build its per-subprogram "template" objects.
+  std::unique_ptr<ProgramUnit> clone(const std::string& new_name) const;
+
+  /// Highest numeric statement label used in the unit (0 when none).
+  int max_label() const;
+
+ private:
+  UnitKind kind_;
+  std::string name_;
+  SymbolTable symtab_;
+  StmtList stmts_;
+  std::vector<Symbol*> formals_;
+  Symbol* result_ = nullptr;
+};
+
+class Program {
+ public:
+  Program() = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  /// Adds a unit; asserts the name is unique.  Transfers ownership (pointer
+  /// argument — the Polaris ownership convention).
+  ProgramUnit* add_unit(std::unique_ptr<ProgramUnit> unit);
+
+  /// Finds a unit by (case-insensitive) name, or null.
+  ProgramUnit* find(const std::string& name) const;
+
+  /// The main program unit; asserts exactly one exists.
+  ProgramUnit* main() const;
+
+  const std::vector<std::unique_ptr<ProgramUnit>>& units() const {
+    return units_;
+  }
+
+  /// Merges all units of `other` into this program (paper: "member
+  /// functions for ... merging Programs").
+  void merge(Program&& other);
+
+ private:
+  std::vector<std::unique_ptr<ProgramUnit>> units_;
+};
+
+}  // namespace polaris

@@ -1,0 +1,250 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace polaris {
+
+namespace {
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+const char* const kDotOps[] = {"lt", "le", "gt", "ge", "eq",  "ne",
+                               "and", "or", "not", "true", "false"};
+
+bool is_dot_op(const std::string& s) {
+  for (const char* op : kDotOps)
+    if (s == op) return true;
+  return false;
+}
+
+[[noreturn]] void lex_error(int line, int col, const std::string& msg) {
+  throw UserError("lex error at line " + std::to_string(line) + ", column " +
+                  std::to_string(col) + ": " + msg);
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& text, int source_line) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto push = [&](TokKind k, std::string t, int col) {
+    Token tok;
+    tok.kind = k;
+    tok.text = std::move(t);
+    tok.column = col;
+    out.push_back(std::move(tok));
+  };
+
+  while (i < n) {
+    char c = text[i];
+    int col = static_cast<int>(i) + 1;
+    if (c == ' ' || c == '\t') {
+      ++i;
+      continue;
+    }
+    if (c == '!') break;  // inline comment
+    if (is_ident_start(c)) {
+      size_t j = i;
+      while (j < n && is_ident_char(text[j])) ++j;
+      push(TokKind::Ident, to_lower(text.substr(i, j - i)), col);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      // Integer or real literal.  Careful: "1." followed by "lt." would be
+      // a dot-op (e.g. "1.lt.x"); Fortran resolves this by checking whether
+      // the characters after '.' form a dot operator.
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      bool is_real = false;
+      if (j < n && text[j] == '.') {
+        // Peek: is this ".op." ?
+        size_t k = j + 1;
+        std::string word;
+        while (k < n && std::isalpha(static_cast<unsigned char>(text[k])))
+          word += static_cast<char>(std::tolower(text[k++]));
+        if (!(k < n && text[k] == '.' && is_dot_op(word))) {
+          is_real = true;
+          ++j;
+          while (j < n && std::isdigit(static_cast<unsigned char>(text[j])))
+            ++j;
+        }
+      }
+      bool is_double = false;
+      if (j < n && (text[j] == 'e' || text[j] == 'E' || text[j] == 'd' ||
+                    text[j] == 'D')) {
+        size_t k = j + 1;
+        if (k < n && (text[k] == '+' || text[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(text[k]))) {
+          is_real = true;
+          is_double = (text[j] == 'd' || text[j] == 'D');
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(text[j])))
+            ++j;
+        }
+      }
+      std::string lit = text.substr(i, j - i);
+      Token tok;
+      tok.column = col;
+      if (is_real) {
+        for (char& ch : lit)
+          if (ch == 'd' || ch == 'D') ch = 'e';
+        tok.kind = TokKind::RealLit;
+        tok.real_value = std::stod(lit);
+        tok.is_double = is_double;
+      } else {
+        tok.kind = TokKind::IntLit;
+        tok.int_value = std::stoll(lit);
+      }
+      tok.text = lit;
+      out.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+    if (c == '.') {
+      // dot operator or real like ".5"
+      size_t k = i + 1;
+      std::string word;
+      while (k < n && std::isalpha(static_cast<unsigned char>(text[k])))
+        word += static_cast<char>(std::tolower(text[k++]));
+      if (k < n && text[k] == '.' && is_dot_op(word)) {
+        push(TokKind::DotOp, word, col);
+        i = k + 1;
+        continue;
+      }
+      lex_error(source_line, col, "unexpected '.'");
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t j = i + 1;
+      std::string value;
+      while (true) {
+        if (j >= n) lex_error(source_line, col, "unterminated string");
+        if (text[j] == quote) {
+          if (j + 1 < n && text[j + 1] == quote) {  // doubled quote escape
+            value += quote;
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        value += text[j++];
+      }
+      Token tok;
+      tok.kind = TokKind::StringLit;
+      tok.text = value;
+      tok.column = col;
+      out.push_back(std::move(tok));
+      i = j + 1;
+      continue;
+    }
+    // Punctuation, including two-char forms.
+    auto two = [&](const char* s) {
+      return i + 1 < n && text[i] == s[0] && text[i + 1] == s[1];
+    };
+    if (two("**")) { push(TokKind::Punct, "**", col); i += 2; continue; }
+    if (two("<=")) { push(TokKind::Punct, "<=", col); i += 2; continue; }
+    if (two(">=")) { push(TokKind::Punct, ">=", col); i += 2; continue; }
+    if (two("==")) { push(TokKind::Punct, "==", col); i += 2; continue; }
+    if (two("/=")) { push(TokKind::Punct, "/=", col); i += 2; continue; }
+    if (std::string("()+-*/,=:<>").find(c) != std::string::npos) {
+      push(TokKind::Punct, std::string(1, c), col);
+      ++i;
+      continue;
+    }
+    lex_error(source_line, col, std::string("unexpected character '") + c + "'");
+  }
+  Token eol;
+  eol.kind = TokKind::EndOfLine;
+  eol.column = static_cast<int>(n) + 1;
+  out.push_back(std::move(eol));
+  return out;
+}
+
+std::vector<LogicalLine> lex(const std::string& source) {
+  std::vector<LogicalLine> out;
+  std::vector<std::string> physical = split(source, '\n');
+
+  // Assemble logical lines.
+  std::string pending;
+  int pending_start = 0;
+  auto flush = [&]() {
+    if (pending.empty()) return;
+    LogicalLine ll;
+    ll.source_line = pending_start;
+    // Extract a leading numeric label.
+    size_t i = 0;
+    while (i < pending.size() && (pending[i] == ' ' || pending[i] == '\t'))
+      ++i;
+    size_t lab_start = i;
+    while (i < pending.size() &&
+           std::isdigit(static_cast<unsigned char>(pending[i])))
+      ++i;
+    if (i > lab_start && i < pending.size() &&
+        (pending[i] == ' ' || pending[i] == '\t')) {
+      ll.label = std::stoi(pending.substr(lab_start, i - lab_start));
+      pending = pending.substr(i);
+    }
+    ll.tokens = tokenize(pending, pending_start);
+    if (ll.tokens.size() > 1 || ll.label != 0) out.push_back(std::move(ll));
+    pending.clear();
+  };
+
+  for (size_t ln = 0; ln < physical.size(); ++ln) {
+    std::string line = physical[ln];
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    // Fixed-form comment: C/c/*/! in column 1; free-form: first non-blank '!'.
+    std::string trimmed = trim(line);
+    bool comment_col1 =
+        !line.empty() && (line[0] == 'C' || line[0] == 'c' || line[0] == '*');
+    bool comment_bang = !trimmed.empty() && trimmed[0] == '!';
+    if (comment_col1 || comment_bang) {
+      // Keep directive comments ("csrd$ ..." or "!$...") verbatim; drop
+      // ordinary comments.
+      std::string body = comment_bang ? trim(trimmed.substr(1)) : trimmed;
+      bool is_directive = starts_with(to_lower(body), "csrd$") ||
+                          starts_with(to_lower(body), "$");
+      if (is_directive) {
+        flush();
+        LogicalLine ll;
+        ll.source_line = static_cast<int>(ln) + 1;
+        ll.is_comment = true;
+        ll.comment = body;
+        Token eol;
+        eol.kind = TokKind::EndOfLine;
+        ll.tokens.push_back(eol);
+        out.push_back(std::move(ll));
+      }
+      continue;
+    }
+    if (trimmed.empty()) continue;
+
+    // Continuation: previous line ended with '&', or this line starts with '&'.
+    bool continues_prev =
+        (!pending.empty() && ends_with(trim(pending), "&")) ||
+        (!pending.empty() && trimmed[0] == '&');
+    if (continues_prev) {
+      std::string prev = trim(pending);
+      if (ends_with(prev, "&")) prev.pop_back();
+      std::string cur = trimmed;
+      if (!cur.empty() && cur[0] == '&') cur = cur.substr(1);
+      pending = prev + " " + cur;
+      continue;
+    }
+    flush();
+    pending = line;
+    pending_start = static_cast<int>(ln) + 1;
+  }
+  flush();
+  return out;
+}
+
+}  // namespace polaris

@@ -1,0 +1,54 @@
+// Line-oriented lexer for the PF77 Fortran subset.
+//
+// Works in two stages, mirroring Fortran's line discipline:
+//   1. LogicalLine assembly: comment lines dropped (a line whose first
+//      non-blank character is '!' or whose column-1 character is C/c/*),
+//      continuations joined ('&' at end of line, or a leading '&' on the
+//      next line), statement labels (leading integers) extracted.
+//   2. Tokenization of each logical line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polaris {
+
+enum class TokKind {
+  Ident,
+  IntLit,
+  RealLit,     ///< value in `real_value`, is_double flags d-exponent
+  StringLit,
+  Punct,       ///< text in `text`: ( ) , = : ** * / + - < <= > >= == /=
+  DotOp,       ///< .lt. .le. .gt. .ge. .eq. .ne. .and. .or. .not. .true. .false.
+  EndOfLine,
+};
+
+struct Token {
+  TokKind kind = TokKind::EndOfLine;
+  std::string text;         ///< identifier (lower-cased), punct, or dot-op name
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  bool is_double = false;   ///< real literal had a 'd' exponent
+  int column = 0;           ///< for error messages
+};
+
+struct LogicalLine {
+  int label = 0;             ///< statement label, 0 if none
+  int source_line = 0;       ///< first physical line number
+  std::vector<Token> tokens; ///< always terminated by EndOfLine
+  std::string comment;       ///< set when the line is a kept directive/comment
+  bool is_comment = false;
+};
+
+/// Splits Fortran source text into logical lines and tokenizes them.
+/// Throws UserError on malformed input (bad characters, unterminated
+/// strings).  Directive comments beginning with "csrd$" or "!$" are kept as
+/// comment lines; ordinary comments are dropped.
+std::vector<LogicalLine> lex(const std::string& source);
+
+/// Tokenizes one statement's text (no labels/continuations); test helper
+/// and building block for expression parsing utilities.
+std::vector<Token> tokenize(const std::string& text, int source_line = 0);
+
+}  // namespace polaris

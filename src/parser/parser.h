@@ -1,0 +1,42 @@
+// Recursive-descent parser for the PF77 Fortran subset.
+//
+// Supported constructs (everything the paper's analyses exercise):
+//   - PROGRAM / SUBROUTINE / FUNCTION units terminated by END
+//   - type declarations: integer, real, real*8, double precision, logical
+//   - DIMENSION, PARAMETER, COMMON, DATA (with n*value repeat counts),
+//     IMPLICIT NONE, SAVE/EXTERNAL/INTRINSIC (accepted and ignored)
+//   - DO / ENDDO loops, classic labeled "DO 100 I = ..." loops
+//   - block IF / ELSE IF / ELSE / END IF, logical IF (desugared to a block)
+//   - assignment, CALL, GOTO, CONTINUE, RETURN, STOP, PRINT *, WRITE(*,*)
+//   - expressions with Fortran operators, intrinsic calls, user function
+//     calls, and implicit i-n integer typing
+//
+// Unsupported Fortran 77 (EQUIVALENCE, arithmetic IF, computed GOTO,
+// FORMAT/file I/O, ENTRY, statement functions, CHARACTER operations) raises
+// UserError with a clear message.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/program.h"
+
+namespace polaris {
+
+/// Parses Fortran source text into a Program.  If the source does not begin
+/// with a unit header, the statements are wrapped in an implicit
+/// "program main".  Throws UserError on malformed input.
+std::unique_ptr<Program> parse_program(const std::string& source);
+
+/// Parses a single expression (test and tooling helper).  Symbols are
+/// resolved/created in `symtab` with implicit typing.
+ExprPtr parse_expression(const std::string& text, SymbolTable& symtab);
+
+/// True if `name` names a recognized Fortran intrinsic (after alias
+/// canonicalization: dabs -> abs, amax1 -> max, ...).
+bool is_intrinsic_name(const std::string& name);
+
+/// Canonical generic name of an intrinsic ("dsqrt" -> "sqrt").
+std::string canonical_intrinsic(const std::string& name);
+
+}  // namespace polaris

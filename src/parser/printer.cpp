@@ -1,0 +1,244 @@
+#include "parser/printer.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace polaris {
+
+namespace {
+
+void print_label_margin(std::ostream& os, int label) {
+  std::string lab = label == 0 ? "" : std::to_string(label);
+  // 5-column label field plus one separator blank, fixed-form style.
+  os << lab << std::string(lab.size() < 5 ? 5 - lab.size() : 0, ' ') << " ";
+}
+
+void print_indent(std::ostream& os, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+}
+
+std::string dimension_text(const Symbol& s) {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < s.dims().size(); ++i) {
+    if (i) os << ",";
+    const Dimension& d = s.dims()[i];
+    if (d.lower) {
+      os << *d.lower << ":";
+      if (d.upper) os << *d.upper;
+      else os << "*";
+    } else if (d.upper) {
+      os << *d.upper;
+    } else {
+      os << "*";
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+void print_declarations(std::ostream& os, const ProgramUnit& unit) {
+  // Type declarations grouped by type, in declaration order.
+  std::map<TypeKind, std::vector<const Symbol*>> groups;
+  for (const Symbol* s : unit.symtab().symbols()) {
+    if (s->kind() == SymbolKind::Variable ||
+        s->kind() == SymbolKind::Parameter)
+      groups[s->type().kind()].push_back(s);
+  }
+  for (const auto& [kind, syms] : groups) {
+    Type t(kind);
+    std::vector<std::string> items;
+    for (const Symbol* s : syms) {
+      std::string item = s->name();
+      if (s->is_array()) item += dimension_text(*s);
+      items.push_back(item);
+    }
+    print_label_margin(os, 0);
+    os << t.name() << " " << join(items, ", ") << "\n";
+  }
+  // PARAMETER statements.
+  for (const Symbol* s : unit.symtab().symbols()) {
+    if (s->kind() == SymbolKind::Parameter && s->param_value()) {
+      print_label_margin(os, 0);
+      os << "parameter (" << s->name() << " = " << *s->param_value() << ")\n";
+    }
+  }
+  // COMMON blocks, preserving member order.
+  std::map<std::string, std::vector<const Symbol*>> commons;
+  for (const Symbol* s : unit.symtab().symbols())
+    if (s->in_common()) commons[s->common_block()].push_back(s);
+  for (const auto& [block, syms] : commons) {
+    std::vector<std::string> items;
+    for (const Symbol* s : syms) items.push_back(s->name());
+    print_label_margin(os, 0);
+    os << "common /" << block << "/ " << join(items, ", ") << "\n";
+  }
+  // DATA statements.
+  for (const Symbol* s : unit.symtab().symbols()) {
+    if (s->data_values().empty()) continue;
+    print_label_margin(os, 0);
+    os << "data " << s->name() << " /";
+    for (size_t i = 0; i < s->data_values().size(); ++i) {
+      if (i) os << ",";
+      os << *s->data_values()[i];
+    }
+    os << "/\n";
+  }
+}
+
+std::string reduction_op_text(ReductionKind k) {
+  switch (k) {
+    case ReductionKind::Sum: return "+";
+    case ReductionKind::Product: return "*";
+    case ReductionKind::Min: return "min";
+    case ReductionKind::Max: return "max";
+    case ReductionKind::None: break;
+  }
+  p_unreachable("bad ReductionKind");
+}
+
+void print_doall_directive(std::ostream& os, const DoStmt& d, int depth,
+                           DirectiveStyle style) {
+  print_label_margin(os, 0);
+  print_indent(os, depth);
+  const bool omp = style == DirectiveStyle::OpenMP;
+  if (omp) {
+    os << "!$omp parallel do";
+    if (d.par.speculative) os << "  ! speculative (LRPD run-time test)";
+  } else {
+    os << "!csrd$ " << (d.par.speculative ? "speculative doall" : "doall");
+  }
+  if (!d.par.private_vars.empty()) {
+    os << " private(";
+    for (size_t i = 0; i < d.par.private_vars.size(); ++i) {
+      if (i) os << ",";
+      os << d.par.private_vars[i]->name();
+    }
+    os << ")";
+  }
+  for (const ReductionInfo& r : d.par.reductions) {
+    os << " reduction(" << reduction_op_text(r.op) << ":" << r.var->name();
+    if (!omp && r.histogram) os << ",histogram";
+    os << ")";
+  }
+  if (!d.par.lastvalue_vars.empty()) {
+    os << (omp ? " lastprivate(" : " lastvalue(");
+    for (size_t i = 0; i < d.par.lastvalue_vars.size(); ++i) {
+      if (i) os << ",";
+      os << d.par.lastvalue_vars[i]->name();
+    }
+    os << ")";
+  }
+  if (!omp && !d.par.speculative_arrays.empty()) {
+    os << " shadow(";
+    for (size_t i = 0; i < d.par.speculative_arrays.size(); ++i) {
+      if (i) os << ",";
+      os << d.par.speculative_arrays[i]->name();
+    }
+    os << ")";
+  }
+  os << "\n";
+}
+
+void print_statements(std::ostream& os, const StmtList& stmts,
+                      DirectiveStyle style) {
+  int depth = 1;
+  for (Statement* s : stmts) {
+    switch (s->kind()) {
+      case StmtKind::EndDo:
+      case StmtKind::EndIf:
+        --depth;
+        break;
+      case StmtKind::ElseIf:
+      case StmtKind::Else:
+        --depth;
+        break;
+      default:
+        break;
+    }
+    if (s->kind() == StmtKind::Do) {
+      const auto* d = static_cast<const DoStmt*>(s);
+      if (d->par.is_parallel || (d->par.speculative &&
+                                 style == DirectiveStyle::Csrd))
+        print_doall_directive(os, *d, depth, style);
+    }
+    print_label_margin(os, s->label());
+    if (s->kind() != StmtKind::Comment) print_indent(os, depth);
+    os << *s << "\n";
+    switch (s->kind()) {
+      case StmtKind::Do:
+      case StmtKind::If:
+      case StmtKind::ElseIf:
+      case StmtKind::Else:
+        ++depth;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void print_unit(std::ostream& os, const ProgramUnit& unit,
+                DirectiveStyle style) {
+  print_label_margin(os, 0);
+  switch (unit.kind()) {
+    case UnitKind::Program:
+      os << "program " << unit.name() << "\n";
+      break;
+    case UnitKind::Subroutine: {
+      os << "subroutine " << unit.name();
+      if (!unit.formals().empty()) {
+        os << "(";
+        for (size_t i = 0; i < unit.formals().size(); ++i) {
+          if (i) os << ",";
+          os << unit.formals()[i]->name();
+        }
+        os << ")";
+      }
+      os << "\n";
+      break;
+    }
+    case UnitKind::Function: {
+      p_assert(unit.result() != nullptr);
+      os << unit.result()->type().name() << " function " << unit.name() << "(";
+      for (size_t i = 0; i < unit.formals().size(); ++i) {
+        if (i) os << ",";
+        os << unit.formals()[i]->name();
+      }
+      os << ")\n";
+      break;
+    }
+  }
+  print_declarations(os, unit);
+  print_statements(os, unit.stmts(), style);
+  print_label_margin(os, 0);
+  os << "end\n";
+}
+
+void print_program(std::ostream& os, const Program& program,
+                   DirectiveStyle style) {
+  for (const auto& unit : program.units()) {
+    print_unit(os, *unit, style);
+    os << "\n";
+  }
+}
+
+std::string to_source(const ProgramUnit& unit, DirectiveStyle style) {
+  std::ostringstream os;
+  print_unit(os, unit, style);
+  return os.str();
+}
+
+std::string to_source(const Program& program, DirectiveStyle style) {
+  std::ostringstream os;
+  print_program(os, program, style);
+  return os.str();
+}
+
+}  // namespace polaris

@@ -1,0 +1,32 @@
+// Source printer (unparser).
+//
+// Regenerates compilable PF77 source from the IR, including reconstructed
+// declaration sections and parallelization directives ("csrd$ doall ...")
+// for loops the analysis marked parallel — Polaris's source-to-source
+// output format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/program.h"
+
+namespace polaris {
+
+/// Directive dialect for parallel loops in the printed output.
+/// Csrd emits the historical "!csrd$ doall ..." annotations; OpenMP emits
+/// "!$omp parallel do ..." accepted by modern compilers (lastvalue maps to
+/// lastprivate, histogram reductions to array reductions).
+enum class DirectiveStyle { Csrd, OpenMP };
+
+void print_unit(std::ostream& os, const ProgramUnit& unit,
+                DirectiveStyle style = DirectiveStyle::Csrd);
+void print_program(std::ostream& os, const Program& program,
+                   DirectiveStyle style = DirectiveStyle::Csrd);
+
+std::string to_source(const ProgramUnit& unit,
+                      DirectiveStyle style = DirectiveStyle::Csrd);
+std::string to_source(const Program& program,
+                      DirectiveStyle style = DirectiveStyle::Csrd);
+
+}  // namespace polaris

@@ -1,0 +1,20 @@
+#include "passes/constprop.h"
+
+#include "symbolic/simplify.h"
+
+namespace polaris {
+
+int propagate_constants(ProgramUnit& unit) {
+  int changed = 0;
+  for (Statement* s : unit.stmts()) {
+    for (ExprPtr* slot : s->expr_slots()) {
+      std::string before = (*slot)->to_string();
+      simplify_in_place(*slot);
+      if ((*slot)->to_string() != before) ++changed;
+    }
+  }
+  unit.stmts().revalidate();
+  return changed;
+}
+
+}  // namespace polaris

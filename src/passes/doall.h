@@ -1,0 +1,33 @@
+// DOALL recognition driver.
+//
+// For each loop, combines the analyses in the order Polaris applies them:
+// reduction recognition, scalar/array privatization, then array dependence
+// testing with resolved symbols exempted.  A loop with no remaining
+// carried dependences is marked parallel in its ParallelInfo annotation;
+// otherwise the first blocker is recorded as the serialization reason.
+// With the run-time option enabled, loops blocked only by subscripted
+// subscripts are marked for speculative (PD-test) execution instead.
+#pragma once
+
+#include "ir/program.h"
+#include "support/diagnostics.h"
+#include "support/options.h"
+
+namespace polaris {
+
+struct DoallSummary {
+  int loops = 0;
+  int parallel = 0;
+  int speculative = 0;
+};
+
+/// Analyzes and annotates every loop of `unit`.  The Program overload
+/// additionally computes pure functions interprocedurally so calls to them
+/// do not serialize loops; the unit-only overload treats every user
+/// function as opaque.
+DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
+                              const Options& opts, Diagnostics& diags);
+DoallSummary mark_doall_loops(ProgramUnit& unit, const Options& opts,
+                              Diagnostics& diags);
+
+}  // namespace polaris

@@ -1,0 +1,27 @@
+// Forward substitution of scalar definitions.
+//
+// Real Fortran writes subscripts through scalar temporaries:
+//     i1 = j*le + k + 1
+//     x(i1) = x(i1) + t
+// Dependence analysis sees the opaque scalar i1 unless the definition is
+// propagated into the uses.  This pass walks each straight-line region,
+// tracking available unconditional scalar definitions, and substitutes
+// them into later statements of the same region until the variable or any
+// operand is redefined.  Definitions whose right-hand sides read arrays
+// are propagated too (enabling the BDNA A(IND(L)) gather form) with kills
+// on any write to that array.  The definitions themselves stay in place —
+// dead ones are privatizable scalars and harmless.
+#pragma once
+
+#include "ir/program.h"
+#include "support/diagnostics.h"
+#include "support/options.h"
+
+namespace polaris {
+
+/// Runs forward substitution over every region of the unit; returns the
+/// number of uses rewritten.
+int forward_substitute(ProgramUnit& unit, const Options& opts,
+                       Diagnostics& diags);
+
+}  // namespace polaris

@@ -1,0 +1,34 @@
+// Inline expansion (paper Section 3.1).
+//
+// Polaris performs interprocedural analysis by fully inlining subprogram
+// calls into the top-level routine.  The implementation follows the
+// paper's template/work scheme: the first expansion of a callee builds a
+// "template" (site-independent transformations: local renaming, label
+// isolation); each call site then copies the template into a "work" object
+// and applies site-specific transformations (formal-to-actual remapping,
+// array linearization for nonconforming shapes) before splicing it in.
+//
+// Supported: subroutine calls with scalar actuals (variables, array
+// elements, expressions), whole-array actuals (conforming shape or
+// linearized), common blocks shared by name.  Unsupported (diagnosed,
+// call left in place): recursion beyond the depth limit, user function
+// calls in expressions, alternate entries.
+#pragma once
+
+#include "ir/program.h"
+#include "support/diagnostics.h"
+#include "support/options.h"
+
+namespace polaris {
+
+struct InlineResult {
+  int expanded = 0;  ///< call sites expanded
+  int skipped = 0;   ///< calls left in place (with a diagnostic)
+};
+
+/// Expands calls in `top` (default: the main program) until none remain or
+/// the depth limit stops further expansion.
+InlineResult inline_calls(Program& program, const Options& opts,
+                          Diagnostics& diags, ProgramUnit* top = nullptr);
+
+}  // namespace polaris

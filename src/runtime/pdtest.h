@@ -1,0 +1,77 @@
+// The Privatizing DOALL (PD) test — run-time dependence detection
+// (paper Section 3.5; Rauchwerger & Padua [15, 16]).
+//
+// During speculative parallel execution of a loop, every access to an
+// array under test marks shadow arrays:
+//   A_w  — marked on the first write to an element in an iteration
+//   A_r  — marked for elements read but never written during an iteration
+//   A_np — marked for elements read before being written in an iteration
+//          (such an element cannot be privatized)
+// plus the counters w_A (total first-writes across iterations) and m_A
+// (distinct marked cells of A_w).  After the loop:
+//   any(A_w & A_r)            => flow/anti dependence (fatal)
+//   w_A != m_A                => output dependence (fatal unless privatized)
+//   any(A_w & A_np)           => privatization invalid
+// The test itself is fully parallel with time O(a/p + log p).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace polaris {
+
+struct PdVerdict {
+  bool flow_anti = false;      ///< any(A_w & A_r)
+  bool output_deps = false;    ///< w_A != m_A
+  bool not_privatizable = false;  ///< any(A_w & A_np)
+
+  /// Fully parallel as-is (shared array)?
+  bool parallel_shared() const { return !flow_anti && !output_deps; }
+  /// Fully parallel with the array privatized per iteration?
+  bool parallel_privatized() const { return !flow_anti && !not_privatizable; }
+  /// The combined PD outcome: parallel either way.
+  bool pass() const { return parallel_shared() || parallel_privatized(); }
+};
+
+/// Shadow arrays for one array under test.
+class ShadowArrays {
+ public:
+  explicit ShadowArrays(std::size_t elements);
+
+  /// Iteration protocol: begin, record accesses in program order, end.
+  void begin_iteration();
+  void record_read(std::size_t index);
+  void record_write(std::size_t index);
+  void end_iteration();
+
+  PdVerdict analyze() const;
+
+  std::uint64_t total_accesses() const { return accesses_; }
+  std::uint64_t write_count() const { return w_count_; }
+  std::uint64_t mark_count() const { return m_count_; }
+
+  /// Modeled cost of marking plus the parallel post-analysis on p
+  /// processors: O(a/p + log p) per the paper.
+  std::uint64_t cost(int processors) const;
+
+ private:
+  enum class IterState : std::uint8_t {
+    None,
+    ReadFirst,          // read, no write yet this iteration
+    Written,            // first access was a write
+    ReadThenWritten,    // read before write this iteration
+  };
+
+  std::size_t n_;
+  std::vector<bool> a_w_, a_r_, a_np_;
+  std::vector<IterState> iter_state_;
+  std::vector<std::size_t> touched_;  // indices dirtied this iteration
+  bool in_iteration_ = false;
+  std::uint64_t w_count_ = 0;
+  std::uint64_t m_count_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace polaris

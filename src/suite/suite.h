@@ -1,0 +1,34 @@
+// The evaluation suite: 16 miniature PF77 programs, one per benchmark code
+// in the paper's Table 1 / Figure 7 (6 Perfect, 8 SPEC, 2 NCSA).
+//
+// Each mini is distilled to the dominant loop patterns the paper (and the
+// companion Polaris studies) attribute to that code — TRFD's induction
+// nest, OCEAN's nonlinear FTRVMT subscripts, BDNA's gather/compress,
+// MDG's histogram reductions, ARC2D's privatizable sweep buffers, APPLU's
+// wavefront recurrence, and so on — so the per-code Polaris-vs-baseline
+// outcome is governed by the same analyses as in the paper.  Every program
+// prints deterministic checksums, so transformed runs are checked against
+// reference runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace polaris {
+
+struct BenchProgram {
+  std::string name;         ///< lower-case code name ("trfd")
+  std::string origin;       ///< "PERFECT", "SPEC", or "NCSA"
+  int paper_lines;          ///< Table 1: lines of code of the real program
+  double paper_serial_sec;  ///< Table 1: serial seconds on the SGI Challenge
+  std::string technique;    ///< dominant technique the mini exercises
+  std::string source;       ///< PF77 source of the mini
+};
+
+/// All 16 programs in the paper's Table 1 order.
+const std::vector<BenchProgram>& benchmark_suite();
+
+/// Look up one program by name; asserts it exists.
+const BenchProgram& suite_program(const std::string& name);
+
+}  // namespace polaris

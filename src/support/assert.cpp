@@ -1,0 +1,32 @@
+#include "support/assert.h"
+
+#include <sstream>
+
+namespace polaris {
+
+namespace {
+std::string format_message(const std::string& cond, const std::string& file,
+                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "polaris internal error: assertion `" << cond << "' failed at "
+     << file << ":" << line;
+  if (!msg.empty()) os << ": " << msg;
+  return os.str();
+}
+}  // namespace
+
+InternalError::InternalError(const std::string& cond, const std::string& file,
+                             int line, const std::string& msg)
+    : std::logic_error(format_message(cond, file, line, msg)),
+      cond_(cond),
+      file_(file),
+      line_(line) {}
+
+namespace detail {
+void assert_failed(const char* cond, const char* file, int line,
+                   const std::string& msg) {
+  throw InternalError(cond, file, line, msg);
+}
+}  // namespace detail
+
+}  // namespace polaris

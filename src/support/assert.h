@@ -1,0 +1,65 @@
+// Polaris assertion and internal-error machinery.
+//
+// The Polaris paper (Section 2) stresses "extensive error checking throughout
+// the system through the liberal use of assertions": every assumed condition
+// is stated explicitly in a p_assert() which reports an error at run time if
+// the assumption is violated.  We reproduce that discipline here.  Unlike
+// <cassert>, p_assert is always on (analysis correctness matters more than
+// the last few percent of compile speed) and failures raise a typed
+// exception carrying the source location so tests can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace polaris {
+
+/// Raised when a p_assert fails, i.e. an internal consistency error.
+class InternalError : public std::logic_error {
+ public:
+  InternalError(const std::string& cond, const std::string& file, int line,
+                const std::string& msg);
+
+  const std::string& condition() const { return cond_; }
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  std::string cond_;
+  std::string file_;
+  int line_;
+};
+
+/// Raised for errors in user input (bad Fortran source, unsupported
+/// constructs) as opposed to bugs in Polaris itself.
+class UserError : public std::runtime_error {
+ public:
+  explicit UserError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_failed(const char* cond, const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace polaris
+
+/// Polaris assertion: always enabled, throws polaris::InternalError on
+/// failure.  Use for conditions that indicate a bug in the compiler.
+#define p_assert(cond)                                                      \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::polaris::detail::assert_failed(#cond, __FILE__, __LINE__, "");      \
+  } while (0)
+
+/// p_assert with an explanatory message (may use ostream-style formatting
+/// via std::string concatenation at the call site).
+#define p_assert_msg(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::polaris::detail::assert_failed(#cond, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+/// Marks an unreachable code path.
+#define p_unreachable(msg)                                                  \
+  ::polaris::detail::assert_failed("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,50 @@
+#include "support/diagnostics.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace polaris {
+
+void Diagnostics::note(const std::string& pass, const std::string& context,
+                       const std::string& message) {
+  diags_.push_back({DiagSeverity::Note, pass, context, message});
+}
+
+void Diagnostics::warning(const std::string& pass, const std::string& context,
+                          const std::string& message) {
+  diags_.push_back({DiagSeverity::Warning, pass, context, message});
+}
+
+void Diagnostics::error(const std::string& pass, const std::string& context,
+                        const std::string& message) {
+  diags_.push_back({DiagSeverity::Error, pass, context, message});
+}
+
+bool Diagnostics::has_errors() const {
+  return count(DiagSeverity::Error) > 0;
+}
+
+std::size_t Diagnostics::count(DiagSeverity sev) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [&](const Diagnostic& d) { return d.severity == sev; }));
+}
+
+bool Diagnostics::contains(const std::string& needle) const {
+  return std::any_of(diags_.begin(), diags_.end(), [&](const Diagnostic& d) {
+    return d.message.find(needle) != std::string::npos;
+  });
+}
+
+void Diagnostics::print(std::ostream& os) const {
+  for (const Diagnostic& d : diags_) {
+    switch (d.severity) {
+      case DiagSeverity::Note: os << "note"; break;
+      case DiagSeverity::Warning: os << "warning"; break;
+      case DiagSeverity::Error: os << "error"; break;
+    }
+    os << " [" << d.pass << "] " << d.context << ": " << d.message << "\n";
+  }
+}
+
+}  // namespace polaris

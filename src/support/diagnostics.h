@@ -1,0 +1,49 @@
+// Diagnostics sink: collects notes/warnings/errors emitted by passes.
+//
+// Polaris reports, per loop, why it could or could not parallelize.  Passes
+// write structured messages here; the driver renders them in its compilation
+// report and tests assert on their presence.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace polaris {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::Note;
+  std::string pass;     // which pass emitted it, e.g. "rangetest"
+  std::string context;  // e.g. "MAIN/do_10" — unit and loop
+  std::string message;
+};
+
+/// Accumulates diagnostics; owned by the driver, passed by reference into
+/// passes (per the Polaris ownership convention, a T& argument does not
+/// transfer ownership).
+class Diagnostics {
+ public:
+  void note(const std::string& pass, const std::string& context,
+            const std::string& message);
+  void warning(const std::string& pass, const std::string& context,
+               const std::string& message);
+  void error(const std::string& pass, const std::string& context,
+             const std::string& message);
+
+  const std::vector<Diagnostic>& all() const { return diags_; }
+  bool has_errors() const;
+  std::size_t count(DiagSeverity sev) const;
+
+  /// True if any diagnostic's message contains `needle` (test helper).
+  bool contains(const std::string& needle) const;
+
+  void clear() { diags_.clear(); }
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace polaris

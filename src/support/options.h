@@ -1,0 +1,57 @@
+// Compiler switch registry.
+//
+// Polaris exposes user switches for each major transformation (the paper
+// notes, e.g., that reduction parallelization may be disabled because
+// partial-sum reassociation can change floating-point results).  Options is
+// a plain value type: the driver owns one, passes receive it by const
+// reference.
+#pragma once
+
+#include <string>
+
+#include "support/assert.h"
+
+namespace polaris {
+
+struct Options {
+  // --- analysis / transformation switches ---------------------------------
+  bool inline_expansion = true;    ///< interprocedural analysis via inlining
+  bool induction_subst = true;     ///< induction variable substitution
+  bool cascaded_induction = true;  ///< inductions of inductions (Fig. 1)
+  bool triangular_induction = true;  ///< inductions in non-rectangular nests
+  bool multiplicative_induction = true;  ///< geometric recurrences K = K*c
+  bool reductions = true;          ///< reduction recognition/transformation
+  bool histogram_reductions = true;  ///< array (histogram) reductions
+  bool scalar_privatization = true;
+  bool array_privatization = true;
+  bool range_test = true;          ///< symbolic nonlinear dependence test
+  bool gcd_test = true;
+  bool banerjee_test = true;
+  bool gsa_queries = true;         ///< demand-driven GSA backward substitution
+  bool forward_substitution = true;  ///< propagate scalar defs into uses
+  bool loop_normalization = true;  ///< rewrite constant-step loops to unit step
+  bool pure_functions = true;      ///< calls to pure functions don't serialize
+  bool strength_reduction = true;  ///< reduce substituted induction exprs
+  bool runtime_pd_test = false;    ///< speculative run-time parallelization
+
+  // --- limits --------------------------------------------------------------
+  int max_inline_depth = 8;        ///< recursion guard for the inliner driver
+  int max_gsa_subst_depth = 16;    ///< demand-driven substitution budget
+  int max_loop_permutations = 24;  ///< range-test visitation orders tried
+
+  // --- code generation ------------------------------------------------------
+  enum class ReductionScheme { Blocked, Private, Expanded };
+  ReductionScheme reduction_scheme = ReductionScheme::Private;
+
+  /// "Current compiler" (PFA-like) baseline: linear tests only, scalar
+  /// privatization only, simple inductions, no inlining, no range test.
+  static Options baseline();
+  /// Full Polaris configuration (the defaults above).
+  static Options polaris();
+
+  /// Sets a switch by name ("range_test", "reductions", ...); asserts on
+  /// unknown names so tests catch typos.
+  void set(const std::string& name, bool value);
+};
+
+}  // namespace polaris

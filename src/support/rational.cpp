@@ -1,0 +1,82 @@
+#include "support/rational.h"
+
+#include <ostream>
+
+namespace polaris {
+
+namespace {
+__int128 gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t narrow(__int128 v) {
+  p_assert_msg(v <= INT64_MAX && v >= INT64_MIN, "rational overflow");
+  return static_cast<std::int64_t>(v);
+}
+}  // namespace
+
+Rational Rational::make(__int128 n, __int128 d) {
+  p_assert_msg(d != 0, "rational with zero denominator");
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  __int128 g = gcd128(n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  Rational r;
+  r.num_ = narrow(n);
+  r.den_ = narrow(d);
+  return r;
+}
+
+Rational::Rational(std::int64_t n, std::int64_t d) {
+  *this = make(n, d);
+}
+
+std::int64_t Rational::as_integer() const {
+  p_assert_msg(den_ == 1, "rational is not an integer");
+  return num_;
+}
+
+Rational Rational::operator-() const { return make(-__int128(num_), den_); }
+
+Rational Rational::operator+(const Rational& o) const {
+  return make(__int128(num_) * o.den_ + __int128(o.num_) * den_,
+              __int128(den_) * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return make(__int128(num_) * o.den_ - __int128(o.num_) * den_,
+              __int128(den_) * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return make(__int128(num_) * o.num_, __int128(den_) * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  p_assert_msg(o.num_ != 0, "rational division by zero");
+  return make(__int128(num_) * o.den_, __int128(den_) * o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return __int128(num_) * o.den_ < __int128(o.num_) * den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (r.den() != 1) os << "/" << r.den();
+  return os;
+}
+
+}  // namespace polaris

@@ -1,0 +1,70 @@
+// Exact rational arithmetic for the symbolic kernel.
+//
+// The range test works with forward differences of polynomial subscript
+// expressions such as (i*(n^2+n) + j^2 - j)/2 (TRFD, Figure 2 of the paper).
+// Representing the division exactly requires rational coefficients; this
+// small value type provides them with overflow checking.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <numeric>
+
+#include "support/assert.h"
+
+namespace polaris {
+
+/// An exact rational number num/den with den > 0 and gcd(num,den) == 1.
+/// All operations check for 64-bit overflow via __int128 intermediates.
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT: implicit by design
+  Rational(std::int64_t n, std::int64_t d);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_one() const { return num_ == 1 && den_ == 1; }
+  bool is_integer() const { return den_ == 1; }
+  /// Requires is_integer().
+  std::int64_t as_integer() const;
+
+  int sign() const { return num_ > 0 ? 1 : (num_ < 0 ? -1 : 0); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Requires o != 0.
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return *this < o || *this == o; }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return o <= *this; }
+
+  double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+ private:
+  static Rational make(__int128 n, __int128 d);
+
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace polaris

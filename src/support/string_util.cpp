@@ -1,0 +1,61 @@
+#include "support/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace polaris {
+
+std::string to_lower(const std::string& s) {
+  std::string r = s;
+  std::transform(r.begin(), r.end(), r.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return r;
+}
+
+std::string to_upper(const std::string& s) {
+  std::string r = s;
+  std::transform(r.begin(), r.end(), r.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return r;
+}
+
+std::string trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+}  // namespace polaris

@@ -1,0 +1,65 @@
+#include "symbolic/context.h"
+
+namespace polaris {
+
+void FactContext::add_ge0(Polynomial f) {
+  if (f.is_constant()) return;  // constants carry no variable information
+  facts_.push_back(std::move(f));
+}
+
+void FactContext::add_ge0(const Expression& e) {
+  add_ge0(Polynomial::from_expr(e));
+}
+
+void FactContext::add_range(Symbol* s, const Expression* lo,
+                            const Expression* hi) {
+  Polynomial v = Polynomial::symbol(s);
+  if (lo) add_ge0(v - Polynomial::from_expr(*lo));
+  if (hi) add_ge0(Polynomial::from_expr(*hi) - v);
+}
+
+void FactContext::add_loop(Symbol* index, const Expression& init,
+                           const Expression& limit) {
+  add_range(index, &init, &limit);
+  // limit >= init (at least one iteration).
+  add_ge0(Polynomial::from_expr(limit) - Polynomial::from_expr(init));
+}
+
+void FactContext::set_rank(AtomId a, int rank) { ranks_[a] = rank; }
+
+int FactContext::rank(AtomId a) const {
+  auto it = ranks_.find(a);
+  return it == ranks_.end() ? 0 : it->second;
+}
+
+std::vector<Polynomial> FactContext::lower_bounds(AtomId a) const {
+  // A fact f >= 0 with f = c*a + g, c a positive constant, yields
+  // a >= -g/c; with c negative it yields an upper bound instead.
+  std::vector<Polynomial> out;
+  for (const Polynomial& f : facts_) {
+    if (f.degree_in(a) != 1) continue;
+    Rational c = f.coefficient(Monomial::atom(a));
+    if (c.is_zero()) continue;  // 'a' only occurs in composite monomials
+    Polynomial g = f - Polynomial::atom(a) * Polynomial::constant(c);
+    if (g.contains(a)) continue;
+    if (c.sign() > 0)
+      out.push_back(-g * Polynomial::constant(Rational(1) / c));
+  }
+  return out;
+}
+
+std::vector<Polynomial> FactContext::upper_bounds(AtomId a) const {
+  std::vector<Polynomial> out;
+  for (const Polynomial& f : facts_) {
+    if (f.degree_in(a) != 1) continue;
+    Rational c = f.coefficient(Monomial::atom(a));
+    if (c.is_zero()) continue;
+    Polynomial g = f - Polynomial::atom(a) * Polynomial::constant(c);
+    if (g.contains(a)) continue;
+    if (c.sign() < 0)
+      out.push_back(g * Polynomial::constant(Rational(-1) / c));
+  }
+  return out;
+}
+
+}  // namespace polaris

@@ -1,0 +1,444 @@
+#include "symbolic/poly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "ir/build.h"
+
+namespace polaris {
+
+// --- AtomTable ------------------------------------------------------------------
+
+AtomTable& AtomTable::instance() {
+  static AtomTable table;
+  return table;
+}
+
+AtomId AtomTable::intern(const Expression& e) {
+  std::size_t h = e.hash();
+  auto [lo, hi] = buckets_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (atoms_[static_cast<size_t>(it->second)]->equals(e)) return it->second;
+  }
+  AtomId id = static_cast<AtomId>(atoms_.size());
+  atoms_.push_back(e.clone());
+  buckets_.emplace(h, id);
+  return id;
+}
+
+AtomId AtomTable::intern_symbol(Symbol* s) {
+  VarRef ref(s);
+  return intern(ref);
+}
+
+const Expression& AtomTable::expr(AtomId id) const {
+  p_assert(id >= 0 && static_cast<size_t>(id) < atoms_.size());
+  return *atoms_[static_cast<size_t>(id)];
+}
+
+Symbol* AtomTable::symbol(AtomId id) const {
+  const Expression& e = expr(id);
+  if (e.kind() == ExprKind::VarRef)
+    return static_cast<const VarRef&>(e).symbol();
+  return nullptr;
+}
+
+// --- Monomial ------------------------------------------------------------------
+
+Monomial Monomial::atom(AtomId id, int power) {
+  p_assert(power > 0);
+  Monomial m;
+  m.factors_.emplace_back(id, power);
+  return m;
+}
+
+int Monomial::degree() const {
+  int d = 0;
+  for (const auto& [id, p] : factors_) d += p;
+  return d;
+}
+
+int Monomial::degree_in(AtomId id) const {
+  for (const auto& [a, p] : factors_)
+    if (a == id) return p;
+  return 0;
+}
+
+Monomial Monomial::operator*(const Monomial& o) const {
+  Monomial out;
+  auto a = factors_.begin();
+  auto b = o.factors_.begin();
+  while (a != factors_.end() || b != o.factors_.end()) {
+    if (b == o.factors_.end() || (a != factors_.end() && a->first < b->first)) {
+      out.factors_.push_back(*a++);
+    } else if (a == factors_.end() || b->first < a->first) {
+      out.factors_.push_back(*b++);
+    } else {
+      out.factors_.emplace_back(a->first, a->second + b->second);
+      ++a;
+      ++b;
+    }
+  }
+  return out;
+}
+
+Monomial Monomial::without(AtomId id, int power) const {
+  Monomial out;
+  bool found = false;
+  for (const auto& [a, p] : factors_) {
+    if (a == id) {
+      p_assert_msg(p >= power, "monomial division underflow");
+      found = true;
+      if (p > power) out.factors_.emplace_back(a, p - power);
+    } else {
+      out.factors_.emplace_back(a, p);
+    }
+  }
+  p_assert_msg(found || power == 0, "monomial lacks requested factor");
+  return out;
+}
+
+// --- Polynomial ------------------------------------------------------------------
+
+Polynomial Polynomial::constant(const Rational& r) {
+  Polynomial p;
+  p.add_term(Monomial(), r);
+  return p;
+}
+
+Polynomial Polynomial::atom(AtomId id) {
+  Polynomial p;
+  p.add_term(Monomial::atom(id), Rational(1));
+  return p;
+}
+
+Polynomial Polynomial::symbol(Symbol* s) {
+  return atom(AtomTable::instance().intern_symbol(s));
+}
+
+void Polynomial::add_term(const Monomial& m, const Rational& c) {
+  if (c.is_zero()) return;
+  auto it = terms_.find(m);
+  if (it == terms_.end()) {
+    terms_.emplace(m, c);
+  } else {
+    it->second += c;
+    if (it->second.is_zero()) terms_.erase(it);
+  }
+}
+
+bool Polynomial::is_constant() const {
+  return terms_.empty() ||
+         (terms_.size() == 1 && terms_.begin()->first.is_unit());
+}
+
+Rational Polynomial::constant_value() const {
+  p_assert_msg(is_constant(), "polynomial is not constant");
+  return terms_.empty() ? Rational(0) : terms_.begin()->second;
+}
+
+Rational Polynomial::coefficient(const Monomial& m) const {
+  auto it = terms_.find(m);
+  return it == terms_.end() ? Rational(0) : it->second;
+}
+
+int Polynomial::degree_in(AtomId id) const {
+  int d = 0;
+  for (const auto& [m, c] : terms_) d = std::max(d, m.degree_in(id));
+  return d;
+}
+
+std::vector<AtomId> Polynomial::atoms() const {
+  std::vector<AtomId> out;
+  for (const auto& [m, c] : terms_)
+    for (const auto& [a, p] : m.factors())
+      if (std::find(out.begin(), out.end(), a) == out.end())
+        out.push_back(a);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial out;
+  for (const auto& [m, c] : terms_) out.terms_.emplace(m, -c);
+  return out;
+}
+
+Polynomial Polynomial::operator+(const Polynomial& o) const {
+  Polynomial out = *this;
+  for (const auto& [m, c] : o.terms_) out.add_term(m, c);
+  return out;
+}
+
+Polynomial Polynomial::operator-(const Polynomial& o) const {
+  Polynomial out = *this;
+  for (const auto& [m, c] : o.terms_) out.add_term(m, -c);
+  return out;
+}
+
+Polynomial Polynomial::operator*(const Polynomial& o) const {
+  Polynomial out;
+  for (const auto& [m1, c1] : terms_)
+    for (const auto& [m2, c2] : o.terms_) out.add_term(m1 * m2, c1 * c2);
+  return out;
+}
+
+Polynomial Polynomial::pow(int k) const {
+  p_assert(k >= 0);
+  Polynomial out = constant(Rational(1));
+  for (int i = 0; i < k; ++i) out = out * *this;
+  return out;
+}
+
+Polynomial Polynomial::substitute(AtomId id, const Polynomial& value) const {
+  Polynomial out;
+  for (const auto& [m, c] : terms_) {
+    int d = m.degree_in(id);
+    if (d == 0) {
+      out.add_term(m, c);
+      continue;
+    }
+    Polynomial rest;
+    rest.add_term(m.without(id, d), c);
+    Polynomial expanded = rest * value.pow(d);
+    out = out + expanded;
+  }
+  return out;
+}
+
+Polynomial Polynomial::forward_difference(AtomId id) const {
+  Polynomial shifted =
+      substitute(id, Polynomial::atom(id) + constant(Rational(1)));
+  return shifted - *this;
+}
+
+Polynomial faulhaber(int k, AtomId n) {
+  // S_k(n) = sum_{i=1}^{n} i^k as an exact polynomial, k <= 6.
+  Polynomial N = Polynomial::atom(n);
+  Polynomial one = Polynomial::constant(Rational(1));
+  auto C = [](std::int64_t num, std::int64_t den = 1) {
+    return Polynomial::constant(Rational(num, den));
+  };
+  switch (k) {
+    case 0:
+      return N;
+    case 1:  // n(n+1)/2
+      return N * (N + one) * C(1, 2);
+    case 2:  // n(n+1)(2n+1)/6
+      return N * (N + one) * (C(2) * N + one) * C(1, 6);
+    case 3:  // (n(n+1)/2)^2
+      return (N * (N + one) * C(1, 2)).pow(2);
+    case 4:  // n(n+1)(2n+1)(3n^2+3n-1)/30
+      return N * (N + one) * (C(2) * N + one) *
+             (C(3) * N.pow(2) + C(3) * N - one) * C(1, 30);
+    case 5:  // n^2(n+1)^2(2n^2+2n-1)/12
+      return N.pow(2) * (N + one).pow(2) *
+             (C(2) * N.pow(2) + C(2) * N - one) * C(1, 12);
+    case 6:  // n(n+1)(2n+1)(3n^4+6n^3-3n+1)/42
+      return N * (N + one) * (C(2) * N + one) *
+             (C(3) * N.pow(4) + C(6) * N.pow(3) - C(3) * N + one) * C(1, 42);
+    default:
+      p_assert_msg(false, "faulhaber: unsupported exponent " +
+                              std::to_string(k));
+  }
+  p_unreachable("faulhaber");
+}
+
+Polynomial Polynomial::sum_over(AtomId id, const Polynomial& lo,
+                                const Polynomial& hi) const {
+  // Write f = sum_k g_k(rest) * id^k and sum each power exactly:
+  //   sum_{i=lo}^{hi} i^k = S_k(hi) - S_k(lo-1).
+  int maxdeg = degree_in(id);
+  p_assert_msg(maxdeg <= 6, "sum_over: degree too high");
+  // Collect g_k.
+  std::vector<Polynomial> g(static_cast<size_t>(maxdeg) + 1);
+  for (const auto& [m, c] : terms_) {
+    int d = m.degree_in(id);
+    Polynomial rest;
+    rest.add_term(d > 0 ? m.without(id, d) : m, c);
+    g[static_cast<size_t>(d)] = g[static_cast<size_t>(d)] + rest;
+  }
+  Polynomial lo_minus_1 = lo - constant(Rational(1));
+  Polynomial out;
+  for (int k = 0; k <= maxdeg; ++k) {
+    if (g[static_cast<size_t>(k)].is_zero()) continue;
+    Polynomial sk = faulhaber(k, id);
+    Polynomial span = sk.substitute(id, hi) - sk.substitute(id, lo_minus_1);
+    out = out + g[static_cast<size_t>(k)] * span;
+  }
+  return out;
+}
+
+// --- conversion from expressions -----------------------------------------------
+
+namespace {
+
+std::optional<Rational> rational_of_real(double v) {
+  // Accept only values that are exactly small rationals with power-of-two
+  // denominators (doubles are dyadic); bound the denominator to keep exact.
+  double intpart;
+  if (std::modf(v, &intpart) == 0.0 && std::abs(v) < 9e15)
+    return Rational(static_cast<std::int64_t>(v));
+  for (std::int64_t den : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    double scaled = v * static_cast<double>(den);
+    if (std::modf(scaled, &intpart) == 0.0 && std::abs(scaled) < 9e15)
+      return Rational(static_cast<std::int64_t>(scaled), den);
+  }
+  return std::nullopt;
+}
+
+Polynomial convert(const Expression& e, bool exact_division);
+
+Polynomial opaque(const Expression& e) {
+  return Polynomial::atom(AtomTable::instance().intern(e));
+}
+
+Polynomial convert(const Expression& e, bool exact_division) {
+  switch (e.kind()) {
+    case ExprKind::IntConst:
+      return Polynomial::constant(
+          Rational(static_cast<const IntConst&>(e).value()));
+    case ExprKind::RealConst: {
+      auto r = rational_of_real(static_cast<const RealConst&>(e).value());
+      return r ? Polynomial::constant(*r) : opaque(e);
+    }
+    case ExprKind::VarRef: {
+      Symbol* s = static_cast<const VarRef&>(e).symbol();
+      if (s->kind() == SymbolKind::Parameter && s->param_value())
+        return convert(*s->param_value(), exact_division);
+      return Polynomial::symbol(s);
+    }
+    case ExprKind::UnOp: {
+      const auto& u = static_cast<const UnOp&>(e);
+      if (u.op() == UnOpKind::Neg)
+        return -convert(u.operand(), exact_division);
+      return opaque(e);
+    }
+    case ExprKind::BinOp: {
+      const auto& b = static_cast<const BinOp&>(e);
+      switch (b.op()) {
+        case BinOpKind::Add:
+          return convert(b.left(), exact_division) +
+                 convert(b.right(), exact_division);
+        case BinOpKind::Sub:
+          return convert(b.left(), exact_division) -
+                 convert(b.right(), exact_division);
+        case BinOpKind::Mul:
+          return convert(b.left(), exact_division) *
+                 convert(b.right(), exact_division);
+        case BinOpKind::Div: {
+          Polynomial den = convert(b.right(), exact_division);
+          if (den.is_constant() && !den.constant_value().is_zero()) {
+            Polynomial num = convert(b.left(), exact_division);
+            Rational scale = Rational(1) / den.constant_value();
+            if (exact_division || b.type().is_floating() ||
+                num.is_constant())
+              return num * Polynomial::constant(scale);
+          }
+          return opaque(e);
+        }
+        case BinOpKind::Pow: {
+          Polynomial ex = convert(b.right(), exact_division);
+          if (ex.is_constant() && ex.constant_value().is_integer()) {
+            std::int64_t k = ex.constant_value().as_integer();
+            if (k >= 0 && k <= 8)
+              return convert(b.left(), exact_division)
+                  .pow(static_cast<int>(k));
+          }
+          return opaque(e);
+        }
+        default:
+          return opaque(e);  // comparisons/logicals are not polynomial
+      }
+    }
+    default:
+      return opaque(e);  // ArrayRef, FuncCall, String, Logical, Wildcard
+  }
+}
+
+}  // namespace
+
+Polynomial Polynomial::from_expr(const Expression& e, bool exact_division) {
+  // Constant integer division of constants must still truncate: handled in
+  // convert() by only folding when numerator is constant too in that mode.
+  Polynomial p = convert(e, exact_division);
+  if (!exact_division && p.is_constant()) {
+    // Fortran integer constant folding truncates; leave rationals alone
+    // only if they are exact integers.
+    Rational c = p.constant_value();
+    if (!c.is_integer() && e.type().is_integer()) {
+      // Truncate toward zero as Fortran would.
+      std::int64_t t = c.num() / c.den();
+      return constant(Rational(t));
+    }
+  }
+  return p;
+}
+
+// --- conversion back to expressions ----------------------------------------------
+
+ExprPtr Polynomial::to_expr() const {
+  if (terms_.empty()) return ib::ic(0);
+
+  // Common denominator of all coefficients.
+  std::int64_t den = 1;
+  for (const auto& [m, c] : terms_) {
+    std::int64_t d = c.den();
+    std::int64_t g = std::gcd(den, d);
+    den = den / g * d;
+  }
+
+  auto monomial_expr = [](const Monomial& m) -> ExprPtr {
+    ExprPtr out;
+    for (const auto& [a, p] : m.factors()) {
+      for (int k = 0; k < p; ++k) {
+        ExprPtr factor = AtomTable::instance().expr(a).clone();
+        out = out ? ib::mul(std::move(out), std::move(factor))
+                  : std::move(factor);
+      }
+    }
+    return out;  // null for the unit monomial
+  };
+
+  ExprPtr sum;
+  // Emit higher-degree terms first for readability (map iterates in
+  // monomial order; collect and reverse by degree, stable).
+  std::vector<std::pair<const Monomial*, Rational>> ordered;
+  for (const auto& [m, c] : terms_) ordered.emplace_back(&m, c);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& x, const auto& y) {
+                     if (x.first->degree() != y.first->degree())
+                       return x.first->degree() > y.first->degree();
+                     // Positive coefficients first to avoid a leading '-'.
+                     return x.second.sign() > y.second.sign();
+                   });
+
+  for (const auto& [m, c] : ordered) {
+    Rational scaled = c * Rational(den);
+    p_assert(scaled.is_integer());
+    std::int64_t k = scaled.as_integer();
+    ExprPtr me = monomial_expr(*m);
+    ExprPtr term;
+    if (me == nullptr) {
+      term = ib::ic(k < 0 ? -k : k);
+    } else if (k == 1 || k == -1) {
+      term = std::move(me);
+    } else {
+      term = ib::mul(ib::ic(k < 0 ? -k : k), std::move(me));
+    }
+    if (!sum) {
+      sum = k < 0 ? ib::neg(std::move(term)) : std::move(term);
+    } else if (k < 0) {
+      sum = ib::sub(std::move(sum), std::move(term));
+    } else {
+      sum = ib::add(std::move(sum), std::move(term));
+    }
+  }
+  if (den != 1) sum = ib::div(std::move(sum), ib::ic(den));
+  return sum;
+}
+
+std::string Polynomial::to_string() const { return to_expr()->to_string(); }
+
+}  // namespace polaris

@@ -1,0 +1,139 @@
+// Canonical multivariate polynomial form over expression "atoms".
+//
+// The symbolic analyses (range test, induction closed forms, expression
+// comparison) all reduce expressions to a canonical sum-of-monomials with
+// exact rational coefficients.  The paper's central example — the TRFD
+// subscript (i*(n^2+n) + j^2 - j)/2 + k + 1 — needs rational coefficients
+// so that forward differences like f(i,j+1,k) - f(i,j,k) = j come out
+// exactly.
+//
+// Non-polynomial subexpressions (array references such as z(k), intrinsic
+// calls, inexact divisions) are interned as opaque *atoms* and treated as
+// indeterminates.  Two structurally equal subexpressions intern to the same
+// atom, so cancellation works across them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "support/rational.h"
+
+namespace polaris {
+
+using AtomId = int;
+
+/// Process-wide interning table of atoms.  Atoms are immutable; the table
+/// only grows.  (Single compilation thread by design, like Polaris.)
+class AtomTable {
+ public:
+  static AtomTable& instance();
+
+  /// Interns a structural copy of `e`; equal expressions share one id.
+  AtomId intern(const Expression& e);
+  /// Interns the VarRef atom of a scalar symbol.
+  AtomId intern_symbol(Symbol* s);
+
+  const Expression& expr(AtomId id) const;
+  /// The symbol if the atom is a plain VarRef, else null.
+  Symbol* symbol(AtomId id) const;
+
+ private:
+  AtomTable() = default;
+  std::vector<ExprPtr> atoms_;
+  std::multimap<std::size_t, AtomId> buckets_;
+};
+
+/// A product of atom powers, e.g. n^2 * i.  Factors sorted by AtomId.
+class Monomial {
+ public:
+  Monomial() = default;  // the empty product == 1
+  static Monomial atom(AtomId id, int power = 1);
+
+  const std::vector<std::pair<AtomId, int>>& factors() const {
+    return factors_;
+  }
+  bool is_unit() const { return factors_.empty(); }
+  int degree() const;
+  int degree_in(AtomId id) const;
+  bool contains(AtomId id) const { return degree_in(id) > 0; }
+
+  Monomial operator*(const Monomial& o) const;
+  /// Divides out id^power; requires degree_in(id) >= power.
+  Monomial without(AtomId id, int power) const;
+
+  bool operator<(const Monomial& o) const { return factors_ < o.factors_; }
+  bool operator==(const Monomial& o) const { return factors_ == o.factors_; }
+
+ private:
+  std::vector<std::pair<AtomId, int>> factors_;
+};
+
+/// Canonical polynomial: map monomial -> nonzero rational coefficient.
+class Polynomial {
+ public:
+  Polynomial() = default;  // zero
+  static Polynomial constant(const Rational& r);
+  static Polynomial atom(AtomId id);
+  static Polynomial symbol(Symbol* s);
+
+  /// Canonicalizes an expression.  `exact_division` controls how integer
+  /// division by a constant is treated: true (dependence-analysis mode, the
+  /// Polaris assumption for compiler-generated subscripts) folds e/c into a
+  /// rational scaling; false keeps e/c as an opaque atom (sound for
+  /// arbitrary Fortran integer division, which truncates).
+  static Polynomial from_expr(const Expression& e,
+                              bool exact_division = true);
+
+  bool is_zero() const { return terms_.empty(); }
+  bool is_constant() const;
+  /// Requires is_constant().
+  Rational constant_value() const;
+
+  const std::map<Monomial, Rational>& terms() const { return terms_; }
+  Rational coefficient(const Monomial& m) const;
+  int degree_in(AtomId id) const;
+  bool contains(AtomId id) const { return degree_in(id) > 0; }
+  /// All atoms appearing in any monomial.
+  std::vector<AtomId> atoms() const;
+
+  Polynomial operator-() const;
+  Polynomial operator+(const Polynomial& o) const;
+  Polynomial operator-(const Polynomial& o) const;
+  Polynomial operator*(const Polynomial& o) const;
+  Polynomial pow(int k) const;
+
+  bool operator==(const Polynomial& o) const { return terms_ == o.terms_; }
+  bool operator!=(const Polynomial& o) const { return !(*this == o); }
+
+  /// Replaces atom `id` by `value` everywhere (expanding powers).
+  Polynomial substitute(AtomId id, const Polynomial& value) const;
+
+  /// Forward difference in atom `id`: f[id := id+1] - f.  The monotonicity
+  /// workhorse of the range test (paper Section 3.3.1).
+  Polynomial forward_difference(AtomId id) const;
+
+  /// Exact symbolic summation over atom `id` from `lo` to `hi` (both
+  /// polynomials in other atoms), using Faulhaber's formulas; requires
+  /// degree_in(id) <= 6.  Assumes hi >= lo - 1 (empty sums allowed).
+  /// This computes the induction-variable closed forms of Section 3.2.
+  Polynomial sum_over(AtomId id, const Polynomial& lo,
+                      const Polynomial& hi) const;
+
+  /// Rebuilds an expression: (integer-coefficient sum) / common-denominator.
+  ExprPtr to_expr() const;
+
+  std::string to_string() const;
+
+ private:
+  void add_term(const Monomial& m, const Rational& c);
+  std::map<Monomial, Rational> terms_;
+};
+
+/// Faulhaber polynomial S_k(n) = sum_{i=1}^{n} i^k, as a Polynomial in the
+/// given atom; supported for 0 <= k <= 6.  Exposed for testing.
+Polynomial faulhaber(int k, AtomId n);
+
+}  // namespace polaris

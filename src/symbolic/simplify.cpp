@@ -1,0 +1,166 @@
+#include "symbolic/simplify.h"
+
+#include "ir/build.h"
+#include "symbolic/poly.h"
+
+namespace polaris {
+
+namespace {
+
+/// Counts nodes, a crude size metric to decide whether canonicalization
+/// actually simplified anything.
+int node_count(const Expression& e) {
+  int n = 0;
+  walk(e, [&](const Expression&) { ++n; });
+  return n;
+}
+
+bool is_arith_kind(const Expression& e) {
+  if (e.kind() == ExprKind::UnOp)
+    return static_cast<const UnOp&>(e).op() == UnOpKind::Neg;
+  if (e.kind() == ExprKind::BinOp)
+    return is_arithmetic(static_cast<const BinOp&>(e).op());
+  return false;
+}
+
+ExprPtr simplify_rec(const Expression& e);
+
+ExprPtr simplify_children(const Expression& e) {
+  ExprPtr copy = e.clone();
+  for (ExprPtr* slot : copy->children()) *slot = simplify_rec(**slot);
+  return copy;
+}
+
+std::optional<double> fold_real(const Expression& e) {
+  switch (e.kind()) {
+    case ExprKind::IntConst:
+      return static_cast<double>(static_cast<const IntConst&>(e).value());
+    case ExprKind::RealConst:
+      return static_cast<const RealConst&>(e).value();
+    default:
+      return std::nullopt;
+  }
+}
+
+ExprPtr simplify_float_binop(const BinOp& b, ExprPtr l, ExprPtr r) {
+  auto lv = fold_real(*l);
+  auto rv = fold_real(*r);
+  bool dbl = b.type().kind() == TypeKind::DoublePrecision;
+  if (lv && rv) {
+    switch (b.op()) {
+      case BinOpKind::Add: return ib::rc(*lv + *rv, dbl);
+      case BinOpKind::Sub: return ib::rc(*lv - *rv, dbl);
+      case BinOpKind::Mul: return ib::rc(*lv * *rv, dbl);
+      case BinOpKind::Div:
+        if (*rv != 0.0) return ib::rc(*lv / *rv, dbl);
+        break;
+      default:
+        break;
+    }
+  }
+  // Identities (exact in IEEE arithmetic for these operand positions).
+  if (rv && *rv == 0.0 &&
+      (b.op() == BinOpKind::Add || b.op() == BinOpKind::Sub))
+    return l;
+  if (lv && *lv == 0.0 && b.op() == BinOpKind::Add) return r;
+  if (rv && *rv == 1.0 &&
+      (b.op() == BinOpKind::Mul || b.op() == BinOpKind::Div))
+    return l;
+  if (lv && *lv == 1.0 && b.op() == BinOpKind::Mul) return r;
+  return ib::bin(b.op(), std::move(l), std::move(r));
+}
+
+ExprPtr simplify_rec(const Expression& e) {
+  // Integer arithmetic: canonical polynomial round trip, kept only when it
+  // does not grow the tree.
+  if (is_arith_kind(e) && e.type().is_integer()) {
+    Polynomial p = Polynomial::from_expr(e, /*exact_division=*/false);
+    ExprPtr canon = p.to_expr();
+    ExprPtr structural = simplify_children(e);
+    return node_count(*canon) <= node_count(*structural) ? std::move(canon)
+                                                         : std::move(structural);
+  }
+  switch (e.kind()) {
+    case ExprKind::BinOp: {
+      const auto& b = static_cast<const BinOp&>(e);
+      ExprPtr l = simplify_rec(b.left());
+      ExprPtr r = simplify_rec(b.right());
+      if (is_arithmetic(b.op()) && b.type().is_floating())
+        return simplify_float_binop(b, std::move(l), std::move(r));
+      if (b.op() == BinOpKind::And || b.op() == BinOpKind::Or) {
+        // Logical constant folding.
+        auto as_bool = [](const Expression& x) -> std::optional<bool> {
+          if (x.kind() == ExprKind::LogicalConst)
+            return static_cast<const LogicalConst&>(x).value();
+          return std::nullopt;
+        };
+        auto lb = as_bool(*l), rb = as_bool(*r);
+        if (b.op() == BinOpKind::And) {
+          if (lb && !*lb) return ib::lc(false);
+          if (rb && !*rb) return ib::lc(false);
+          if (lb && *lb) return r;
+          if (rb && *rb) return l;
+        } else {
+          if (lb && *lb) return ib::lc(true);
+          if (rb && *rb) return ib::lc(true);
+          if (lb && !*lb) return r;
+          if (rb && !*rb) return l;
+        }
+      }
+      if (is_comparison(b.op())) {
+        // Fold comparisons of constants via the polynomial difference.
+        Polynomial d = Polynomial::from_expr(*l, false) -
+                       Polynomial::from_expr(*r, false);
+        if (d.is_constant()) {
+          int s = d.constant_value().sign();
+          switch (b.op()) {
+            case BinOpKind::Lt: return ib::lc(s < 0);
+            case BinOpKind::Le: return ib::lc(s <= 0);
+            case BinOpKind::Gt: return ib::lc(s > 0);
+            case BinOpKind::Ge: return ib::lc(s >= 0);
+            case BinOpKind::Eq: return ib::lc(s == 0);
+            case BinOpKind::Ne: return ib::lc(s != 0);
+            default: break;
+          }
+        }
+      }
+      return ib::bin(b.op(), std::move(l), std::move(r));
+    }
+    case ExprKind::UnOp: {
+      const auto& u = static_cast<const UnOp&>(e);
+      ExprPtr op = simplify_rec(u.operand());
+      if (u.op() == UnOpKind::Not &&
+          op->kind() == ExprKind::LogicalConst)
+        return ib::lc(!static_cast<const LogicalConst&>(*op).value());
+      if (u.op() == UnOpKind::Neg) {
+        if (auto v = fold_real(*op)) {
+          if (op->kind() == ExprKind::IntConst)
+            return ib::ic(-static_cast<const IntConst&>(*op).value());
+          return ib::rc(-*v, op->type().kind() == TypeKind::DoublePrecision);
+        }
+      }
+      return std::make_unique<UnOp>(u.op(), std::move(op));
+    }
+    default:
+      return simplify_children(e);
+  }
+}
+
+}  // namespace
+
+ExprPtr simplify(const Expression& e) { return simplify_rec(e); }
+
+void simplify_in_place(ExprPtr& e) {
+  p_assert(e != nullptr);
+  e = simplify_rec(*e);
+}
+
+bool try_fold_int(const Expression& e, std::int64_t* out) {
+  p_assert(out != nullptr);
+  Polynomial p = Polynomial::from_expr(e, /*exact_division=*/false);
+  if (!p.is_constant() || !p.constant_value().is_integer()) return false;
+  *out = p.constant_value().as_integer();
+  return true;
+}
+
+}  // namespace polaris

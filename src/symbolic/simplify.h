@@ -1,0 +1,23 @@
+// Expression simplification.
+//
+// Integer-typed arithmetic is canonicalized through the exact polynomial
+// form (safe: integer arithmetic is associative).  Floating-point
+// expressions are only folded conservatively — identities like x+0 and x*1
+// and exact constant folding — because reassociation changes rounding
+// (the same reason Polaris lets users disable reduction parallelization).
+#pragma once
+
+#include "ir/expr.h"
+
+namespace polaris {
+
+/// Returns a simplified deep copy of `e`.
+ExprPtr simplify(const Expression& e);
+
+/// Simplifies in place.
+void simplify_in_place(ExprPtr& e);
+
+/// True if `e` folds to an integer constant; the value is stored in *out.
+bool try_fold_int(const Expression& e, std::int64_t* out);
+
+}  // namespace polaris

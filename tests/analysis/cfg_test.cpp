@@ -1,0 +1,177 @@
+#include "analysis/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace polaris {
+namespace {
+
+struct Fix {
+  std::unique_ptr<Program> prog;
+  ProgramUnit* unit;
+
+  explicit Fix(const std::string& src) : prog(parse_program(src)) {
+    unit = prog->main();
+  }
+  Statement* stmt(size_t i) {
+    Statement* s = unit->stmts().first();
+    while (i--) s = s->next();
+    return s;
+  }
+};
+
+TEST(CfgTest, StraightLine) {
+  Fix f(
+      "      program t\n"
+      "      x = 1.0\n"
+      "      y = 2.0\n"
+      "      end\n");
+  ControlFlowGraph cfg(*f.unit);
+  EXPECT_EQ(cfg.entry(), f.stmt(0));
+  ASSERT_EQ(cfg.successors(f.stmt(0)).size(), 1u);
+  EXPECT_EQ(cfg.successors(f.stmt(0))[0], f.stmt(1));
+  EXPECT_TRUE(cfg.exits(f.stmt(1)));
+  EXPECT_EQ(cfg.predecessors(f.stmt(1))[0], f.stmt(0));
+}
+
+TEST(CfgTest, DoLoopEdges) {
+  Fix f(
+      "      program t\n"
+      "      do i = 1, 10\n"
+      "        x = 1.0\n"
+      "      end do\n"
+      "      y = 2.0\n"
+      "      end\n");
+  ControlFlowGraph cfg(*f.unit);
+  Statement* d = f.stmt(0);
+  Statement* body = f.stmt(1);
+  Statement* enddo = f.stmt(2);
+  Statement* after = f.stmt(3);
+  // DO: enter body or bypass (zero trips).
+  auto ds = cfg.successors(d);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0], body);
+  EXPECT_EQ(ds[1], after);
+  // ENDDO: back edge + exit.
+  auto es = cfg.successors(enddo);
+  ASSERT_EQ(es.size(), 2u);
+  EXPECT_EQ(es[0], body);
+  EXPECT_EQ(es[1], after);
+  EXPECT_TRUE(cfg.reaches(body, body));  // through the back edge
+}
+
+TEST(CfgTest, IfChainDispatch) {
+  Fix f(
+      "      program t\n"
+      "      if (x .gt. 0.0) then\n"
+      "        a = 1.0\n"
+      "      else if (x .lt. 0.0) then\n"
+      "        a = 2.0\n"
+      "      else\n"
+      "        a = 3.0\n"
+      "      end if\n"
+      "      b = 4.0\n"
+      "      end\n");
+  ControlFlowGraph cfg(*f.unit);
+  Statement* ifs = f.stmt(0);
+  Statement* then_body = f.stmt(1);
+  Statement* elif = f.stmt(2);
+  Statement* elif_body = f.stmt(3);
+  Statement* els = f.stmt(4);
+  Statement* else_body = f.stmt(5);
+  Statement* endif = f.stmt(6);
+  Statement* after = f.stmt(7);
+
+  auto s_if = cfg.successors(ifs);
+  ASSERT_EQ(s_if.size(), 2u);
+  EXPECT_EQ(s_if[0], then_body);
+  EXPECT_EQ(s_if[1], elif);
+  // A completed arm joins at END IF, not the next arm header.
+  ASSERT_EQ(cfg.successors(then_body).size(), 1u);
+  EXPECT_EQ(cfg.successors(then_body)[0], endif);
+  auto s_elif = cfg.successors(elif);
+  ASSERT_EQ(s_elif.size(), 2u);
+  EXPECT_EQ(s_elif[0], elif_body);
+  EXPECT_EQ(s_elif[1], els);
+  EXPECT_EQ(cfg.successors(els)[0], else_body);
+  EXPECT_EQ(cfg.successors(endif)[0], after);
+}
+
+TEST(CfgTest, GotoEdges) {
+  Fix f(
+      "      program t\n"
+      "      i = 0\n"
+      "   10 i = i + 1\n"
+      "      if (i .lt. 3) goto 10\n"
+      "      y = 1.0\n"
+      "      end\n");
+  ControlFlowGraph cfg(*f.unit);
+  // Find the GOTO (inside the desugared logical IF block).
+  Statement* the_goto = nullptr;
+  for (Statement* s : f.unit->stmts())
+    if (s->kind() == StmtKind::Goto) the_goto = s;
+  ASSERT_NE(the_goto, nullptr);
+  Statement* target = f.unit->stmts().find_label(10);
+  ASSERT_EQ(cfg.successors(the_goto).size(), 1u);
+  EXPECT_EQ(cfg.successors(the_goto)[0], target);
+  EXPECT_TRUE(cfg.reaches(target, target));  // the goto cycle
+}
+
+TEST(CfgTest, ReturnAndStopExit) {
+  Fix f(
+      "      program t\n"
+      "      if (x .gt. 0.0) then\n"
+      "        stop\n"
+      "      end if\n"
+      "      y = 1.0\n"
+      "      end\n");
+  ControlFlowGraph cfg(*f.unit);
+  Statement* stop = f.stmt(1);
+  ASSERT_EQ(stop->kind(), StmtKind::Stop);
+  EXPECT_TRUE(cfg.exits(stop));
+  EXPECT_TRUE(cfg.successors(stop).empty());
+}
+
+TEST(CfgTest, ReachableCoversStructuredProgram) {
+  Fix f(
+      "      program t\n"
+      "      do i = 1, 3\n"
+      "        if (i .gt. 1) then\n"
+      "          x = 1.0\n"
+      "        end if\n"
+      "      end do\n"
+      "      end\n");
+  ControlFlowGraph cfg(*f.unit);
+  EXPECT_EQ(cfg.reachable().size(), f.unit->stmts().size());
+}
+
+TEST(CfgTest, UnreachableAfterGoto) {
+  Fix f(
+      "      program t\n"
+      "      goto 10\n"
+      "      x = 1.0\n"
+      "   10 continue\n"
+      "      end\n");
+  ControlFlowGraph cfg(*f.unit);
+  auto reach = cfg.reachable();
+  // The statement between GOTO and its target is dead.
+  Statement* dead = f.stmt(1);
+  EXPECT_EQ(std::find(reach.begin(), reach.end(), dead), reach.end());
+}
+
+TEST(CfgTest, EmptyLoopBody) {
+  Fix f(
+      "      program t\n"
+      "      do i = 1, 3\n"
+      "      end do\n"
+      "      end\n");
+  ControlFlowGraph cfg(*f.unit);
+  Statement* d = f.stmt(0);
+  // Both the enter and bypass edges resolve around the empty body.
+  EXPECT_FALSE(cfg.successors(d).empty());
+  EXPECT_EQ(cfg.reachable().size(), 2u);
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,173 @@
+// Pure-function detection and its effect on DOALL recognition.
+#include "analysis/purity.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "interp/interp.h"
+#include "parser/parser.h"
+
+namespace polaris {
+namespace {
+
+TEST(PurityTest, SimpleFunctionIsPure) {
+  auto p = parse_program(
+      "      program t\n"
+      "      y = sq(2.0)\n"
+      "      end\n"
+      "      real function sq(x)\n"
+      "      t = x*x\n"
+      "      sq = t\n"
+      "      end\n");
+  auto pure = pure_functions(*p);
+  EXPECT_EQ(pure.count("sq"), 1u);
+}
+
+TEST(PurityTest, WritingFormalIsImpure) {
+  auto p = parse_program(
+      "      program t\n"
+      "      y = bad(x)\n"
+      "      end\n"
+      "      real function bad(a)\n"
+      "      a = 0.0\n"
+      "      bad = 1.0\n"
+      "      end\n");
+  EXPECT_EQ(pure_functions(*p).count("bad"), 0u);
+}
+
+TEST(PurityTest, CommonAccessIsImpure) {
+  auto p = parse_program(
+      "      program t\n"
+      "      y = g(x)\n"
+      "      end\n"
+      "      real function g(a)\n"
+      "      common /st/ w\n"
+      "      g = a + w\n"
+      "      end\n");
+  EXPECT_EQ(pure_functions(*p).count("g"), 0u);
+}
+
+TEST(PurityTest, TransitivePurity) {
+  auto p = parse_program(
+      "      program t\n"
+      "      y = outer(2.0)\n"
+      "      end\n"
+      "      real function outer(x)\n"
+      "      outer = inner(x) + 1.0\n"
+      "      end\n"
+      "      real function inner(x)\n"
+      "      inner = x*0.5\n"
+      "      end\n");
+  auto pure = pure_functions(*p);
+  EXPECT_EQ(pure.count("outer"), 1u);
+  EXPECT_EQ(pure.count("inner"), 1u);
+}
+
+TEST(PurityTest, ImpurityPropagatesUpTheCallGraph) {
+  auto p = parse_program(
+      "      program t\n"
+      "      y = outer(2.0)\n"
+      "      end\n"
+      "      real function outer(x)\n"
+      "      outer = dirty(x) + 1.0\n"
+      "      end\n"
+      "      real function dirty(x)\n"
+      "      common /st/ w\n"
+      "      dirty = x + w\n"
+      "      end\n");
+  auto pure = pure_functions(*p);
+  EXPECT_EQ(pure.count("outer"), 0u);
+  EXPECT_EQ(pure.count("dirty"), 0u);
+}
+
+TEST(PurityTest, PureCallInLoopParallelizes) {
+  // The function cannot be inlined (functions are not), but it is pure:
+  // the loop parallelizes anyway and semantics are preserved.
+  const char* src =
+      "      program t\n"
+      "      real a(500), b(500)\n"
+      "      do i = 1, 500\n"
+      "        b(i) = mod(i, 9)*0.5\n"
+      "      end do\n"
+      "      do i = 1, 500\n"
+      "        a(i) = smooth(b(i)) + 1.0\n"
+      "      end do\n"
+      "      print *, a(1), a(500)\n"
+      "      end\n"
+      "      real function smooth(x)\n"
+      "      t = x*0.25\n"
+      "      smooth = t + x*0.5\n"
+      "      end\n";
+  Compiler compiler(CompilerMode::Polaris);
+  CompileReport report;
+  auto prog = compiler.compile(src, &report);
+  int parallel_top = 0;
+  for (const LoopReport& lr : report.loops)
+    if (lr.unit == "t" && lr.depth == 0 && lr.parallel) ++parallel_top;
+  EXPECT_EQ(parallel_top, 2);
+
+  auto ref = parse_program(src);
+  auto ref_run = run_program(*ref, MachineConfig{});
+  MachineConfig cfg;
+  cfg.processors = 8;
+  auto run = run_program(*prog, cfg);
+  EXPECT_EQ(ref_run.output, run.output);
+  EXPECT_GT(run.clock.speedup(), 3.0);
+}
+
+TEST(PurityTest, WholeArrayActualOfWrittenArrayBlocks) {
+  // f reads arbitrary elements of the array the loop writes: must stay
+  // serial even though f itself is pure.
+  const char* src =
+      "      program t\n"
+      "      real a(100)\n"
+      "      do i = 2, 99\n"
+      "        a(i) = probe(a, i)\n"
+      "      end do\n"
+      "      print *, a(50)\n"
+      "      end\n"
+      "      real function probe(v, i)\n"
+      "      real v(100)\n"
+      "      probe = v(i - 1)*0.5\n"
+      "      end\n";
+  Compiler compiler(CompilerMode::Polaris);
+  CompileReport report;
+  auto prog = compiler.compile(src, &report);
+  for (const LoopReport& lr : report.loops) {
+    if (lr.unit == "t") {
+      EXPECT_FALSE(lr.parallel);
+    }
+  }
+
+  auto ref = parse_program(src);
+  auto ref_run = run_program(*ref, MachineConfig{});
+  MachineConfig cfg;
+  cfg.processors = 8;
+  auto run = run_program(*prog, cfg);
+  EXPECT_EQ(ref_run.output, run.output);
+}
+
+TEST(PurityTest, DisabledInBaseline) {
+  const char* src =
+      "      program t\n"
+      "      real a(100)\n"
+      "      do i = 1, 100\n"
+      "        a(i) = sq(i*1.0)\n"
+      "      end do\n"
+      "      print *, a(7)\n"
+      "      end\n"
+      "      real function sq(x)\n"
+      "      sq = x*x\n"
+      "      end\n";
+  Compiler compiler(CompilerMode::Baseline);
+  CompileReport report;
+  compiler.compile(src, &report);
+  for (const LoopReport& lr : report.loops) {
+    if (lr.unit == "t") {
+      EXPECT_FALSE(lr.parallel);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polaris

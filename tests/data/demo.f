@@ -1,0 +1,17 @@
+      program demo
+c     a small demonstration kernel: triangular induction + reduction
+      real a(5050)
+      integer k
+      k = 0
+      do i = 1, 100
+        do j = 1, i
+          k = k + 1
+          a(k) = i*0.5 + j
+        end do
+      end do
+      s = 0.0
+      do i = 1, 5050
+        s = s + a(i)
+      end do
+      print *, s
+      end

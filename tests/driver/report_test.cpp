@@ -1,0 +1,78 @@
+// Compile-report plumbing: dependence-test accounting and diagnostics
+// surface through CompileReport for tooling (the CLI's -report view).
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+
+namespace polaris {
+namespace {
+
+TEST(ReportTest, DepStatsSurfacePerLoop) {
+  Compiler compiler(CompilerMode::Polaris);
+  CompileReport report;
+  compiler.compile(
+      "      program t\n"
+      "      real a(100), b(100)\n"
+      "      do i = 1, 100\n"
+      "        a(i) = b(i) + b(i + 1)\n"
+      "      end do\n"
+      "      print *, a(1)\n"
+      "      end\n",
+      &report);
+  ASSERT_EQ(report.loops.size(), 1u);
+  const LoopReport& lr = report.loops[0];
+  EXPECT_TRUE(lr.parallel);
+  EXPECT_GE(lr.dep_pairs, 1);
+  EXPECT_EQ(lr.dep_pairs,
+            lr.dep_by_gcd + lr.dep_by_banerjee + lr.dep_by_rangetest);
+}
+
+TEST(ReportTest, RangeTestCreditedForNonlinear) {
+  Compiler compiler(CompilerMode::Polaris);
+  CompileReport report;
+  compiler.compile(
+      "      program t\n"
+      "      real a(10000)\n"
+      "      do i = 0, m - 1\n"
+      "        do j = 1, n\n"
+      "          a(n*i + j) = 1.0\n"
+      "        end do\n"
+      "      end do\n"
+      "      print *, a(1)\n"
+      "      end\n",
+      &report);
+  bool rangetest_used = false;
+  for (const LoopReport& lr : report.loops)
+    if (lr.dep_by_rangetest > 0) rangetest_used = true;
+  EXPECT_TRUE(rangetest_used);
+}
+
+TEST(ReportTest, AnnotatedSourceAlwaysPresent) {
+  Compiler compiler(CompilerMode::Baseline);
+  CompileReport report;
+  compiler.compile("      x = 1\n", &report);
+  EXPECT_FALSE(report.annotated_source.empty());
+  EXPECT_NE(report.annotated_source.find("x = 1"), std::string::npos);
+}
+
+TEST(ReportTest, DiagnosticsAccumulateAcrossPasses) {
+  Compiler compiler(CompilerMode::Polaris);
+  CompileReport report;
+  compiler.compile(
+      "      program t\n"
+      "      real a(1000)\n"
+      "      k = 0\n"
+      "      do i = 1, 100\n"
+      "        do j = 1, i\n"
+      "          k = k + 1\n"
+      "          a(k) = 1.0\n"
+      "        end do\n"
+      "      end do\n"
+      "      end\n",
+      &report);
+  EXPECT_TRUE(report.diagnostics.contains("substituted"));   // induction
+  EXPECT_TRUE(report.diagnostics.contains("parallel"));      // doall
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,124 @@
+// Source-to-source fixed point: the annotated output of the compiler is
+// itself an executable parallel program — re-parsing it re-attaches the
+// csrd$ doall annotations, and running it on the simulated machine yields
+// the same output AND the same parallel structure without re-analysis.
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "interp/interp.h"
+#include "parser/parser.h"
+#include "parser/printer.h"
+#include "suite/suite.h"
+
+namespace polaris {
+namespace {
+
+TEST(RoundTripTest, DirectivesReattachOnParse) {
+  const char* src =
+      "      program t\n"
+      "      real a(2000)\n"
+      "      do i = 1, 2000\n"
+      "        r = i*0.5\n"
+      "        a(i) = r + 1.0\n"
+      "      end do\n"
+      "      s = 0.0\n"
+      "      do i = 1, 2000\n"
+      "        s = s + a(i)\n"
+      "      end do\n"
+      "      print *, s\n"
+      "      end\n";
+  Compiler compiler(CompilerMode::Polaris);
+  CompileReport report;
+  auto prog = compiler.compile(src, &report);
+  ASSERT_EQ(report.doall.parallel, 2);
+
+  // Re-parse the printed output: annotations come back without analysis.
+  auto reparsed = parse_program(report.annotated_source);
+  int parallel = 0, with_reduction = 0, with_private = 0;
+  for (DoStmt* d : reparsed->main()->stmts().loops()) {
+    if (d->par.is_parallel) ++parallel;
+    if (!d->par.reductions.empty()) ++with_reduction;
+    if (!d->par.private_vars.empty()) ++with_private;
+  }
+  EXPECT_EQ(parallel, 2);
+  EXPECT_EQ(with_reduction, 1);
+  EXPECT_GE(with_private, 1);
+
+  // And it executes in parallel with identical output.
+  auto ref = parse_program(src);
+  auto ref_run = run_program(*ref, MachineConfig{});
+  MachineConfig cfg;
+  cfg.processors = 8;
+  auto run = run_program(*reparsed, cfg);
+  EXPECT_EQ(ref_run.output, run.output);
+  EXPECT_EQ(run.parallel_instances, 2);
+  EXPECT_GT(run.clock.speedup(), 3.0);
+}
+
+TEST(RoundTripTest, SpeculativeDirectiveCarriesShadows) {
+  const char* src =
+      "      program t\n"
+      "      real a(500)\n"
+      "      integer idx(500)\n"
+      "      do i = 1, 500\n"
+      "        idx(i) = 501 - i\n"
+      "      end do\n"
+      "      do i = 1, 500\n"
+      "        a(idx(i)) = i*2.0\n"
+      "      end do\n"
+      "      print *, a(1), a(500)\n"
+      "      end\n";
+  Options opts = Options::polaris();
+  opts.runtime_pd_test = true;
+  Compiler compiler(opts);
+  CompileReport report;
+  auto prog = compiler.compile(src, &report);
+  ASSERT_EQ(report.doall.speculative, 1);
+  EXPECT_NE(report.annotated_source.find("speculative doall"),
+            std::string::npos);
+  EXPECT_NE(report.annotated_source.find("shadow(a)"), std::string::npos);
+
+  auto reparsed = parse_program(report.annotated_source);
+  DoStmt* spec = nullptr;
+  for (DoStmt* d : reparsed->main()->stmts().loops())
+    if (d->par.speculative) spec = d;
+  ASSERT_NE(spec, nullptr);
+  ASSERT_EQ(spec->par.speculative_arrays.size(), 1u);
+  EXPECT_EQ(spec->par.speculative_arrays[0]->name(), "a");
+
+  auto ref = parse_program(src);
+  auto ref_run = run_program(*ref, MachineConfig{});
+  MachineConfig cfg;
+  cfg.processors = 8;
+  auto run = run_program(*reparsed, cfg);
+  EXPECT_EQ(ref_run.output, run.output);
+  EXPECT_EQ(run.speculative_attempts, 1);
+  EXPECT_EQ(run.speculative_failures, 0);
+}
+
+TEST(RoundTripTest, WholeSuiteOutputIsExecutableInParallel) {
+  // For every suite code: compile, print, re-parse, execute the printed
+  // program on 8 processors — identical output, and wherever the compiler
+  // found parallel loops the re-parsed program runs parallel instances.
+  for (const BenchProgram& p : benchmark_suite()) {
+    SCOPED_TRACE(p.name);
+    Compiler compiler(CompilerMode::Polaris);
+    CompileReport report;
+    auto prog = compiler.compile(p.source, &report);
+
+    auto ref = parse_program(p.source);
+    auto ref_run = run_program(*ref, MachineConfig{});
+
+    auto reparsed = parse_program(report.annotated_source);
+    MachineConfig cfg;
+    cfg.processors = 8;
+    auto run = run_program(*reparsed, cfg);
+    EXPECT_EQ(ref_run.output, run.output);
+    if (report.doall.parallel > 0) {
+      EXPECT_GT(run.parallel_instances, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,310 @@
+#include "interp/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace polaris {
+namespace {
+
+RunResult run_src(const std::string& src, MachineConfig cfg = {}) {
+  auto p = parse_program(src);
+  return run_program(*p, cfg);
+}
+
+TEST(InterpTest, ArithmeticAndPrint) {
+  auto r = run_src(
+      "      program t\n"
+      "      i = 2 + 3*4\n"
+      "      x = 1.5*2.0\n"
+      "      print *, i, x\n"
+      "      end\n");
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], "14 3");
+}
+
+TEST(InterpTest, IntegerDivisionTruncates) {
+  auto r = run_src(
+      "      print *, 7/2, (-7)/2, mod(7,2)\n");
+  EXPECT_EQ(r.output[0], "3 -3 1");
+}
+
+TEST(InterpTest, DoLoopAccumulation) {
+  auto r = run_src(
+      "      s = 0.0\n"
+      "      do i = 1, 10\n"
+      "        s = s + i\n"
+      "      end do\n"
+      "      print *, s, i\n");
+  // Sum 1..10 = 55; index after loop = 11.
+  EXPECT_EQ(r.output[0], "55 11");
+}
+
+TEST(InterpTest, NegativeStepAndZeroTrip) {
+  auto r = run_src(
+      "      k = 0\n"
+      "      do i = 10, 1, -2\n"
+      "        k = k + 1\n"
+      "      end do\n"
+      "      m = 0\n"
+      "      do j = 5, 1\n"
+      "        m = m + 1\n"
+      "      end do\n"
+      "      print *, k, m\n");
+  EXPECT_EQ(r.output[0], "5 0");
+}
+
+TEST(InterpTest, IfElseChain) {
+  auto r = run_src(
+      "      do i = 1, 4\n"
+      "        if (i .eq. 1) then\n"
+      "          k = 10\n"
+      "        else if (i .eq. 2) then\n"
+      "          k = 20\n"
+      "        else\n"
+      "          k = 30\n"
+      "        end if\n"
+      "        print *, k\n"
+      "      end do\n");
+  ASSERT_EQ(r.output.size(), 4u);
+  EXPECT_EQ(r.output[0], "10");
+  EXPECT_EQ(r.output[1], "20");
+  EXPECT_EQ(r.output[2], "30");
+  EXPECT_EQ(r.output[3], "30");
+}
+
+TEST(InterpTest, LogicalIfAndOperators) {
+  auto r = run_src(
+      "      x = 2.0\n"
+      "      if (x .gt. 1.0 .and. x .lt. 3.0) print *, 'in'\n"
+      "      if (.not. (x .eq. 2.0)) print *, 'out'\n");
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], "in");
+}
+
+TEST(InterpTest, ArraysAndBounds) {
+  auto r = run_src(
+      "      program t\n"
+      "      real a(3, 0:2)\n"
+      "      do j = 0, 2\n"
+      "        do i = 1, 3\n"
+      "          a(i, j) = i*10 + j\n"
+      "        end do\n"
+      "      end do\n"
+      "      print *, a(1,0), a(3,2), a(2,1)\n"
+      "      end\n");
+  EXPECT_EQ(r.output[0], "10 32 21");
+}
+
+TEST(InterpTest, OutOfBoundsAborts) {
+  EXPECT_THROW(run_src("      program t\n"
+                       "      real a(3)\n"
+                       "      a(4) = 1.0\n"
+                       "      end\n"),
+               InternalError);
+}
+
+TEST(InterpTest, GotoFlow) {
+  auto r = run_src(
+      "      program t\n"
+      "      i = 0\n"
+      "   10 i = i + 1\n"
+      "      if (i .lt. 3) goto 10\n"
+      "      print *, i\n"
+      "      end\n");
+  EXPECT_EQ(r.output[0], "3");
+}
+
+TEST(InterpTest, DataInitialization) {
+  auto r = run_src(
+      "      program t\n"
+      "      real a(4)\n"
+      "      integer k\n"
+      "      data a /1.0, 2*2.5, 4.0/\n"
+      "      data k /7/\n"
+      "      print *, a(1), a(2), a(3), a(4), k\n"
+      "      end\n");
+  EXPECT_EQ(r.output[0], "1 2.5 2.5 4 7");
+}
+
+TEST(InterpTest, SubroutineByReference) {
+  auto r = run_src(
+      "      program t\n"
+      "      x = 1.0\n"
+      "      call bump(x)\n"
+      "      print *, x\n"
+      "      end\n"
+      "      subroutine bump(a)\n"
+      "      a = a + 1.0\n"
+      "      end\n");
+  EXPECT_EQ(r.output[0], "2");
+}
+
+TEST(InterpTest, ArrayArgumentAliased) {
+  auto r = run_src(
+      "      program t\n"
+      "      real v(5)\n"
+      "      call fill(v, 5)\n"
+      "      print *, v(1), v(5)\n"
+      "      end\n"
+      "      subroutine fill(a, n)\n"
+      "      real a(n)\n"
+      "      do i = 1, n\n"
+      "        a(i) = i*1.0\n"
+      "      end do\n"
+      "      end\n");
+  EXPECT_EQ(r.output[0], "1 5");
+}
+
+TEST(InterpTest, ArraySectionArgument) {
+  // Passing v(3) gives the callee a view starting at element 3.
+  auto r = run_src(
+      "      program t\n"
+      "      real v(6)\n"
+      "      call fill(v(3), 2)\n"
+      "      print *, v(1), v(3), v(4)\n"
+      "      end\n"
+      "      subroutine fill(a, n)\n"
+      "      real a(n)\n"
+      "      do i = 1, n\n"
+      "        a(i) = 9.0\n"
+      "      end do\n"
+      "      end\n");
+  EXPECT_EQ(r.output[0], "0 9 9");
+}
+
+TEST(InterpTest, ScalarElementCopyRestore) {
+  auto r = run_src(
+      "      program t\n"
+      "      real v(3)\n"
+      "      v(2) = 5.0\n"
+      "      call bump(v(2))\n"
+      "      print *, v(2)\n"
+      "      end\n"
+      "      subroutine bump(a)\n"
+      "      a = a + 1.0\n"
+      "      end\n");
+  EXPECT_EQ(r.output[0], "6");
+}
+
+TEST(InterpTest, UserFunction) {
+  auto r = run_src(
+      "      program t\n"
+      "      y = sq(3.0) + sq(4.0)\n"
+      "      print *, y\n"
+      "      end\n"
+      "      real function sq(x)\n"
+      "      sq = x*x\n"
+      "      end\n");
+  EXPECT_EQ(r.output[0], "25");
+}
+
+TEST(InterpTest, CommonBlocksShareStorage) {
+  auto r = run_src(
+      "      program t\n"
+      "      common /blk/ x, y\n"
+      "      x = 1.0\n"
+      "      y = 2.0\n"
+      "      call swap\n"
+      "      print *, x, y\n"
+      "      end\n"
+      "      subroutine swap\n"
+      "      common /blk/ x, y\n"
+      "      t = x\n"
+      "      x = y\n"
+      "      y = t\n"
+      "      end\n");
+  EXPECT_EQ(r.output[0], "2 1");
+}
+
+TEST(InterpTest, Intrinsics) {
+  auto r = run_src(
+      "      print *, abs(-3), max(2, 7, 5), min(1.5, 0.5), sqrt(16.0),\n"
+      "     &  sign(3, -1), nint(2.6)\n");
+  EXPECT_EQ(r.output[0], "3 7 0.5 4 -3 3");
+}
+
+TEST(InterpTest, StopTerminates) {
+  auto r = run_src(
+      "      print *, 1\n"
+      "      stop\n"
+      "      print *, 2\n");
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_TRUE(r.stopped);
+}
+
+TEST(InterpTest, StopInsideSubroutineTerminates) {
+  auto r = run_src(
+      "      program t\n"
+      "      call quit\n"
+      "      print *, 'after'\n"
+      "      end\n"
+      "      subroutine quit\n"
+      "      stop\n"
+      "      end\n");
+  EXPECT_TRUE(r.stopped);
+  EXPECT_TRUE(r.output.empty());
+}
+
+TEST(InterpTest, StatementLimitGuards) {
+  auto p = parse_program(
+      "      program t\n"
+      "   10 continue\n"
+      "      goto 10\n"
+      "      end\n");
+  Interpreter interp(*p);
+  interp.set_statement_limit(1000);
+  EXPECT_THROW(interp.run(), UserError);
+}
+
+TEST(InterpTest, CostsAccumulate) {
+  auto r = run_src(
+      "      s = 0.0\n"
+      "      do i = 1, 100\n"
+      "        s = s + i*2\n"
+      "      end do\n");
+  EXPECT_GT(r.clock.serial, 100u);
+  EXPECT_EQ(r.clock.serial, r.clock.parallel);  // nothing parallel
+}
+
+TEST(InterpTest, ParallelLoopSpeedsUpModeledClock) {
+  auto p = parse_program(
+      "      program t\n"
+      "      real a(4000)\n"
+      "      do i = 1, 4000\n"
+      "        a(i) = i*2.0 + 1.0\n"
+      "      end do\n"
+      "      print *, a(123)\n"
+      "      end\n");
+  // Mark the loop parallel by hand (the driver normally does this).
+  DoStmt* loop = p->main()->stmts().loops()[0];
+  loop->par.is_parallel = true;
+  MachineConfig cfg;
+  cfg.processors = 8;
+  auto r = run_program(*p, cfg);
+  EXPECT_EQ(r.output[0], "247");
+  EXPECT_EQ(r.parallel_instances, 1);
+  EXPECT_GT(r.clock.speedup(), 4.0);
+  EXPECT_LT(r.clock.speedup(), 8.0);
+}
+
+TEST(InterpTest, NestedParallelOnlyOutermostCounts) {
+  auto p = parse_program(
+      "      program t\n"
+      "      real a(50,50)\n"
+      "      do i = 1, 50\n"
+      "        do j = 1, 50\n"
+      "          a(i,j) = i + j\n"
+      "        end do\n"
+      "      end do\n"
+      "      end\n");
+  for (DoStmt* loop : p->main()->stmts().loops())
+    loop->par.is_parallel = true;
+  MachineConfig cfg;
+  cfg.processors = 4;
+  auto r = run_program(*p, cfg);
+  EXPECT_EQ(r.parallel_instances, 1);  // inner executed within iterations
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,183 @@
+// Tests for Wildcard pattern matching — the basis of Polaris's "Forbol"
+// pattern-matching layer (paper Section 2) and the reduction/induction
+// idiom recognition (Section 3.2).
+#include <gtest/gtest.h>
+
+#include "ir/build.h"
+#include "ir/expr.h"
+
+namespace polaris {
+namespace {
+
+class PatternTest : public ::testing::Test {
+ protected:
+  SymbolTable symtab;
+  Symbol* i = symtab.declare("i", Type::integer(), SymbolKind::Variable);
+  Symbol* j = symtab.declare("j", Type::integer(), SymbolKind::Variable);
+  Symbol* sum = symtab.declare("sum", Type::real(), SymbolKind::Variable);
+  Symbol* a = [this] {
+    Symbol* s = symtab.declare("a", Type::real(), SymbolKind::Variable);
+    std::vector<Dimension> dims;
+    dims.emplace_back(nullptr, ib::ic(100));
+    s->set_dims(std::move(dims));
+    return s;
+  }();
+};
+
+TEST_F(PatternTest, WildcardMatchesAnySubtree) {
+  ExprPtr pattern = ib::add(ib::wild("x"), ib::ic(1));
+  ExprPtr subject = ib::add(ib::mul(ib::var(i), ib::var(j)), ib::ic(1));
+  Bindings b;
+  ASSERT_TRUE(pattern->match(*subject, b));
+  ASSERT_EQ(b.count("x"), 1u);
+  EXPECT_EQ(b["x"]->to_string(), "i*j");
+}
+
+TEST_F(PatternTest, RepeatedWildcardRequiresEqualBindings) {
+  // Pattern ?x + ?x matches i+i but not i+j.
+  ExprPtr pattern = ib::add(ib::wild("x"), ib::wild("x"));
+  ExprPtr good = ib::add(ib::var(i), ib::var(i));
+  ExprPtr bad = ib::add(ib::var(i), ib::var(j));
+  Bindings b1, b2;
+  EXPECT_TRUE(pattern->match(*good, b1));
+  EXPECT_FALSE(pattern->match(*bad, b2));
+}
+
+TEST_F(PatternTest, ReductionIdiom) {
+  // The paper's reduction pattern: A(alpha) = A(alpha) + beta, recognized
+  // by matching the rhs against aref + wildcard with consistent alpha.
+  ExprPtr lhs = ib::aref(a, ib::var(i));
+  ExprPtr rhs = ib::add(ib::aref(a, ib::var(i)), ib::mul(ib::var(j), ib::ic(2)));
+  // Pattern: a(?alpha) + ?beta  against rhs, with lhs binding alpha first.
+  ExprPtr lhs_pattern = ib::aref(a, ib::wild("alpha"));
+  ExprPtr rhs_pattern = ib::add(ib::aref(a, ib::wild("alpha")), ib::wild("beta"));
+  Bindings b;
+  ASSERT_TRUE(lhs_pattern->match(*lhs, b));
+  ASSERT_TRUE(rhs_pattern->match(*rhs, b));
+  EXPECT_EQ(b["alpha"]->to_string(), "i");
+  EXPECT_EQ(b["beta"]->to_string(), "j*2");
+}
+
+TEST_F(PatternTest, ReductionIdiomRejectsMismatchedSubscripts) {
+  ExprPtr lhs = ib::aref(a, ib::var(i));
+  ExprPtr rhs = ib::add(ib::aref(a, ib::var(j)), ib::ic(1));
+  ExprPtr lhs_pattern = ib::aref(a, ib::wild("alpha"));
+  ExprPtr rhs_pattern = ib::add(ib::aref(a, ib::wild("alpha")), ib::wild("beta"));
+  Bindings b;
+  ASSERT_TRUE(lhs_pattern->match(*lhs, b));
+  EXPECT_FALSE(rhs_pattern->match(*rhs, b));
+}
+
+TEST_F(PatternTest, ConstrainedWildcard) {
+  ExprPtr pattern = ib::wild("c", ExprKind::IntConst);
+  ExprPtr icexp = ib::ic(5);
+  ExprPtr vexp = ib::var(i);
+  Bindings b1, b2;
+  EXPECT_TRUE(pattern->match(*icexp, b1));
+  EXPECT_FALSE(pattern->match(*vexp, b2));
+}
+
+TEST_F(PatternTest, InductionIdiom) {
+  // K = K + <increment>: match rhs against ?k + ?inc with ?k bound to the
+  // lhs variable.
+  ExprPtr rhs = ib::add(ib::var(j), ib::var(i));
+  ExprPtr pattern = ib::add(ib::var(j), ib::wild("inc"));
+  Bindings b;
+  ASSERT_TRUE(pattern->match(*rhs, b));
+  EXPECT_EQ(b["inc"]->to_string(), "i");
+}
+
+TEST_F(PatternTest, MatchFailsAcrossDifferentOps) {
+  ExprPtr pattern = ib::add(ib::wild("x"), ib::wild("y"));
+  ExprPtr subject = ib::mul(ib::var(i), ib::var(j));
+  Bindings b;
+  EXPECT_FALSE(pattern->match(*subject, b));
+}
+
+TEST_F(PatternTest, WildcardInFunctionCall) {
+  ExprPtr pattern = ib::call("max", [] {
+    std::vector<ExprPtr> v;
+    v.push_back(ib::wild("a"));
+    v.push_back(ib::wild("b"));
+    return v;
+  }());
+  ExprPtr subject = ib::call("max", [&] {
+    std::vector<ExprPtr> v;
+    v.push_back(ib::var(sum));
+    v.push_back(ib::ic(0));
+    return v;
+  }());
+  Bindings b;
+  ASSERT_TRUE(pattern->match(*subject, b));
+  EXPECT_EQ(b["a"]->to_string(), "sum");
+}
+
+TEST_F(PatternTest, WildcardPrintsWithQuestionMark) {
+  EXPECT_EQ(ib::wild("beta")->to_string(), "?beta");
+}
+
+}  // namespace
+}  // namespace polaris
+
+#include "ir/pattern.h"
+
+namespace polaris {
+namespace {
+
+class ForbolTest : public ::testing::Test {
+ protected:
+  SymbolTable symtab;
+  Symbol* x = symtab.declare("x", Type::real(), SymbolKind::Variable);
+  Symbol* y = symtab.declare("y", Type::real(), SymbolKind::Variable);
+};
+
+TEST_F(ForbolTest, InstantiateSplicesBindings) {
+  Bindings b;
+  ExprPtr vx = ib::var(x);
+  b.emplace("a", vx.get());
+  ExprPtr templ = ib::mul(ib::ic(2), ib::wild("a"));
+  ExprPtr out = instantiate(*templ, b);
+  EXPECT_EQ(out->to_string(), "2*x");
+}
+
+TEST_F(ForbolTest, InstantiateUnboundAsserts) {
+  Bindings b;
+  ExprPtr templ = ib::wild("missing");
+  EXPECT_THROW(instantiate(*templ, b), InternalError);
+}
+
+TEST_F(ForbolTest, RewriteAllStrengthReduction) {
+  // ?a + ?a -> 2*?a everywhere.
+  ExprPtr e = ib::add(ib::add(ib::var(x), ib::var(x)),
+                      ib::add(ib::var(y), ib::var(y)));
+  ExprPtr pattern = ib::add(ib::wild("a"), ib::wild("a"));
+  ExprPtr repl = ib::mul(ib::ic(2), ib::wild("a"));
+  EXPECT_EQ(rewrite_all(e, *pattern, *repl), 2);
+  EXPECT_EQ(e->to_string(), "2*x+2*y");
+}
+
+TEST_F(ForbolTest, RewriteOutermostFirst) {
+  // (x + x) + (x + x) matches at the root; the rewritten tree is not
+  // revisited, so exactly one rewrite happens.
+  ExprPtr e = ib::add(ib::add(ib::var(x), ib::var(x)),
+                      ib::add(ib::var(x), ib::var(x)));
+  ExprPtr pattern = ib::add(ib::wild("a"), ib::wild("a"));
+  ExprPtr repl = ib::mul(ib::ic(2), ib::wild("a"));
+  EXPECT_EQ(rewrite_all(e, *pattern, *repl), 1);
+  EXPECT_EQ(e->to_string(), "2*(x+x)");
+}
+
+TEST_F(ForbolTest, FindMatchPreOrder) {
+  ExprPtr e = ib::mul(ib::add(ib::var(x), ib::ic(1)), ib::var(y));
+  ExprPtr pattern = ib::add(ib::wild("a"), ib::wild("b"));
+  Bindings b;
+  const Expression* hit = find_match(*e, *pattern, &b);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(b["a"]->to_string(), "x");
+  EXPECT_EQ(b["b"]->to_string(), "1");
+  ExprPtr nomatch = ib::sub(ib::wild("a"), ib::wild("a"));
+  EXPECT_EQ(find_match(*e, *nomatch, nullptr), nullptr);
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,122 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.h"
+
+namespace polaris {
+namespace {
+
+TEST(LexerTest, TokenizesIdentifiersAndInts) {
+  auto toks = tokenize("do i = 1, 10");
+  ASSERT_EQ(toks.size(), 7u);  // do i = 1 , 10 EOL
+  EXPECT_EQ(toks[0].kind, TokKind::Ident);
+  EXPECT_EQ(toks[0].text, "do");
+  EXPECT_EQ(toks[3].kind, TokKind::IntLit);
+  EXPECT_EQ(toks[3].int_value, 1);
+  EXPECT_EQ(toks[5].int_value, 10);
+  EXPECT_EQ(toks.back().kind, TokKind::EndOfLine);
+}
+
+TEST(LexerTest, CaseInsensitiveIdentifiers) {
+  auto toks = tokenize("CALL FooBar(X)");
+  EXPECT_EQ(toks[0].text, "call");
+  EXPECT_EQ(toks[1].text, "foobar");
+}
+
+TEST(LexerTest, RealLiterals) {
+  auto toks = tokenize("1.5 0.5 2e3 1.5d0 2.d0");
+  EXPECT_EQ(toks[0].kind, TokKind::RealLit);
+  EXPECT_DOUBLE_EQ(toks[0].real_value, 1.5);
+  EXPECT_FALSE(toks[0].is_double);
+  EXPECT_DOUBLE_EQ(toks[1].real_value, 0.5);
+  EXPECT_DOUBLE_EQ(toks[2].real_value, 2000.0);
+  EXPECT_TRUE(toks[3].is_double);
+  EXPECT_DOUBLE_EQ(toks[3].real_value, 1.5);
+  EXPECT_TRUE(toks[4].is_double);
+  EXPECT_DOUBLE_EQ(toks[4].real_value, 2.0);
+}
+
+TEST(LexerTest, IntFollowedByDotOpIsNotAReal) {
+  // "1.lt.x" must lex as 1 .lt. x, not as real 1. followed by garbage.
+  auto toks = tokenize("if (1.lt.x) goto 10");
+  bool found_dotop = false;
+  for (const auto& t : toks)
+    if (t.kind == TokKind::DotOp && t.text == "lt") found_dotop = true;
+  EXPECT_TRUE(found_dotop);
+}
+
+TEST(LexerTest, DotOperators) {
+  auto toks = tokenize("a .lt. b .and. .not. c .or. .true.");
+  std::vector<std::string> dotops;
+  for (const auto& t : toks)
+    if (t.kind == TokKind::DotOp) dotops.push_back(t.text);
+  EXPECT_EQ(dotops, (std::vector<std::string>{"lt", "and", "not", "or",
+                                              "true"}));
+}
+
+TEST(LexerTest, TwoCharPuncts) {
+  auto toks = tokenize("a ** b <= c");
+  EXPECT_EQ(toks[1].text, "**");
+  EXPECT_EQ(toks[3].text, "<=");
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto toks = tokenize("print *, 'hello ''world'''");
+  bool found = false;
+  for (const auto& t : toks)
+    if (t.kind == TokKind::StringLit) {
+      EXPECT_EQ(t.text, "hello 'world'");
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, InlineCommentStopsLine) {
+  auto toks = tokenize("x = 1 ! trailing comment");
+  ASSERT_EQ(toks.size(), 4u);  // x = 1 EOL
+}
+
+TEST(LexerTest, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("x = 'oops"), UserError);
+}
+
+TEST(LexerTest, BadCharacterThrows) {
+  EXPECT_THROW(tokenize("x = a @ b"), UserError);
+}
+
+TEST(LexerTest, LogicalLinesDropComments) {
+  auto lines = lex("c comment line\n      x = 1\n! another\n      y = 2\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].tokens[0].text, "x");
+  EXPECT_EQ(lines[1].tokens[0].text, "y");
+}
+
+TEST(LexerTest, LabelsExtracted) {
+  auto lines = lex("  100 continue\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].label, 100);
+  EXPECT_EQ(lines[0].tokens[0].text, "continue");
+}
+
+TEST(LexerTest, ContinuationJoining) {
+  auto lines = lex("      x = 1 + &\n     &    2\n");
+  ASSERT_EQ(lines.size(), 1u);
+  // x = 1 + 2 -> 6 tokens with EOL
+  EXPECT_EQ(lines[0].tokens.size(), 6u);
+}
+
+TEST(LexerTest, DirectiveCommentsKept) {
+  auto lines = lex("csrd$ doall\n      x = 1\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].is_comment);
+  EXPECT_EQ(lines[0].comment, "csrd$ doall");
+}
+
+TEST(LexerTest, StarColumnOneIsComment) {
+  auto lines = lex("* old style comment\n      x = 1\n");
+  ASSERT_EQ(lines.size(), 1u);
+}
+
+}  // namespace
+}  // namespace polaris

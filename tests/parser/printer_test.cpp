@@ -1,0 +1,170 @@
+#include "parser/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace polaris {
+namespace {
+
+/// Round-trip helper: parse, print, re-parse, print again — the two printed
+/// forms must be identical (print is a fixed point after one round).
+std::string round_trip(const std::string& source) {
+  auto p1 = parse_program(source);
+  std::string out1 = to_source(*p1);
+  auto p2 = parse_program(out1);
+  std::string out2 = to_source(*p2);
+  EXPECT_EQ(out1, out2) << "printer output is not stable under re-parsing";
+  return out1;
+}
+
+TEST(PrinterTest, SimpleProgramRoundTrips) {
+  std::string out = round_trip(
+      "      program t\n"
+      "      integer n\n"
+      "      parameter (n = 10)\n"
+      "      real a(n)\n"
+      "      do i = 1, n\n"
+      "        a(i) = i*2.0\n"
+      "      end do\n"
+      "      end\n");
+  EXPECT_NE(out.find("program t"), std::string::npos);
+  EXPECT_NE(out.find("parameter (n = 10)"), std::string::npos);
+  EXPECT_NE(out.find("do i = 1, n"), std::string::npos);
+  EXPECT_NE(out.find("end do"), std::string::npos);
+}
+
+TEST(PrinterTest, IfChainsRoundTrip) {
+  std::string out = round_trip(
+      "      if (x .lt. 1.0) then\n"
+      "        y = 1\n"
+      "      else if (x .lt. 2.0) then\n"
+      "        y = 2\n"
+      "      else\n"
+      "        y = 3\n"
+      "      end if\n");
+  EXPECT_NE(out.find("else if (x.lt.2.0) then"), std::string::npos);
+}
+
+TEST(PrinterTest, LabelsPreserved) {
+  std::string out = round_trip(
+      "      program t\n"
+      "      goto 10\n"
+      "   10 continue\n"
+      "      end\n");
+  EXPECT_NE(out.find("goto 10"), std::string::npos);
+  // The label survives the round trip and is re-resolvable.
+  auto p2 = parse_program(out);
+  ASSERT_NE(p2->main()->stmts().find_label(10), nullptr);
+  EXPECT_EQ(p2->main()->stmts().find_label(10)->kind(), StmtKind::Continue);
+}
+
+TEST(PrinterTest, SubroutineHeaderAndCommon) {
+  std::string out = round_trip(
+      "      subroutine f(a, n)\n"
+      "      real a(n)\n"
+      "      common /shared/ x, y\n"
+      "      x = a(1)\n"
+      "      end\n");
+  EXPECT_NE(out.find("subroutine f(a,n)"), std::string::npos);
+  EXPECT_NE(out.find("common /shared/ x, y"), std::string::npos);
+}
+
+TEST(PrinterTest, DataValuesPreserved) {
+  std::string out = round_trip(
+      "      program t\n"
+      "      real a(3)\n"
+      "      data a /1.0, 2.0, 3.0/\n"
+      "      end\n");
+  EXPECT_NE(out.find("data a /1.0,2.0,3.0/"), std::string::npos);
+}
+
+TEST(PrinterTest, DoallDirectiveEmitted) {
+  auto p = parse_program(
+      "      program t\n"
+      "      real a(10)\n"
+      "      do i = 1, 10\n"
+      "        a(i) = 0.0\n"
+      "      end do\n"
+      "      end\n");
+  DoStmt* d = p->main()->stmts().loops()[0];
+  d->par.is_parallel = true;
+  d->par.private_vars.push_back(p->main()->symtab().lookup("i"));
+  std::string out = to_source(*p);
+  EXPECT_NE(out.find("!csrd$ doall private(i)"), std::string::npos);
+}
+
+TEST(PrinterTest, OpenMpDirectiveStyle) {
+  auto p = parse_program(
+      "      program t\n"
+      "      real a(10)\n"
+      "      do i = 1, 10\n"
+      "        r = i*0.5\n"
+      "        a(i) = r\n"
+      "      end do\n"
+      "      x = r\n"
+      "      end\n");
+  DoStmt* d = p->main()->stmts().loops()[0];
+  d->par.is_parallel = true;
+  d->par.private_vars.push_back(p->main()->symtab().lookup("r"));
+  d->par.lastvalue_vars.push_back(p->main()->symtab().lookup("r"));
+  ReductionInfo red;
+  red.var = p->main()->symtab().lookup("a");
+  red.op = ReductionKind::Sum;
+  red.histogram = true;
+  d->par.reductions.push_back(red);
+  std::string omp = to_source(*p, DirectiveStyle::OpenMP);
+  EXPECT_NE(omp.find("!$omp parallel do private(r) reduction(+:a) "
+                     "lastprivate(r)"),
+            std::string::npos)
+      << omp;
+  // The default style keeps the historical directive.
+  std::string csrd = to_source(*p);
+  EXPECT_NE(csrd.find("!csrd$ doall private(r) reduction(+:a,histogram) "
+                      "lastvalue(r)"),
+            std::string::npos)
+      << csrd;
+}
+
+TEST(PrinterTest, ReductionDirective) {
+  auto p = parse_program(
+      "      program t\n"
+      "      s = 0.0\n"
+      "      do i = 1, 10\n"
+      "        s = s + 1.0\n"
+      "      end do\n"
+      "      end\n");
+  DoStmt* d = p->main()->stmts().loops()[0];
+  d->par.is_parallel = true;
+  ReductionInfo r;
+  r.var = p->main()->symtab().lookup("s");
+  r.op = ReductionKind::Sum;
+  d->par.reductions.push_back(r);
+  std::string out = to_source(*p);
+  EXPECT_NE(out.find("reduction(+:s)"), std::string::npos);
+}
+
+TEST(PrinterTest, FunctionHeader) {
+  std::string out = round_trip(
+      "      real function f(x)\n"
+      "      f = x + 1.0\n"
+      "      end\n"
+      "      program t\n"
+      "      y = f(1.0)\n"
+      "      end\n");
+  EXPECT_NE(out.find("real function f(x)"), std::string::npos);
+}
+
+TEST(PrinterTest, NestedIndentation) {
+  std::string out = round_trip(
+      "      do i = 1, 2\n"
+      "      do j = 1, 2\n"
+      "      x = 1\n"
+      "      end do\n"
+      "      end do\n");
+  // Inner assignment indented three levels (unit body + two loops).
+  EXPECT_NE(out.find("      x = 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,59 @@
+#include "passes/constprop.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "parser/printer.h"
+
+namespace polaris {
+namespace {
+
+TEST(ConstpropTest, FoldsParameterExpressions) {
+  auto p = parse_program(
+      "      program t\n"
+      "      parameter (n = 10, m = n*4)\n"
+      "      real a(m)\n"
+      "      do i = 1, m - n\n"
+      "        a(i + n - 10) = 1.0\n"
+      "      end do\n"
+      "      end\n");
+  int changed = propagate_constants(*p->main());
+  EXPECT_GT(changed, 0);
+  std::string src = to_source(*p->main());
+  EXPECT_NE(src.find("do i = 1, 30"), std::string::npos);
+  EXPECT_NE(src.find("a(i)"), std::string::npos);
+}
+
+TEST(ConstpropTest, FoldsConstantConditions) {
+  auto p = parse_program(
+      "      program t\n"
+      "      parameter (k = 3)\n"
+      "      if (k .gt. 2) then\n"
+      "        x = 1.0\n"
+      "      end if\n"
+      "      end\n");
+  propagate_constants(*p->main());
+  auto* ifs = static_cast<IfStmt*>(p->main()->stmts().first());
+  EXPECT_EQ(ifs->cond().to_string(), ".true.");
+}
+
+TEST(ConstpropTest, IdempotentSecondPass) {
+  auto p = parse_program(
+      "      program t\n"
+      "      parameter (n = 5)\n"
+      "      x = n*2 + 1\n"
+      "      end\n");
+  propagate_constants(*p->main());
+  EXPECT_EQ(propagate_constants(*p->main()), 0);
+}
+
+TEST(ConstpropTest, LeavesSymbolicExpressionsAlone) {
+  auto p = parse_program(
+      "      program t\n"
+      "      x = y + z\n"
+      "      end\n");
+  EXPECT_EQ(propagate_constants(*p->main()), 0);
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,145 @@
+// PD test shadow-array semantics (paper Section 3.5.2).
+#include "runtime/pdtest.h"
+
+#include <gtest/gtest.h>
+
+namespace polaris {
+namespace {
+
+TEST(PdTestTest, DisjointWritesPass) {
+  // Iteration i writes element i: fully parallel, no privatization needed.
+  ShadowArrays sh(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    sh.begin_iteration();
+    sh.record_write(i);
+    sh.end_iteration();
+  }
+  PdVerdict v = sh.analyze();
+  EXPECT_TRUE(v.parallel_shared());
+  EXPECT_TRUE(v.pass());
+  EXPECT_FALSE(v.flow_anti);
+  EXPECT_FALSE(v.output_deps);
+}
+
+TEST(PdTestTest, FlowDependenceFails) {
+  // Iteration 0 writes element 5; iteration 1 reads it.
+  ShadowArrays sh(10);
+  sh.begin_iteration();
+  sh.record_write(5);
+  sh.end_iteration();
+  sh.begin_iteration();
+  sh.record_read(5);
+  sh.end_iteration();
+  PdVerdict v = sh.analyze();
+  EXPECT_TRUE(v.flow_anti);
+  EXPECT_FALSE(v.pass());
+}
+
+TEST(PdTestTest, PrivatizableTemporaryPasses) {
+  // Every iteration writes element 0 then reads it: invalid shared (output
+  // deps) but valid privatized.
+  ShadowArrays sh(4);
+  for (int i = 0; i < 3; ++i) {
+    sh.begin_iteration();
+    sh.record_write(0);
+    sh.record_read(0);
+    sh.end_iteration();
+  }
+  PdVerdict v = sh.analyze();
+  EXPECT_FALSE(v.flow_anti);         // reads follow same-iteration writes
+  EXPECT_TRUE(v.output_deps);        // w=3 marks=1
+  EXPECT_FALSE(v.not_privatizable);
+  EXPECT_FALSE(v.parallel_shared());
+  EXPECT_TRUE(v.parallel_privatized());
+  EXPECT_TRUE(v.pass());
+}
+
+TEST(PdTestTest, ReadBeforeWriteNotPrivatizable) {
+  // Iterations read element 0 before writing it: A_np marked.
+  ShadowArrays sh(4);
+  for (int i = 0; i < 2; ++i) {
+    sh.begin_iteration();
+    sh.record_read(0);
+    sh.record_write(0);
+    sh.end_iteration();
+  }
+  PdVerdict v = sh.analyze();
+  EXPECT_TRUE(v.not_privatizable);
+  EXPECT_TRUE(v.output_deps);
+  EXPECT_FALSE(v.pass());
+}
+
+TEST(PdTestTest, ReadOnlyElementsAreFree) {
+  ShadowArrays sh(4);
+  for (int i = 0; i < 3; ++i) {
+    sh.begin_iteration();
+    sh.record_read(3);  // never written by anyone
+    sh.record_write(static_cast<std::size_t>(i));
+    sh.end_iteration();
+  }
+  PdVerdict v = sh.analyze();
+  EXPECT_TRUE(v.pass());
+  EXPECT_TRUE(v.parallel_shared());
+}
+
+TEST(PdTestTest, WriteCountersDistinguishOutputDeps) {
+  ShadowArrays sh(4);
+  sh.begin_iteration();
+  sh.record_write(1);
+  sh.record_write(1);  // second write same iteration: not re-marked
+  sh.end_iteration();
+  EXPECT_EQ(sh.write_count(), 1u);
+  EXPECT_EQ(sh.mark_count(), 1u);
+  sh.begin_iteration();
+  sh.record_write(1);  // different iteration: counted again
+  sh.end_iteration();
+  EXPECT_EQ(sh.write_count(), 2u);
+  EXPECT_EQ(sh.mark_count(), 1u);
+  EXPECT_TRUE(sh.analyze().output_deps);
+}
+
+TEST(PdTestTest, MixedPatternExactVerdict) {
+  // Element 0: private temporary (w then r each iteration).
+  // Element 1: disjoint writes.
+  // Element 2: read-only.
+  ShadowArrays sh(8);
+  for (int i = 0; i < 2; ++i) {
+    sh.begin_iteration();
+    sh.record_write(0);
+    sh.record_read(0);
+    sh.record_write(static_cast<std::size_t>(3 + i));
+    sh.record_read(2);
+    sh.end_iteration();
+  }
+  PdVerdict v = sh.analyze();
+  EXPECT_FALSE(v.flow_anti);
+  EXPECT_TRUE(v.output_deps);          // element 0 written twice
+  EXPECT_FALSE(v.not_privatizable);
+  EXPECT_TRUE(v.parallel_privatized());
+}
+
+TEST(PdTestTest, CostScalesWithProcessors) {
+  ShadowArrays sh(1000);
+  for (int i = 0; i < 100; ++i) {
+    sh.begin_iteration();
+    for (std::size_t k = 0; k < 50; ++k)
+      sh.record_write((static_cast<std::size_t>(i) * 53 + k) % 1000);
+    sh.end_iteration();
+  }
+  EXPECT_GT(sh.cost(1), sh.cost(4));
+  EXPECT_GT(sh.cost(4), sh.cost(16));
+  EXPECT_EQ(sh.total_accesses(), 5000u);
+}
+
+TEST(PdTestTest, ProtocolMisuseAsserts) {
+  ShadowArrays sh(4);
+  EXPECT_THROW(sh.record_read(0), InternalError);  // outside iteration
+  sh.begin_iteration();
+  EXPECT_THROW(sh.begin_iteration(), InternalError);
+  EXPECT_THROW(sh.record_write(99), InternalError);  // out of range
+  sh.end_iteration();
+  EXPECT_NO_THROW(sh.analyze());
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,51 @@
+#include "support/assert.h"
+
+#include <gtest/gtest.h>
+
+namespace polaris {
+namespace {
+
+TEST(AssertTest, PassingAssertionIsSilent) {
+  EXPECT_NO_THROW(p_assert(1 + 1 == 2));
+}
+
+TEST(AssertTest, FailingAssertionThrowsInternalError) {
+  try {
+    p_assert(2 + 2 == 5);
+    FAIL() << "p_assert did not throw";
+  } catch (const InternalError& e) {
+    EXPECT_EQ(e.condition(), "2 + 2 == 5");
+    EXPECT_NE(std::string(e.what()).find("assertion"), std::string::npos);
+    EXPECT_GT(e.line(), 0);
+  }
+}
+
+TEST(AssertTest, MessageIsCarried) {
+  try {
+    p_assert_msg(false, "loop nest was malformed");
+    FAIL() << "p_assert_msg did not throw";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("loop nest was malformed"),
+              std::string::npos);
+  }
+}
+
+TEST(AssertTest, UnreachableThrows) {
+  EXPECT_THROW(p_unreachable("should not get here"), InternalError);
+}
+
+TEST(AssertTest, UserErrorIsDistinctFromInternalError) {
+  EXPECT_THROW(throw UserError("bad source"), std::runtime_error);
+  // InternalError is a logic_error, not a runtime_error.
+  bool caught_as_runtime = false;
+  try {
+    p_assert(false);
+  } catch (const std::runtime_error&) {
+    caught_as_runtime = true;
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_FALSE(caught_as_runtime);
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,50 @@
+#include "support/options.h"
+
+#include <gtest/gtest.h>
+
+namespace polaris {
+namespace {
+
+TEST(OptionsTest, PolarisDefaultsEnableAdvancedAnalyses) {
+  Options o = Options::polaris();
+  EXPECT_TRUE(o.inline_expansion);
+  EXPECT_TRUE(o.range_test);
+  EXPECT_TRUE(o.array_privatization);
+  EXPECT_TRUE(o.cascaded_induction);
+  EXPECT_TRUE(o.histogram_reductions);
+  EXPECT_TRUE(o.gsa_queries);
+}
+
+TEST(OptionsTest, BaselineModelsA1996Compiler) {
+  // The baseline ("PFA-like") configuration keeps only the capabilities the
+  // paper attributes to then-current commercial compilers.
+  Options o = Options::baseline();
+  EXPECT_FALSE(o.inline_expansion);
+  EXPECT_FALSE(o.range_test);
+  EXPECT_FALSE(o.array_privatization);
+  EXPECT_FALSE(o.cascaded_induction);
+  EXPECT_FALSE(o.histogram_reductions);
+  EXPECT_FALSE(o.gsa_queries);
+  // ...but the linear machinery stays on.
+  EXPECT_TRUE(o.gcd_test);
+  EXPECT_TRUE(o.banerjee_test);
+  EXPECT_TRUE(o.induction_subst);
+  EXPECT_TRUE(o.scalar_privatization);
+  EXPECT_TRUE(o.reductions);
+}
+
+TEST(OptionsTest, SetByName) {
+  Options o;
+  o.set("range_test", false);
+  EXPECT_FALSE(o.range_test);
+  o.set("range_test", true);
+  EXPECT_TRUE(o.range_test);
+}
+
+TEST(OptionsTest, SetUnknownNameAsserts) {
+  Options o;
+  EXPECT_THROW(o.set("no_such_option", true), InternalError);
+}
+
+}  // namespace
+}  // namespace polaris

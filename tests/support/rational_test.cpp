@@ -1,0 +1,77 @@
+#include "support/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace polaris {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  Rational r(4, -6);
+  EXPECT_EQ(r.num(), -2);
+  EXPECT_EQ(r.den(), 3);
+}
+
+TEST(RationalTest, ArithmeticExact) {
+  Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+}
+
+TEST(RationalTest, TrfdStyleDivisionByTwo) {
+  // (j^2 - j)/2 increments: for j -> j+1 the difference is j, exactly.
+  auto f = [](std::int64_t j) {
+    return Rational(j * j - j) * Rational(1, 2);
+  };
+  for (std::int64_t j = 0; j < 20; ++j)
+    EXPECT_EQ(f(j + 1) - f(j), Rational(j));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GE(Rational(7), Rational(13, 2));
+}
+
+TEST(RationalTest, SignAndPredicates) {
+  EXPECT_EQ(Rational(-3, 7).sign(), -1);
+  EXPECT_EQ(Rational(0).sign(), 0);
+  EXPECT_EQ(Rational(5, 5).sign(), 1);
+  EXPECT_TRUE(Rational(5, 5).is_one());
+  EXPECT_TRUE(Rational(6, 3).is_integer());
+  EXPECT_EQ(Rational(6, 3).as_integer(), 2);
+  EXPECT_FALSE(Rational(7, 3).is_integer());
+}
+
+TEST(RationalTest, IntegerAccessorAssertsOnFraction) {
+  EXPECT_THROW(Rational(1, 2).as_integer(), InternalError);
+}
+
+TEST(RationalTest, DivisionByZeroAsserts) {
+  EXPECT_THROW(Rational(1, 0), InternalError);
+  EXPECT_THROW(Rational(1) / Rational(0), InternalError);
+}
+
+TEST(RationalTest, Printing) {
+  std::ostringstream os;
+  os << Rational(3, 4) << " " << Rational(5) << " " << Rational(-1, 2);
+  EXPECT_EQ(os.str(), "3/4 5 -1/2");
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+}
+
+}  // namespace
+}  // namespace polaris
