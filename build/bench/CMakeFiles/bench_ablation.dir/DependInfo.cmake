@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cpp" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/polaris_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/polaris_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/polaris_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dep/CMakeFiles/polaris_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/polaris_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/polaris_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/polaris_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/polaris_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/polaris_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/polaris_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/polaris_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

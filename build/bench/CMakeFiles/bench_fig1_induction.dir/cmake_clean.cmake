@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_induction.dir/bench_fig1_induction.cpp.o"
+  "CMakeFiles/bench_fig1_induction.dir/bench_fig1_induction.cpp.o.d"
+  "bench_fig1_induction"
+  "bench_fig1_induction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_induction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_trfd.dir/bench_fig2_trfd.cpp.o"
+  "CMakeFiles/bench_fig2_trfd.dir/bench_fig2_trfd.cpp.o.d"
+  "bench_fig2_trfd"
+  "bench_fig2_trfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_trfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ocean.dir/bench_fig3_ocean.cpp.o"
+  "CMakeFiles/bench_fig3_ocean.dir/bench_fig3_ocean.cpp.o.d"
+  "bench_fig3_ocean"
+  "bench_fig3_ocean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ocean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

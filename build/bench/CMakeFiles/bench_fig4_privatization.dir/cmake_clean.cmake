@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_privatization.dir/bench_fig4_privatization.cpp.o"
+  "CMakeFiles/bench_fig4_privatization.dir/bench_fig4_privatization.cpp.o.d"
+  "bench_fig4_privatization"
+  "bench_fig4_privatization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_privatization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

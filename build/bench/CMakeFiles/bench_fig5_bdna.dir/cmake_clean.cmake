@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bdna.dir/bench_fig5_bdna.cpp.o"
+  "CMakeFiles/bench_fig5_bdna.dir/bench_fig5_bdna.cpp.o.d"
+  "bench_fig5_bdna"
+  "bench_fig5_bdna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bdna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pdtest.dir/bench_fig6_pdtest.cpp.o"
+  "CMakeFiles/bench_fig6_pdtest.dir/bench_fig6_pdtest.cpp.o.d"
+  "bench_fig6_pdtest"
+  "bench_fig6_pdtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pdtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

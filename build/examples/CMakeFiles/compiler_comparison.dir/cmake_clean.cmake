@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_comparison.dir/compiler_comparison.cpp.o"
+  "CMakeFiles/compiler_comparison.dir/compiler_comparison.cpp.o.d"
+  "compiler_comparison"
+  "compiler_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_suite.dir/explore_suite.cpp.o"
+  "CMakeFiles/explore_suite.dir/explore_suite.cpp.o.d"
+  "explore_suite"
+  "explore_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

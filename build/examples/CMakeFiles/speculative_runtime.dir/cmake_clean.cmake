@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_runtime.dir/speculative_runtime.cpp.o"
+  "CMakeFiles/speculative_runtime.dir/speculative_runtime.cpp.o.d"
+  "speculative_runtime"
+  "speculative_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trfd_olda.dir/trfd_olda.cpp.o"
+  "CMakeFiles/trfd_olda.dir/trfd_olda.cpp.o.d"
+  "trfd_olda"
+  "trfd_olda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trfd_olda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

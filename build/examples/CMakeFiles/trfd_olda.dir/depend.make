@@ -1,0 +1,2 @@
+# Empty dependencies file for trfd_olda.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("parser")
+subdirs("symbolic")
+subdirs("analysis")
+subdirs("dep")
+subdirs("interp")
+subdirs("machine")
+subdirs("runtime")
+subdirs("passes")
+subdirs("driver")
+subdirs("suite")

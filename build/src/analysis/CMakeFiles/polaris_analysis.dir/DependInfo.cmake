@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/polaris_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/polaris_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/gsa.cpp" "src/analysis/CMakeFiles/polaris_analysis.dir/gsa.cpp.o" "gcc" "src/analysis/CMakeFiles/polaris_analysis.dir/gsa.cpp.o.d"
+  "/root/repo/src/analysis/purity.cpp" "src/analysis/CMakeFiles/polaris_analysis.dir/purity.cpp.o" "gcc" "src/analysis/CMakeFiles/polaris_analysis.dir/purity.cpp.o.d"
+  "/root/repo/src/analysis/structure.cpp" "src/analysis/CMakeFiles/polaris_analysis.dir/structure.cpp.o" "gcc" "src/analysis/CMakeFiles/polaris_analysis.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symbolic/CMakeFiles/polaris_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/polaris_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/polaris_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

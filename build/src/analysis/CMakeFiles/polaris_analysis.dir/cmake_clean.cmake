@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/polaris_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/polaris_analysis.dir/gsa.cpp.o"
+  "CMakeFiles/polaris_analysis.dir/gsa.cpp.o.d"
+  "CMakeFiles/polaris_analysis.dir/purity.cpp.o"
+  "CMakeFiles/polaris_analysis.dir/purity.cpp.o.d"
+  "CMakeFiles/polaris_analysis.dir/structure.cpp.o"
+  "CMakeFiles/polaris_analysis.dir/structure.cpp.o.d"
+  "libpolaris_analysis.a"
+  "libpolaris_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

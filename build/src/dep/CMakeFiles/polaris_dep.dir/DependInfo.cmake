@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dep/access.cpp" "src/dep/CMakeFiles/polaris_dep.dir/access.cpp.o" "gcc" "src/dep/CMakeFiles/polaris_dep.dir/access.cpp.o.d"
+  "/root/repo/src/dep/ddtest.cpp" "src/dep/CMakeFiles/polaris_dep.dir/ddtest.cpp.o" "gcc" "src/dep/CMakeFiles/polaris_dep.dir/ddtest.cpp.o.d"
+  "/root/repo/src/dep/linear.cpp" "src/dep/CMakeFiles/polaris_dep.dir/linear.cpp.o" "gcc" "src/dep/CMakeFiles/polaris_dep.dir/linear.cpp.o.d"
+  "/root/repo/src/dep/rangetest.cpp" "src/dep/CMakeFiles/polaris_dep.dir/rangetest.cpp.o" "gcc" "src/dep/CMakeFiles/polaris_dep.dir/rangetest.cpp.o.d"
+  "/root/repo/src/dep/regions.cpp" "src/dep/CMakeFiles/polaris_dep.dir/regions.cpp.o" "gcc" "src/dep/CMakeFiles/polaris_dep.dir/regions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/polaris_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/polaris_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/polaris_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/polaris_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_dep.dir/access.cpp.o"
+  "CMakeFiles/polaris_dep.dir/access.cpp.o.d"
+  "CMakeFiles/polaris_dep.dir/ddtest.cpp.o"
+  "CMakeFiles/polaris_dep.dir/ddtest.cpp.o.d"
+  "CMakeFiles/polaris_dep.dir/linear.cpp.o"
+  "CMakeFiles/polaris_dep.dir/linear.cpp.o.d"
+  "CMakeFiles/polaris_dep.dir/rangetest.cpp.o"
+  "CMakeFiles/polaris_dep.dir/rangetest.cpp.o.d"
+  "CMakeFiles/polaris_dep.dir/regions.cpp.o"
+  "CMakeFiles/polaris_dep.dir/regions.cpp.o.d"
+  "libpolaris_dep.a"
+  "libpolaris_dep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_dep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris.dir/main.cpp.o"
+  "CMakeFiles/polaris.dir/main.cpp.o.d"
+  "polaris"
+  "polaris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_driver.dir/compiler.cpp.o"
+  "CMakeFiles/polaris_driver.dir/compiler.cpp.o.d"
+  "libpolaris_driver.a"
+  "libpolaris_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

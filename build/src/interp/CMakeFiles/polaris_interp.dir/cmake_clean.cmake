@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_interp.dir/interp.cpp.o"
+  "CMakeFiles/polaris_interp.dir/interp.cpp.o.d"
+  "CMakeFiles/polaris_interp.dir/memory.cpp.o"
+  "CMakeFiles/polaris_interp.dir/memory.cpp.o.d"
+  "libpolaris_interp.a"
+  "libpolaris_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/polaris_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/polaris_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/pattern.cpp" "src/ir/CMakeFiles/polaris_ir.dir/pattern.cpp.o" "gcc" "src/ir/CMakeFiles/polaris_ir.dir/pattern.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/ir/CMakeFiles/polaris_ir.dir/program.cpp.o" "gcc" "src/ir/CMakeFiles/polaris_ir.dir/program.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/ir/CMakeFiles/polaris_ir.dir/stmt.cpp.o" "gcc" "src/ir/CMakeFiles/polaris_ir.dir/stmt.cpp.o.d"
+  "/root/repo/src/ir/stmtlist.cpp" "src/ir/CMakeFiles/polaris_ir.dir/stmtlist.cpp.o" "gcc" "src/ir/CMakeFiles/polaris_ir.dir/stmtlist.cpp.o.d"
+  "/root/repo/src/ir/symbol.cpp" "src/ir/CMakeFiles/polaris_ir.dir/symbol.cpp.o" "gcc" "src/ir/CMakeFiles/polaris_ir.dir/symbol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_ir.dir/expr.cpp.o"
+  "CMakeFiles/polaris_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/polaris_ir.dir/pattern.cpp.o"
+  "CMakeFiles/polaris_ir.dir/pattern.cpp.o.d"
+  "CMakeFiles/polaris_ir.dir/program.cpp.o"
+  "CMakeFiles/polaris_ir.dir/program.cpp.o.d"
+  "CMakeFiles/polaris_ir.dir/stmt.cpp.o"
+  "CMakeFiles/polaris_ir.dir/stmt.cpp.o.d"
+  "CMakeFiles/polaris_ir.dir/stmtlist.cpp.o"
+  "CMakeFiles/polaris_ir.dir/stmtlist.cpp.o.d"
+  "CMakeFiles/polaris_ir.dir/symbol.cpp.o"
+  "CMakeFiles/polaris_ir.dir/symbol.cpp.o.d"
+  "libpolaris_ir.a"
+  "libpolaris_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_machine.dir/machine.cpp.o"
+  "CMakeFiles/polaris_machine.dir/machine.cpp.o.d"
+  "libpolaris_machine.a"
+  "libpolaris_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/lexer.cpp" "src/parser/CMakeFiles/polaris_parser.dir/lexer.cpp.o" "gcc" "src/parser/CMakeFiles/polaris_parser.dir/lexer.cpp.o.d"
+  "/root/repo/src/parser/parser.cpp" "src/parser/CMakeFiles/polaris_parser.dir/parser.cpp.o" "gcc" "src/parser/CMakeFiles/polaris_parser.dir/parser.cpp.o.d"
+  "/root/repo/src/parser/printer.cpp" "src/parser/CMakeFiles/polaris_parser.dir/printer.cpp.o" "gcc" "src/parser/CMakeFiles/polaris_parser.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/polaris_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

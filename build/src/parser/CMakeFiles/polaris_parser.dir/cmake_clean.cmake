@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_parser.dir/lexer.cpp.o"
+  "CMakeFiles/polaris_parser.dir/lexer.cpp.o.d"
+  "CMakeFiles/polaris_parser.dir/parser.cpp.o"
+  "CMakeFiles/polaris_parser.dir/parser.cpp.o.d"
+  "CMakeFiles/polaris_parser.dir/printer.cpp.o"
+  "CMakeFiles/polaris_parser.dir/printer.cpp.o.d"
+  "libpolaris_parser.a"
+  "libpolaris_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

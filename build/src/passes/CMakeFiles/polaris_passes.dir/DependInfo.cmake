@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/constprop.cpp" "src/passes/CMakeFiles/polaris_passes.dir/constprop.cpp.o" "gcc" "src/passes/CMakeFiles/polaris_passes.dir/constprop.cpp.o.d"
+  "/root/repo/src/passes/doall.cpp" "src/passes/CMakeFiles/polaris_passes.dir/doall.cpp.o" "gcc" "src/passes/CMakeFiles/polaris_passes.dir/doall.cpp.o.d"
+  "/root/repo/src/passes/forwardsub.cpp" "src/passes/CMakeFiles/polaris_passes.dir/forwardsub.cpp.o" "gcc" "src/passes/CMakeFiles/polaris_passes.dir/forwardsub.cpp.o.d"
+  "/root/repo/src/passes/induction.cpp" "src/passes/CMakeFiles/polaris_passes.dir/induction.cpp.o" "gcc" "src/passes/CMakeFiles/polaris_passes.dir/induction.cpp.o.d"
+  "/root/repo/src/passes/inliner.cpp" "src/passes/CMakeFiles/polaris_passes.dir/inliner.cpp.o" "gcc" "src/passes/CMakeFiles/polaris_passes.dir/inliner.cpp.o.d"
+  "/root/repo/src/passes/normalize.cpp" "src/passes/CMakeFiles/polaris_passes.dir/normalize.cpp.o" "gcc" "src/passes/CMakeFiles/polaris_passes.dir/normalize.cpp.o.d"
+  "/root/repo/src/passes/privatization.cpp" "src/passes/CMakeFiles/polaris_passes.dir/privatization.cpp.o" "gcc" "src/passes/CMakeFiles/polaris_passes.dir/privatization.cpp.o.d"
+  "/root/repo/src/passes/reduction.cpp" "src/passes/CMakeFiles/polaris_passes.dir/reduction.cpp.o" "gcc" "src/passes/CMakeFiles/polaris_passes.dir/reduction.cpp.o.d"
+  "/root/repo/src/passes/strength.cpp" "src/passes/CMakeFiles/polaris_passes.dir/strength.cpp.o" "gcc" "src/passes/CMakeFiles/polaris_passes.dir/strength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dep/CMakeFiles/polaris_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/polaris_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/polaris_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/polaris_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/polaris_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_passes.dir/constprop.cpp.o"
+  "CMakeFiles/polaris_passes.dir/constprop.cpp.o.d"
+  "CMakeFiles/polaris_passes.dir/doall.cpp.o"
+  "CMakeFiles/polaris_passes.dir/doall.cpp.o.d"
+  "CMakeFiles/polaris_passes.dir/forwardsub.cpp.o"
+  "CMakeFiles/polaris_passes.dir/forwardsub.cpp.o.d"
+  "CMakeFiles/polaris_passes.dir/induction.cpp.o"
+  "CMakeFiles/polaris_passes.dir/induction.cpp.o.d"
+  "CMakeFiles/polaris_passes.dir/inliner.cpp.o"
+  "CMakeFiles/polaris_passes.dir/inliner.cpp.o.d"
+  "CMakeFiles/polaris_passes.dir/normalize.cpp.o"
+  "CMakeFiles/polaris_passes.dir/normalize.cpp.o.d"
+  "CMakeFiles/polaris_passes.dir/privatization.cpp.o"
+  "CMakeFiles/polaris_passes.dir/privatization.cpp.o.d"
+  "CMakeFiles/polaris_passes.dir/reduction.cpp.o"
+  "CMakeFiles/polaris_passes.dir/reduction.cpp.o.d"
+  "CMakeFiles/polaris_passes.dir/strength.cpp.o"
+  "CMakeFiles/polaris_passes.dir/strength.cpp.o.d"
+  "libpolaris_passes.a"
+  "libpolaris_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_runtime.dir/pdtest.cpp.o"
+  "CMakeFiles/polaris_runtime.dir/pdtest.cpp.o.d"
+  "libpolaris_runtime.a"
+  "libpolaris_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_suite.dir/suite.cpp.o"
+  "CMakeFiles/polaris_suite.dir/suite.cpp.o.d"
+  "libpolaris_suite.a"
+  "libpolaris_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

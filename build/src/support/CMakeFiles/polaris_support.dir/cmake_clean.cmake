@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_support.dir/assert.cpp.o"
+  "CMakeFiles/polaris_support.dir/assert.cpp.o.d"
+  "CMakeFiles/polaris_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/polaris_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/polaris_support.dir/options.cpp.o"
+  "CMakeFiles/polaris_support.dir/options.cpp.o.d"
+  "CMakeFiles/polaris_support.dir/rational.cpp.o"
+  "CMakeFiles/polaris_support.dir/rational.cpp.o.d"
+  "CMakeFiles/polaris_support.dir/string_util.cpp.o"
+  "CMakeFiles/polaris_support.dir/string_util.cpp.o.d"
+  "libpolaris_support.a"
+  "libpolaris_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/compare.cpp" "src/symbolic/CMakeFiles/polaris_symbolic.dir/compare.cpp.o" "gcc" "src/symbolic/CMakeFiles/polaris_symbolic.dir/compare.cpp.o.d"
+  "/root/repo/src/symbolic/context.cpp" "src/symbolic/CMakeFiles/polaris_symbolic.dir/context.cpp.o" "gcc" "src/symbolic/CMakeFiles/polaris_symbolic.dir/context.cpp.o.d"
+  "/root/repo/src/symbolic/poly.cpp" "src/symbolic/CMakeFiles/polaris_symbolic.dir/poly.cpp.o" "gcc" "src/symbolic/CMakeFiles/polaris_symbolic.dir/poly.cpp.o.d"
+  "/root/repo/src/symbolic/simplify.cpp" "src/symbolic/CMakeFiles/polaris_symbolic.dir/simplify.cpp.o" "gcc" "src/symbolic/CMakeFiles/polaris_symbolic.dir/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/polaris_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

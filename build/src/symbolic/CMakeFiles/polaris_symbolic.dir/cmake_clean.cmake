@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_symbolic.dir/compare.cpp.o"
+  "CMakeFiles/polaris_symbolic.dir/compare.cpp.o.d"
+  "CMakeFiles/polaris_symbolic.dir/context.cpp.o"
+  "CMakeFiles/polaris_symbolic.dir/context.cpp.o.d"
+  "CMakeFiles/polaris_symbolic.dir/poly.cpp.o"
+  "CMakeFiles/polaris_symbolic.dir/poly.cpp.o.d"
+  "CMakeFiles/polaris_symbolic.dir/simplify.cpp.o"
+  "CMakeFiles/polaris_symbolic.dir/simplify.cpp.o.d"
+  "libpolaris_symbolic.a"
+  "libpolaris_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

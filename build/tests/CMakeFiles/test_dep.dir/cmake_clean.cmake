@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dep.dir/dep/ddtest_test.cpp.o"
+  "CMakeFiles/test_dep.dir/dep/ddtest_test.cpp.o.d"
+  "CMakeFiles/test_dep.dir/dep/linear_test.cpp.o"
+  "CMakeFiles/test_dep.dir/dep/linear_test.cpp.o.d"
+  "CMakeFiles/test_dep.dir/dep/rangetest_test.cpp.o"
+  "CMakeFiles/test_dep.dir/dep/rangetest_test.cpp.o.d"
+  "CMakeFiles/test_dep.dir/dep/regions_test.cpp.o"
+  "CMakeFiles/test_dep.dir/dep/regions_test.cpp.o.d"
+  "test_dep"
+  "test_dep.pdb"
+  "test_dep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

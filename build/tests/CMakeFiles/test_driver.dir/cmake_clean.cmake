@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver.dir/driver/compiler_test.cpp.o"
+  "CMakeFiles/test_driver.dir/driver/compiler_test.cpp.o.d"
+  "CMakeFiles/test_driver.dir/driver/property_test.cpp.o"
+  "CMakeFiles/test_driver.dir/driver/property_test.cpp.o.d"
+  "CMakeFiles/test_driver.dir/driver/report_test.cpp.o"
+  "CMakeFiles/test_driver.dir/driver/report_test.cpp.o.d"
+  "CMakeFiles/test_driver.dir/driver/roundtrip_test.cpp.o"
+  "CMakeFiles/test_driver.dir/driver/roundtrip_test.cpp.o.d"
+  "test_driver"
+  "test_driver.pdb"
+  "test_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

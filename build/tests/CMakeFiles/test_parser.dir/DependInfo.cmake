@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parser/fuzz_test.cpp" "tests/CMakeFiles/test_parser.dir/parser/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_parser.dir/parser/fuzz_test.cpp.o.d"
+  "/root/repo/tests/parser/lexer_test.cpp" "tests/CMakeFiles/test_parser.dir/parser/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/test_parser.dir/parser/lexer_test.cpp.o.d"
+  "/root/repo/tests/parser/parser_test.cpp" "tests/CMakeFiles/test_parser.dir/parser/parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_parser.dir/parser/parser_test.cpp.o.d"
+  "/root/repo/tests/parser/printer_test.cpp" "tests/CMakeFiles/test_parser.dir/parser/printer_test.cpp.o" "gcc" "tests/CMakeFiles/test_parser.dir/parser/printer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/polaris_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/polaris_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/polaris_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passes.dir/passes/constprop_test.cpp.o"
+  "CMakeFiles/test_passes.dir/passes/constprop_test.cpp.o.d"
+  "CMakeFiles/test_passes.dir/passes/doall_test.cpp.o"
+  "CMakeFiles/test_passes.dir/passes/doall_test.cpp.o.d"
+  "CMakeFiles/test_passes.dir/passes/forwardsub_test.cpp.o"
+  "CMakeFiles/test_passes.dir/passes/forwardsub_test.cpp.o.d"
+  "CMakeFiles/test_passes.dir/passes/induction_test.cpp.o"
+  "CMakeFiles/test_passes.dir/passes/induction_test.cpp.o.d"
+  "CMakeFiles/test_passes.dir/passes/inliner_test.cpp.o"
+  "CMakeFiles/test_passes.dir/passes/inliner_test.cpp.o.d"
+  "CMakeFiles/test_passes.dir/passes/multiplicative_test.cpp.o"
+  "CMakeFiles/test_passes.dir/passes/multiplicative_test.cpp.o.d"
+  "CMakeFiles/test_passes.dir/passes/normalize_test.cpp.o"
+  "CMakeFiles/test_passes.dir/passes/normalize_test.cpp.o.d"
+  "CMakeFiles/test_passes.dir/passes/privatization_test.cpp.o"
+  "CMakeFiles/test_passes.dir/passes/privatization_test.cpp.o.d"
+  "CMakeFiles/test_passes.dir/passes/reduction_test.cpp.o"
+  "CMakeFiles/test_passes.dir/passes/reduction_test.cpp.o.d"
+  "CMakeFiles/test_passes.dir/passes/strength_test.cpp.o"
+  "CMakeFiles/test_passes.dir/passes/strength_test.cpp.o.d"
+  "test_passes"
+  "test_passes.pdb"
+  "test_passes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/assert_test.cpp" "tests/CMakeFiles/test_support.dir/support/assert_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/assert_test.cpp.o.d"
+  "/root/repo/tests/support/diagnostics_test.cpp" "tests/CMakeFiles/test_support.dir/support/diagnostics_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/diagnostics_test.cpp.o.d"
+  "/root/repo/tests/support/options_test.cpp" "tests/CMakeFiles/test_support.dir/support/options_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/options_test.cpp.o.d"
+  "/root/repo/tests/support/rational_test.cpp" "tests/CMakeFiles/test_support.dir/support/rational_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/rational_test.cpp.o.d"
+  "/root/repo/tests/support/string_util_test.cpp" "tests/CMakeFiles/test_support.dir/support/string_util_test.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/string_util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/symbolic/compare_test.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/compare_test.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/compare_test.cpp.o.d"
+  "/root/repo/tests/symbolic/context_test.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/context_test.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/context_test.cpp.o.d"
+  "/root/repo/tests/symbolic/poly_property_test.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/poly_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/poly_property_test.cpp.o.d"
+  "/root/repo/tests/symbolic/poly_test.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/poly_test.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/poly_test.cpp.o.d"
+  "/root/repo/tests/symbolic/simplify_test.cpp" "tests/CMakeFiles/test_symbolic.dir/symbolic/simplify_test.cpp.o" "gcc" "tests/CMakeFiles/test_symbolic.dir/symbolic/simplify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symbolic/CMakeFiles/polaris_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/polaris_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/polaris_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/polaris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

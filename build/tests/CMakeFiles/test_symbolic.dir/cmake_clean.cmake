@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic.dir/symbolic/compare_test.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/compare_test.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/context_test.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/context_test.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/poly_property_test.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/poly_property_test.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/poly_test.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/poly_test.cpp.o.d"
+  "CMakeFiles/test_symbolic.dir/symbolic/simplify_test.cpp.o"
+  "CMakeFiles/test_symbolic.dir/symbolic/simplify_test.cpp.o.d"
+  "test_symbolic"
+  "test_symbolic.pdb"
+  "test_symbolic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

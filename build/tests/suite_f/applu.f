@@ -1,0 +1,27 @@
+
+      program applu
+c     parabolic/elliptic PDE solver: SSOR wavefront recurrence dominates;
+c     neither compiler can parallelize it (true dependences), so the PFA
+c     back end's better code generation wins slightly.
+      parameter (nx = 60, ny = 60, nsteps = 4)
+      real u(nx, ny)
+      do j = 1, ny
+        do i = 1, nx
+          u(i, j) = mod(i*3 + j*7, 11)*0.1
+        end do
+      end do
+      do s = 1, nsteps
+        do j = 2, ny
+          do i = 2, nx
+            u(i, j) = (u(i - 1, j) + u(i, j - 1))*0.4999 + 0.01
+          end do
+        end do
+      end do
+      cks = 0.0
+      do j = 1, ny
+        do i = 1, nx
+          cks = cks + u(i, j)
+        end do
+      end do
+      print *, 'applu', cks
+      end

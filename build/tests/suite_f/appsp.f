@@ -1,0 +1,31 @@
+
+      program appsp
+c     gaussian-elimination style solver: long parallel sweeps plus 5-wide
+c     block loops.  Both compilers find the parallelism, but PFA's
+c     restructuring backfires on the short constant-trip inner loops.
+      parameter (n = 2500, nb = 5, nsteps = 3)
+      real v(n), rhs(n), c(nb)
+      do i = 1, n
+        v(i) = mod(i, 13)*0.25
+      end do
+      do kb = 1, nb
+        c(kb) = kb*0.1
+      end do
+      do s = 1, nsteps
+        do i = 2, n - 1
+          rhs(i) = (v(i - 1) + v(i + 1))*0.5 - v(i)
+        end do
+        do i = 2, n - 1
+          t = 0.0
+          do kb = 1, nb
+            t = t + rhs(i)*c(kb)
+          end do
+          v(i) = v(i) + t*0.2
+        end do
+      end do
+      cks = 0.0
+      do i = 1, n
+        cks = cks + v(i)
+      end do
+      print *, 'appsp', cks
+      end

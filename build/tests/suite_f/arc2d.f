@@ -1,0 +1,36 @@
+
+      program arc2d
+c     implicit finite-difference sweeps: the outer line loop needs the
+c     work array w privatized (Polaris); the baseline only parallelizes
+c     the short inner loops and drowns in fork/join overhead.
+      parameter (im = 64, jm = 200, nsweep = 3)
+      real q(im, jm), q2(im, jm), w(im)
+      do j = 1, jm
+        do i = 1, im
+          q(i, j) = mod(i + j, 9)*0.125
+          q2(i, j) = 0.0
+        end do
+      end do
+      do s = 1, nsweep
+        do j = 2, jm - 1
+          do i = 1, im
+            w(i) = q(i, j - 1) + q(i, j + 1)
+          end do
+          do i = 2, im - 1
+            q2(i, j) = (w(i - 1) + w(i + 1))*0.25 + q(i, j)*0.5
+          end do
+        end do
+        do j = 2, jm - 1
+          do i = 2, im - 1
+            q(i, j) = q2(i, j)
+          end do
+        end do
+      end do
+      cks = 0.0
+      do j = 1, jm
+        do i = 1, im
+          cks = cks + q(i, j)
+        end do
+      end do
+      print *, 'arc2d', cks
+      end

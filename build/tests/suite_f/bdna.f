@@ -1,0 +1,45 @@
+
+      program bdna
+c     molecular dynamics of biomolecules: the paper's Figure 5 kernel —
+c     gather/compress through IND with the monotonic-counter proof; array
+c     privatization of A and IND enables the outer loop.
+      parameter (n = 150)
+      real x(n, n), y(n, n), a(n)
+      integer ind(n), p
+      real r, w, z, rcuts
+      w = 0.1
+      z = 0.05
+      rcuts = 1.1
+      do i = 1, n
+        do j = 1, n
+          x(i, j) = mod(i*5 + j*3, 17)*0.125
+          y(i, j) = mod(i + j*11, 13)*0.0625
+        end do
+      end do
+      do i = 2, n
+        do j = 1, i - 1
+          ind(j) = 0
+          a(j) = (x(i, j) - y(i, j))*1.125 + (x(i, j) + y(i, j))*0.0625
+          r = a(j)*0.75 + a(j)*0.25 + w
+          if (r .lt. rcuts) ind(j) = 1
+        end do
+        p = 0
+        do k = 1, i - 1
+          if (ind(k) .ne. 0) then
+            p = p + 1
+            ind(p) = k
+          end if
+        end do
+        do l = 1, p
+          m = ind(l)
+          x(i, l) = a(m) + z
+        end do
+      end do
+      cks = 0.0
+      do i = 1, n
+        do j = 1, n
+          cks = cks + x(i, j)
+        end do
+      end do
+      print *, 'bdna', cks
+      end

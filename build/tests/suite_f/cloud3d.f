@@ -1,0 +1,36 @@
+
+      program cloud3d
+c     3D atmospheric convection (NCSA): parallel per-column microphysics
+c     (needs the w buffer privatized) plus a sequential vertical
+c     integration that bounds the overall speedup.
+      parameter (nz = 60, ncol = 120, nsteps = 2)
+      real t(nz, ncol), pr(nz, ncol), w(nz)
+      do jc = 1, ncol
+        do k = 1, nz
+          t(k, jc) = mod(k*3 + jc, 23)*0.04 + 1.0
+          pr(k, jc) = 0.0
+        end do
+      end do
+      do s = 1, nsteps
+        do jc = 1, ncol
+          do k = 1, nz
+            w(k) = t(k, jc)*0.9 + 0.1
+          end do
+          do k = 2, nz
+            t(k, jc) = (w(k) + w(k - 1))*0.5
+          end do
+        end do
+        do k = 2, nz
+          do jc = 1, ncol
+            pr(k, jc) = pr(k - 1, jc)*0.98 + t(k, jc)*0.02
+          end do
+        end do
+      end do
+      cks = 0.0
+      do jc = 1, ncol
+        do k = 1, nz
+          cks = cks + t(k, jc) + pr(k, jc)
+        end do
+      end do
+      print *, 'cloud3d', cks
+      end

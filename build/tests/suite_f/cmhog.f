@@ -1,0 +1,37 @@
+
+      program cmhog
+c     3D ideal gas dynamics (NCSA): directional sweeps with a privatizable
+c     interface-state buffer per column; symbolic grid sizes.
+      parameter (maxn = 150)
+      real d(maxn, maxn), dn(maxn, maxn), wl(maxn)
+      integer nx, ny
+      nx = 120
+      ny = 120
+      do j = 1, ny
+        do i = 1, nx
+          d(i, j) = mod(i*2 + j, 19)*0.0625 + 0.5
+        end do
+      end do
+      do s = 1, 2
+        do j = 2, ny - 1
+          do i = 1, nx
+            wl(i) = d(i, j)*0.75 + d(i, j - 1)*0.25
+          end do
+          do i = 2, nx - 1
+            dn(i, j) = (wl(i - 1) + wl(i + 1))*0.5
+          end do
+        end do
+        do j = 2, ny - 1
+          do i = 2, nx - 1
+            d(i, j) = dn(i, j)
+          end do
+        end do
+      end do
+      cks = 0.0
+      do j = 1, ny
+        do i = 1, nx
+          cks = cks + d(i, j)
+        end do
+      end do
+      print *, 'cmhog', cks
+      end

@@ -1,0 +1,32 @@
+
+      program flo52
+c     transonic flow past an airfoil: multi-stage sweeps whose line buffer
+c     must be privatized for the outer loop (Polaris), plus a max-norm
+c     residual reduction.
+      parameter (ni = 96, nj = 120, nstage = 3)
+      real w(ni, nj), wn(ni, nj), fs(ni)
+      do j = 1, nj
+        do i = 1, ni
+          w(i, j) = mod(i*3 + j, 11)*0.1 + 0.5
+        end do
+      end do
+      res = 0.0
+      do s = 1, nstage
+        do j = 2, nj - 1
+          do i = 1, ni
+            fs(i) = w(i, j)*0.5 + w(i, j - 1)*0.25 + w(i, j + 1)*0.25
+          end do
+          do i = 2, ni - 1
+            wn(i, j) = (fs(i - 1) + fs(i + 1))*0.5
+          end do
+        end do
+        res = 0.0
+        do j = 2, nj - 1
+          do i = 2, ni - 1
+            res = max(res, abs(wn(i, j) - w(i, j)))
+            w(i, j) = wn(i, j)
+          end do
+        end do
+      end do
+      print *, 'flo52', w(ni/2, nj/2), res
+      end

@@ -1,0 +1,34 @@
+
+      program hydro2d
+c     galactic jets via Navier-Stokes: 2D stencils with a privatizable
+c     row buffer and a global sum reduction.
+      parameter (nx = 100, ny = 100, nsteps = 3)
+      real ro(nx, ny), rn(nx, ny), row(nx)
+      do j = 1, ny
+        do i = 1, nx
+          ro(i, j) = mod(i + 2*j, 7)*0.2 + 1.0
+        end do
+      end do
+      do s = 1, nsteps
+        do j = 2, ny - 1
+          do i = 1, nx
+            row(i) = ro(i, j)*0.6 + ro(i, j - 1)*0.2 + ro(i, j + 1)*0.2
+          end do
+          do i = 2, nx - 1
+            rn(i, j) = (row(i - 1) + row(i) + row(i + 1))/3.0
+          end do
+        end do
+        do j = 2, ny - 1
+          do i = 2, nx - 1
+            ro(i, j) = rn(i, j)
+          end do
+        end do
+      end do
+      total = 0.0
+      do j = 1, ny
+        do i = 1, nx
+          total = total + ro(i, j)
+        end do
+      end do
+      print *, 'hydro2d', total
+      end

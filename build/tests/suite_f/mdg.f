@@ -1,0 +1,26 @@
+
+      program mdg
+c     molecular dynamics of water: pairwise forces accumulate into
+c     per-particle arrays — histogram reductions (Polaris) — plus a
+c     scalar energy reduction.
+      parameter (np = 400, nnb = 27)
+      real f(np), v(np)
+      do i = 1, np
+        v(i) = mod(i*13, 31)*0.03
+        f(i) = 0.0
+      end do
+      energy = 0.0
+      do i = 1, np
+        do j = 1, nnb
+          k = mod(i*7 + j*13, np) + 1
+          f(k) = f(k) + v(i)*0.01
+          f(i) = f(i) - v(k)*0.005
+          energy = energy + v(i)*v(k)
+        end do
+      end do
+      cks = 0.0
+      do i = 1, np
+        cks = cks + f(i)
+      end do
+      print *, 'mdg', cks, energy
+      end

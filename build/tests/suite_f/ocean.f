@@ -1,0 +1,30 @@
+
+      program ocean
+c     Boussinesq fluid layer: the paper's Figure 3 FTRVMT kernel — the
+c     nonlinear term 258*x*j defeats linear tests; the range test (with
+c     the loop-order permutation) proves all three loops parallel.
+      parameter (x = 4)
+      integer z(0:3)
+      real a(35000)
+      do k = 0, x - 1
+        z(k) = 24
+      end do
+      do i = 1, 33540
+        a(i) = 0.0
+      end do
+      do k = 0, x - 1
+        do j = 0, z(k)
+          do i = 0, 128
+            a(258*x*j + 129*k + i + 1) = a(258*x*j + 129*k + i + 1)
+     &        + (k + 1)*0.25 + j*0.01 + (i + k)*0.002 + (j + k)*0.001
+            a(258*x*j + 129*k + i + 1 + 129*x) = (i + 1)*0.004
+     &        + (j + 1)*0.003 + (k + 1)*0.002 + (i + j + k)*0.001
+          end do
+        end do
+      end do
+      cks = 0.0
+      do i = 1, 33540
+        cks = cks + a(i)
+      end do
+      print *, 'ocean', cks
+      end

@@ -1,0 +1,29 @@
+
+      program su2cor
+c     Monte Carlo quantum mechanics: the lattice update is driven by a
+c     sequential congruential generator; both compilers keep it serial,
+c     and PFA's back end wins on code quality alone.
+      parameter (ns = 500, ng = 40)
+      real lat(ns), g(ns, ng)
+      integer seed
+      seed = 12345
+      do i = 1, 15000
+        seed = mod(seed*109 + 24691, 65536)
+        lat(mod(i, ns) + 1) = seed*0.0001
+      end do
+      do j = 1, ng
+        do i = 1, ns
+          g(i, j) = lat(i)*0.01 + j*0.001
+        end do
+      end do
+      do j = 2, ng
+        do i = 1, ns
+          g(i, j) = g(i, j - 1)*0.99 + g(i, j)*0.01
+        end do
+      end do
+      cks = 0.0
+      do i = 1, ns
+        cks = cks + g(i, ng)
+      end do
+      print *, 'su2cor', cks
+      end

@@ -1,0 +1,27 @@
+
+      program swim
+c     shallow water equations: long regular 1D sweeps with no privatization
+c     or symbolic obstacles — both compilers parallelize everything.
+      parameter (n = 5000)
+      real u(n), un(n)
+      do i = 1, n
+        u(i) = mod(i, 37)*0.05
+      end do
+      do i = 2, n - 1
+        un(i) = u(i) + (u(i + 1) - 2.0*u(i) + u(i - 1))*0.125
+      end do
+      do i = 2, n - 1
+        u(i) = un(i)
+      end do
+      do i = 2, n - 1
+        un(i) = u(i) + (u(i + 1) - 2.0*u(i) + u(i - 1))*0.125
+      end do
+      do i = 2, n - 1
+        u(i) = un(i)
+      end do
+      cks = 0.0
+      do i = 1, n
+        cks = cks + u(i)
+      end do
+      print *, 'swim', cks
+      end

@@ -1,0 +1,29 @@
+
+      program tfft2
+c     FFT kernel: butterfly strides j*le + k are nonlinear in the symbolic
+c     block size le (a multiplicative recurrence the stage loop keeps);
+c     only the range test proves the block loop parallel.
+      parameter (n = 4096, m = 12)
+      real xr(n)
+      integer le
+      do i = 1, n
+        xr(i) = mod(i*11, 127)*0.01
+      end do
+      le = 1
+      do l = 1, m - 3
+        le = le*2
+        do j = 0, n/le - 1
+          do k = 0, le/2 - 1
+            xr(j*le + k + 1) = xr(j*le + k + 1)
+     &        + xr(j*le + k + 1 + le/2)*0.5
+            xr(j*le + k + 1 + le/2) = xr(j*le + k + 1)
+     &        - xr(j*le + k + 1 + le/2)*0.25
+          end do
+        end do
+      end do
+      cks = 0.0
+      do i = 1, n
+        cks = cks + xr(i)
+      end do
+      print *, 'tfft2', cks
+      end

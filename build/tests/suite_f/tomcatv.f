@@ -1,0 +1,38 @@
+
+      program tomcatv
+c     2D mesh generation: both compilers parallelize the relaxation, but
+c     the 2-trip displacement loop inside the nest trips PFA's
+c     restructuring into overhead (the paper's tomcatv observation).
+      parameter (nx = 60, ny = 60, niter = 3)
+      real x(nx, ny, 2), xn(nx, ny, 2)
+      do j = 1, ny
+        do i = 1, nx
+          x(i, j, 1) = i*1.0 + mod(j, 5)*0.01
+          x(i, j, 2) = j*1.0 + mod(i, 7)*0.01
+        end do
+      end do
+      do it = 1, niter
+        do j = 2, ny - 1
+          do i = 2, nx - 1
+            do d = 1, 2
+              xn(i, j, d) = (x(i - 1, j, d) + x(i + 1, j, d)
+     &          + x(i, j - 1, d) + x(i, j + 1, d))*0.25
+            end do
+          end do
+        end do
+        do j = 2, ny - 1
+          do i = 2, nx - 1
+            do d = 1, 2
+              x(i, j, d) = xn(i, j, d)
+            end do
+          end do
+        end do
+      end do
+      cks = 0.0
+      do j = 1, ny
+        do i = 1, nx
+          cks = cks + x(i, j, 1) + x(i, j, 2)
+        end do
+      end do
+      print *, 'tomcatv', cks
+      end

@@ -1,0 +1,28 @@
+
+      program trfd
+c     quantum mechanics integral transformation: the paper's Figure 2 OLDA
+c     kernel — induction substitution produces the nonlinear subscript
+c     (i*(n**2+n) + j**2 - j)/2 + k + 1 that only the range test handles;
+c     the baseline cannot substitute in the triangular nest at all.
+      parameter (nv = 40, nmo = 8)
+      real xrsiq(6240)
+      integer x
+      do i = 1, 6240
+        xrsiq(i) = 0.0
+      end do
+      x = 0
+      do i = 0, nmo - 1
+        do j = 0, nv - 1
+          do k = 0, j - 1
+            x = x + 1
+            xrsiq(x) = (i + 1)*0.5 + j*0.25 + k*0.125
+     &        + (i + j)*0.0625 + (j + k)*0.03125 + (i + k + 2)*0.015625
+          end do
+        end do
+      end do
+      cks = 0.0
+      do i = 1, 6240
+        cks = cks + xrsiq(i)
+      end do
+      print *, 'trfd', cks
+      end

@@ -1,0 +1,34 @@
+
+      program wave5
+c     particle-in-cell plasma code: the particle push parallelizes for
+c     both; the scatter through the computed index is not a recognizable
+c     reduction and the field recurrence is serial, so overall speedup
+c     stays near 1 (as the paper reports for a few codes).
+      parameter (np = 6000, ngrid = 800)
+      real px(np), vx(np), e(ngrid), field(ngrid)
+      dat1 = 0.5
+      do i = 1, np
+        px(i) = mod(i*17, ngrid)*1.0
+        vx(i) = mod(i, 11)*0.1 - 0.5
+      end do
+      do i = 1, np
+        px(i) = px(i) + vx(i)*0.5
+        if (px(i) .lt. 0.0) px(i) = px(i) + 799.0
+      end do
+      do i = 1, ngrid
+        e(i) = 0.0
+      end do
+      do i = 1, np
+        ig = int(px(i)) + 1
+        if (ig .gt. ngrid) ig = ngrid
+        e(ig) = e(ig)*0.5 + dat1*0.125
+      end do
+      do i = 2, ngrid
+        field(i) = field(i - 1)*0.5 + e(i)
+      end do
+      cks = 0.0
+      do i = 1, ngrid
+        cks = cks + field(i)
+      end do
+      print *, 'wave5', cks
+      end
