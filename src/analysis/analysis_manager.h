@@ -1,0 +1,132 @@
+// Cached analysis results shared across restructuring passes.
+//
+// Polaris's passes repeatedly ask the same structural questions about the
+// same regions — "what may this loop body write?", "which scalars are
+// upward-exposed?" — and, in the seed, every call recomputed the answer by
+// walking the region.  AnalysisManager memoizes those queries (keyed by
+// region endpoints, which are stable Statement identities while the IR is
+// not mutated) so that within a pass every repeated query is a cache hit.
+//
+// Invalidation follows the LLVM PreservedAnalyses idiom: each pass returns
+// the set of analyses its transformation kept valid; the pass manager then
+// drops everything else from the cache.  A pass that only annotates
+// (e.g. DOALL marking) preserves everything; a pass that rewrites
+// statements or expressions preserves nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "analysis/gsa.h"
+#include "analysis/structure.h"
+#include "ir/program.h"
+#include "symbolic/compare.h"
+
+namespace polaris {
+
+/// The analysis families the manager caches.  Coarse by design: passes
+/// reason about "structure facts" as a unit, not per-region entries.
+enum class AnalysisID : unsigned {
+  StructureFacts = 0,  ///< region def/use sets, loop lists, invariance
+  GsaFacts = 1,        ///< demand-driven GSA query engines
+  FactContexts = 2,    ///< loop/guard FactContexts for symbolic proofs
+};
+
+/// A pass's declaration of which cached analyses survived it.
+class PreservedAnalyses {
+ public:
+  /// Nothing survived: the pass rewrote the IR.
+  static PreservedAnalyses none() { return PreservedAnalyses{0}; }
+  /// Everything survived: the pass only read or annotated the IR.
+  static PreservedAnalyses all() { return PreservedAnalyses{~0u}; }
+
+  PreservedAnalyses& preserve(AnalysisID id) {
+    mask_ |= 1u << static_cast<unsigned>(id);
+    return *this;
+  }
+  bool preserved(AnalysisID id) const {
+    return (mask_ >> static_cast<unsigned>(id)) & 1u;
+  }
+  bool preserved_all() const { return mask_ == ~0u; }
+
+ private:
+  explicit PreservedAnalyses(unsigned mask) : mask_(mask) {}
+  unsigned mask_;
+};
+
+class AnalysisManager {
+ public:
+  AnalysisManager() = default;
+  AnalysisManager(const AnalysisManager&) = delete;
+  AnalysisManager& operator=(const AnalysisManager&) = delete;
+
+  // --- memoized structure queries (see analysis/structure.h) ---------------
+  const std::set<Symbol*>& must_defined_scalars(Statement* first,
+                                                Statement* last);
+  const std::set<Symbol*>& may_defined_symbols(Statement* first,
+                                               Statement* last);
+  const std::set<Symbol*>& upward_exposed_scalars(Statement* first,
+                                                  Statement* last);
+  const std::set<Symbol*>& used_symbols(Statement* first, Statement* last);
+
+  /// Loop-invariance through the cached may-defined set of the loop.
+  bool is_loop_invariant(const Expression& e, DoStmt* loop);
+
+  /// All loops of the unit, innermost first (cached per statement list).
+  const std::vector<DoStmt*>& loops_postorder(ProgramUnit& unit);
+
+  // --- GSA query engines ---------------------------------------------------
+  /// The unit's demand-driven GSA engine (one instance per unit, reused by
+  /// privatization and dependence analysis within a pass).
+  GsaQuery& gsa(ProgramUnit& unit);
+
+  // --- symbolic fact contexts ----------------------------------------------
+  /// Memoized FactContext for a program point; `compute` runs on a miss.
+  /// The builder lives in dep/regions.cpp, so the manager takes it as a
+  /// callback rather than depending on the dep layer.
+  const FactContext& fact_context(Statement* at,
+                                  const std::function<FactContext()>& compute);
+  /// Same, keyed by (carrier, ordered access pair) — the range test builds
+  /// one context per tested pair per carrier loop.  The pair is ordered
+  /// because elimination ranks differ between (a, b) and (b, a).
+  const FactContext& pair_fact_context(
+      Statement* carrier, Statement* a, Statement* b,
+      const std::function<FactContext()>& compute);
+
+  // --- invalidation --------------------------------------------------------
+  /// Drops every cached family `pa` does not preserve.
+  void invalidate(const PreservedAnalyses& pa);
+  void invalidate_all();
+
+  // --- accounting ----------------------------------------------------------
+  struct Stats {
+    std::uint64_t queries = 0;     ///< memoized lookups answered
+    std::uint64_t hits = 0;        ///< answered from cache
+    std::uint64_t recomputes = 0;  ///< answered by running the analysis
+    std::uint64_t invalidations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum StructureQuery { kMustDef = 0, kMayDef, kExposed, kUsed, kNumQueries };
+  using RegionKey = std::pair<Statement*, Statement*>;
+
+  const std::set<Symbol*>& region_query(StructureQuery q, Statement* first,
+                                        Statement* last);
+
+  std::map<RegionKey, std::set<Symbol*>> region_[kNumQueries];
+  std::map<StmtList*, std::vector<DoStmt*>> loops_;
+  std::map<ProgramUnit*, std::unique_ptr<GsaQuery>> gsa_;
+  using PairKey = std::pair<Statement*, RegionKey>;
+
+  std::map<Statement*, FactContext> facts_;
+  std::map<PairKey, FactContext> pair_facts_;
+  Stats stats_;
+};
+
+}  // namespace polaris

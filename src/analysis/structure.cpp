@@ -251,13 +251,18 @@ bool has_calls(Statement* first, Statement* last) {
 }
 
 bool is_loop_invariant(const Expression& e, DoStmt* loop) {
+  return is_loop_invariant(e, loop,
+                           may_defined_symbols(loop, loop->follow()));
+}
+
+bool is_loop_invariant(const Expression& e, DoStmt* loop,
+                       const std::set<Symbol*>& loop_may_defined) {
+  (void)loop;
   if (expr_has_user_call(e)) return false;
-  std::set<Symbol*> defined =
-      may_defined_symbols(loop, loop->follow());
   std::set<Symbol*> used;
   collect_uses(e, used);
   for (Symbol* s : used)
-    if (defined.count(s)) return false;
+    if (loop_may_defined.count(s)) return false;
   return true;
 }
 

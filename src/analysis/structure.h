@@ -45,6 +45,11 @@ bool has_calls(Statement* first, Statement* last);
 /// no user function calls.
 bool is_loop_invariant(const Expression& e, DoStmt* loop);
 
+/// Same, with the loop's may-defined set supplied by the caller (the
+/// AnalysisManager caches it; the two-argument form recomputes per call).
+bool is_loop_invariant(const Expression& e, DoStmt* loop,
+                       const std::set<Symbol*>& loop_may_defined);
+
 /// True if scalar `s` may be used after `loop` exits before being
 /// redefined (conservative: region scan to the end of the unit; GOTO makes
 /// everything live).

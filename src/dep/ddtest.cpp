@@ -23,7 +23,8 @@ std::vector<DoStmt*> common_nest(Statement* s1, Statement* s2) {
 enum class PairVerdict { Gcd, Banerjee, RangeTest, Dependent };
 
 PairVerdict test_pair(DoStmt* loop, const ArrayAccess& a,
-                      const ArrayAccess& b, const Options& opts) {
+                      const ArrayAccess& b, const Options& opts,
+                      AnalysisManager& am) {
   std::vector<DoStmt*> nest = common_nest(a.stmt, b.stmt);
   p_assert_msg(std::find(nest.begin(), nest.end(), loop) != nest.end(),
                "carrier loop must enclose both accesses");
@@ -47,7 +48,7 @@ PairVerdict test_pair(DoStmt* loop, const ArrayAccess& a,
         return PairVerdict::Banerjee;
     }
     if (opts.range_test) {
-      RangeTest rt(opts);
+      RangeTest rt(opts, &am);
       if (rt.independent(loop, a, b)) return PairVerdict::RangeTest;
     }
   }
@@ -60,6 +61,15 @@ LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
                               Diagnostics& diags,
                               const std::set<Symbol*>& exempt,
                               const std::string& context) {
+  AnalysisManager am;
+  return test_loop_arrays(loop, opts, diags, exempt, context, am);
+}
+
+LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
+                              Diagnostics& diags,
+                              const std::set<Symbol*>& exempt,
+                              const std::string& context,
+                              AnalysisManager& am) {
   LoopDepStats stats;
   auto accesses = collect_array_accesses(loop);
   for (auto& [array, refs] : accesses) {
@@ -71,7 +81,7 @@ LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
         // dependence across iterations).
         if (i == j && !refs[i].is_write) continue;
         ++stats.pairs;
-        switch (test_pair(loop, refs[i], refs[j], opts)) {
+        switch (test_pair(loop, refs[i], refs[j], opts, am)) {
           case PairVerdict::Gcd:
             ++stats.by_gcd;
             break;

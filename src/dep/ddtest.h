@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "dep/access.h"
 #include "support/diagnostics.h"
 #include "support/options.h"
@@ -29,7 +30,15 @@ struct LoopDepStats {
 
 /// Tests every array-access pair in `loop` (skipping arrays in `exempt`)
 /// for dependences carried by `loop`.  `context` labels diagnostics, e.g.
-/// "main/do_100".
+/// "main/do_100".  Range-test fact contexts are memoized in `am` so probe
+/// and final runs over the same loop share them.
+LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
+                              Diagnostics& diags,
+                              const std::set<Symbol*>& exempt,
+                              const std::string& context,
+                              AnalysisManager& am);
+
+/// Convenience overload with a private AnalysisManager.
 LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
                               Diagnostics& diags,
                               const std::set<Symbol*>& exempt,

@@ -160,28 +160,38 @@ bool RangeTest::independent(DoStmt* carrier, const ArrayAccess& a,
   // Facts: every enclosing loop of either access contributes its bounds,
   // plus the guard conditions around the carrier (they hold for every
   // execution of the body); ranks make inner indices eliminate first.
-  FactContext ctx;
-  add_guard_facts(ctx, carrier);
-  int rank = 1;
-  for (DoStmt* d : nest_a) {
-    auto bounds = oriented_bounds(d);
-    if (bounds) {
-      ctx.add_ge0(Polynomial::symbol(d->index()) - bounds->lo);
-      ctx.add_ge0(bounds->hi - Polynomial::symbol(d->index()));
-      ctx.add_ge0(bounds->hi - bounds->lo);  // at least one iteration
+  // Memoized per (carrier, pair) when an AnalysisManager is attached —
+  // DOALL probes and the final run re-test the same pairs.
+  auto build_ctx = [&] {
+    FactContext fc;
+    add_guard_facts(fc, carrier);
+    int rank = 1;
+    for (DoStmt* d : nest_a) {
+      auto bounds = oriented_bounds(d);
+      if (bounds) {
+        fc.add_ge0(Polynomial::symbol(d->index()) - bounds->lo);
+        fc.add_ge0(bounds->hi - Polynomial::symbol(d->index()));
+        fc.add_ge0(bounds->hi - bounds->lo);  // at least one iteration
+      }
+      fc.set_rank(index_atom(d), rank++);
     }
-    ctx.set_rank(index_atom(d), rank++);
-  }
-  for (DoStmt* d : nest_b) {
-    if (std::find(nest_a.begin(), nest_a.end(), d) != nest_a.end()) continue;
-    auto bounds = oriented_bounds(d);
-    if (bounds) {
-      ctx.add_ge0(Polynomial::symbol(d->index()) - bounds->lo);
-      ctx.add_ge0(bounds->hi - Polynomial::symbol(d->index()));
-      ctx.add_ge0(bounds->hi - bounds->lo);
+    for (DoStmt* d : nest_b) {
+      if (std::find(nest_a.begin(), nest_a.end(), d) != nest_a.end())
+        continue;
+      auto bounds = oriented_bounds(d);
+      if (bounds) {
+        fc.add_ge0(Polynomial::symbol(d->index()) - bounds->lo);
+        fc.add_ge0(bounds->hi - Polynomial::symbol(d->index()));
+        fc.add_ge0(bounds->hi - bounds->lo);
+      }
+      fc.set_rank(index_atom(d), rank++);
     }
-    ctx.set_rank(index_atom(d), rank++);
-  }
+    return fc;
+  };
+  const FactContext local_ctx = am_ ? FactContext{} : build_ctx();
+  const FactContext& ctx =
+      am_ ? am_->pair_fact_context(carrier, a.stmt, b.stmt, build_ctx)
+          : local_ctx;
 
   // Enumerate fixed-subsets of the common inner loops ("loop permutations"
   // in the paper's terms), bounded by the option.

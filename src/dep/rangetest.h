@@ -16,6 +16,7 @@
 // outer loop is tested — precisely the swap the paper describes.
 #pragma once
 
+#include "analysis/analysis_manager.h"
 #include "dep/access.h"
 #include "support/diagnostics.h"
 #include "support/options.h"
@@ -25,7 +26,10 @@ namespace polaris {
 
 class RangeTest {
  public:
-  explicit RangeTest(const Options& opts) : opts_(opts) {}
+  /// `am` (optional) memoizes the per-pair fact contexts, which dominate
+  /// setup cost when the same pairs are re-tested.
+  explicit RangeTest(const Options& opts, AnalysisManager* am = nullptr)
+      : opts_(opts), am_(am) {}
 
   /// True if `carrier` provably carries no dependence between accesses
   /// `a` and `b` (to the same array; at least one a write).  False means
@@ -52,6 +56,7 @@ class RangeTest {
                       std::int64_t step, const FactContext& ctx) const;
 
   const Options& opts_;
+  AnalysisManager* am_ = nullptr;
 };
 
 }  // namespace polaris

@@ -1,11 +1,8 @@
 #include "driver/compiler.h"
 
+#include "driver/pass_manager.h"
 #include "parser/parser.h"
 #include "parser/printer.h"
-#include "passes/constprop.h"
-#include "passes/forwardsub.h"
-#include "passes/normalize.h"
-#include "passes/strength.h"
 #include "symbolic/simplify.h"
 
 namespace polaris {
@@ -21,33 +18,16 @@ void Compiler::transform(Program& program, CompileReport* report) {
   CompileReport local;
   CompileReport& rep = report ? *report : local;
 
-  // 1. Interprocedural analysis via inline expansion (Section 3.1).
-  rep.inlining = inline_calls(program, opts_, rep.diagnostics);
+  // The battery (inline expansion, constant propagation, normalization,
+  // induction substitution, forward substitution, DOALL recognition,
+  // strength reduction — paper Sections 3.1-3.5) runs through the pass
+  // manager; Options::pipeline_spec swaps in a custom `-passes=` battery.
+  AnalysisManager am;
+  PassContext ctx{program, opts_, rep};
+  PassPipeline::from_options(opts_).run(program, am, ctx);
+  rep.analysis = am.stats();
 
   for (const auto& unit : program.units()) {
-    // 2. Constant propagation / simplification, then loop normalization
-    //    (unit steps for the induction and dependence machinery).
-    propagate_constants(*unit);
-    normalize_loops(*unit, opts_, rep.diagnostics);
-    // 3. Induction variable substitution (Section 3.2).
-    InductionResult ind =
-        substitute_inductions(*unit, opts_, rep.diagnostics);
-    rep.induction.substituted += ind.substituted;
-    rep.induction.rejected += ind.rejected;
-    // 3b. Forward substitution exposes subscripts written through scalar
-    //     temporaries to the dependence tests.
-    forward_substitute(*unit, opts_, rep.diagnostics);
-    // 4. DOALL recognition: reductions, privatization, dependence tests
-    //    (Sections 3.2-3.5).
-    DoallSummary ds =
-        mark_doall_loops(&program, *unit, opts_, rep.diagnostics);
-    // 5. Strength reduction of substituted induction expressions inside
-    //    parallel loops (the paper's private-copy scheme).
-    strength_reduce(*unit, opts_, rep.diagnostics);
-    rep.doall.loops += ds.loops;
-    rep.doall.parallel += ds.parallel;
-    rep.doall.speculative += ds.speculative;
-
     for (DoStmt* loop : unit->stmts().loops()) {
       LoopReport lr;
       lr.unit = unit->name();

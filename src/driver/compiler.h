@@ -4,6 +4,11 @@
 //   substitution -> DOALL recognition (reductions, privatization,
 //   dependence tests) -> annotated source + per-loop report.
 //
+// The pipeline itself is assembled by the pass manager
+// (driver/pass_manager.h): Options::pipeline_spec selects a custom
+// `-passes=` battery, otherwise the standard one runs.  An
+// AnalysisManager carries cached flow facts across passes.
+//
 // Two modes reproduce the paper's comparison: CompilerMode::Polaris runs
 // the full battery; CompilerMode::Baseline models the 1996 commercial
 // compiler ("PFA"): linear dependence tests only, scalar privatization,
@@ -18,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis_manager.h"
+#include "driver/pass_manager.h"
 #include "ir/program.h"
 #include "machine/machine.h"
 #include "passes/doall.h"
@@ -51,6 +58,11 @@ struct CompileReport {
   std::vector<LoopReport> loops;
   Diagnostics diagnostics;
   std::string annotated_source;  ///< the source-to-source output
+  /// Per-pass instrumentation in pipeline order (wall time, diagnostics,
+  /// IR deltas, analysis-cache hit rates) — the `-timing` CLI payload.
+  std::vector<PassTiming> pass_timings;
+  /// Aggregate AnalysisManager accounting for the whole compilation.
+  AnalysisManager::Stats analysis;
 };
 
 class Compiler {

@@ -9,6 +9,10 @@
 //   polaris -run [-p N] file.f     execute on the simulated N-processor
 //                                  machine (default 8) and print speedup
 //   polaris -seq file.f            execute sequentially (reference)
+//   polaris -passes=SPEC file.f    run a custom pass pipeline, e.g.
+//                                  -passes=constprop,normalize,doall
+//   polaris -timing file.f         per-pass wall time, IR deltas, and
+//                                  analysis-cache hit rates
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,7 +29,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: polaris [-report] [-diag] [-baseline] [-omp] [-run] "
-               "[-seq] [-p N] file.f\n");
+               "[-seq] [-p N] [-passes=SPEC] [-timing] file.f\n");
   return 2;
 }
 
@@ -35,9 +39,10 @@ int main(int argc, char** argv) {
   using namespace polaris;
 
   bool report_mode = false, diag_mode = false, baseline = false;
-  bool run_mode = false, seq_mode = false, omp = false;
+  bool run_mode = false, seq_mode = false, omp = false, timing = false;
+  bool passes_given = false;
   int processors = 8;
-  std::string path;
+  std::string path, passes_spec;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-report") == 0) report_mode = true;
@@ -46,6 +51,11 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "-run") == 0) run_mode = true;
     else if (std::strcmp(argv[i], "-omp") == 0) omp = true;
     else if (std::strcmp(argv[i], "-seq") == 0) seq_mode = true;
+    else if (std::strcmp(argv[i], "-timing") == 0) timing = true;
+    else if (std::strncmp(argv[i], "-passes=", 8) == 0) {
+      passes_given = true;
+      passes_spec = argv[i] + 8;
+    }
     else if (std::strcmp(argv[i], "-p") == 0 && i + 1 < argc) {
       processors = std::atoi(argv[++i]);
       if (processors < 1) return usage();
@@ -80,8 +90,34 @@ int main(int argc, char** argv) {
     CompilerMode mode =
         baseline ? CompilerMode::Baseline : CompilerMode::Polaris;
     Compiler compiler(mode);
+    if (passes_given) {
+      PassPipeline::parse(passes_spec);  // reject bad specs before compiling
+      compiler.options().pipeline_spec = passes_spec;
+    }
     CompileReport report;
     auto prog = compiler.compile(source, &report);
+
+    if (timing) {
+      std::printf("%-12s %5s %10s %6s %7s %7s %9s %7s\n", "pass", "runs",
+                  "ms", "diags", "stmt+-", "expr+-", "aqueries", "ahits");
+      double total_ms = 0.0;
+      for (const PassTiming& t : report.pass_timings) {
+        std::printf("%-12s %5d %10.3f %6d %+7ld %+7ld %9llu %7llu\n",
+                    t.pass.c_str(), t.runs, t.ms, t.diags, t.stmt_delta,
+                    t.expr_delta,
+                    static_cast<unsigned long long>(t.analysis_queries),
+                    static_cast<unsigned long long>(t.analysis_hits));
+        total_ms += t.ms;
+      }
+      std::printf("total: %.3f ms; analysis cache: %llu queries, "
+                  "%llu hits, %llu recomputes, %llu invalidations\n",
+                  total_ms,
+                  static_cast<unsigned long long>(report.analysis.queries),
+                  static_cast<unsigned long long>(report.analysis.hits),
+                  static_cast<unsigned long long>(report.analysis.recomputes),
+                  static_cast<unsigned long long>(
+                      report.analysis.invalidations));
+    }
 
     if (report_mode) {
       std::printf("%d loops, %d parallel, %d speculative; %d calls "
@@ -130,7 +166,7 @@ int main(int argc, char** argv) {
               (static_cast<double>(run.clock.parallel) *
                cfg.codegen_factor));
     }
-    if (!report_mode && !diag_mode && !run_mode) {
+    if (!report_mode && !diag_mode && !run_mode && !timing) {
       if (omp)
         std::printf("%s",
                     to_source(*prog, DirectiveStyle::OpenMP).c_str());

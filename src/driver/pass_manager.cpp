@@ -1,0 +1,256 @@
+#include "driver/pass_manager.h"
+
+#include <chrono>
+
+#include "driver/compiler.h"
+#include "passes/constprop.h"
+#include "passes/doall.h"
+#include "passes/forwardsub.h"
+#include "passes/induction.h"
+#include "passes/inliner.h"
+#include "passes/normalize.h"
+#include "passes/strength.h"
+#include "support/string_util.h"
+
+namespace polaris {
+
+namespace {
+
+/// Preserve everything when nothing changed, nothing when the IR did.
+PreservedAnalyses preserved_if_unchanged(int changes) {
+  return changes == 0 ? PreservedAnalyses::all() : PreservedAnalyses::none();
+}
+
+class InlinePass : public Pass {
+ public:
+  std::string name() const override { return "inline"; }
+  bool program_scope() const override { return true; }
+  PreservedAnalyses run(ProgramUnit&, AnalysisManager&,
+                        PassContext& ctx) override {
+    InlineResult r = inline_calls(ctx.program, ctx.opts,
+                                  ctx.report.diagnostics);
+    ctx.report.inlining.expanded += r.expanded;
+    ctx.report.inlining.skipped += r.skipped;
+    return preserved_if_unchanged(r.expanded);
+  }
+};
+
+class ConstPropPass : public Pass {
+ public:
+  std::string name() const override { return "constprop"; }
+  PreservedAnalyses run(ProgramUnit& unit, AnalysisManager&,
+                        PassContext&) override {
+    return preserved_if_unchanged(propagate_constants(unit));
+  }
+};
+
+class NormalizePass : public Pass {
+ public:
+  std::string name() const override { return "normalize"; }
+  PreservedAnalyses run(ProgramUnit& unit, AnalysisManager& am,
+                        PassContext& ctx) override {
+    return preserved_if_unchanged(
+        normalize_loops(unit, ctx.opts, ctx.report.diagnostics, am));
+  }
+};
+
+class InductionPass : public Pass {
+ public:
+  std::string name() const override { return "induction"; }
+  PreservedAnalyses run(ProgramUnit& unit, AnalysisManager& am,
+                        PassContext& ctx) override {
+    InductionResult r =
+        substitute_inductions(unit, ctx.opts, ctx.report.diagnostics, am);
+    ctx.report.induction.substituted += r.substituted;
+    ctx.report.induction.rejected += r.rejected;
+    return preserved_if_unchanged(r.substituted);
+  }
+};
+
+class ForwardSubPass : public Pass {
+ public:
+  std::string name() const override { return "forwardsub"; }
+  PreservedAnalyses run(ProgramUnit& unit, AnalysisManager&,
+                        PassContext& ctx) override {
+    return preserved_if_unchanged(
+        forward_substitute(unit, ctx.opts, ctx.report.diagnostics));
+  }
+};
+
+class DoallPass : public Pass {
+ public:
+  std::string name() const override { return "doall"; }
+  PreservedAnalyses run(ProgramUnit& unit, AnalysisManager& am,
+                        PassContext& ctx) override {
+    DoallSummary ds = mark_doall_loops(&ctx.program, unit, ctx.opts,
+                                       ctx.report.diagnostics, am);
+    ctx.report.doall.loops += ds.loops;
+    ctx.report.doall.parallel += ds.parallel;
+    ctx.report.doall.speculative += ds.speculative;
+    // Annotation only: ParallelInfo and reduction flags do not affect any
+    // cached flow fact.
+    return PreservedAnalyses::all();
+  }
+};
+
+class StrengthPass : public Pass {
+ public:
+  std::string name() const override { return "strength"; }
+  PreservedAnalyses run(ProgramUnit& unit, AnalysisManager& am,
+                        PassContext& ctx) override {
+    return preserved_if_unchanged(
+        strength_reduce(unit, ctx.opts, ctx.report.diagnostics, am));
+  }
+};
+
+struct Registration {
+  const char* name;
+  std::unique_ptr<Pass> (*make)();
+};
+
+template <typename P>
+std::unique_ptr<Pass> make_pass() {
+  return std::make_unique<P>();
+}
+
+/// In standard battery order; parse() and standard() both consult this.
+const Registration kRegistry[] = {
+    {"inline", make_pass<InlinePass>},
+    {"constprop", make_pass<ConstPropPass>},
+    {"normalize", make_pass<NormalizePass>},
+    {"induction", make_pass<InductionPass>},
+    {"forwardsub", make_pass<ForwardSubPass>},
+    {"doall", make_pass<DoallPass>},
+    {"strength", make_pass<StrengthPass>},
+};
+
+std::unique_ptr<Pass> create_pass(const std::string& name) {
+  for (const Registration& r : kRegistry)
+    if (name == r.name) return r.make();
+  return nullptr;
+}
+
+IrSize program_ir_size(const Program& program) {
+  IrSize total;
+  for (const auto& unit : program.units()) {
+    IrSize s = unit_ir_size(*unit);
+    total.stmts += s.stmts;
+    total.exprs += s.exprs;
+  }
+  return total;
+}
+
+}  // namespace
+
+IrSize unit_ir_size(const ProgramUnit& unit) {
+  IrSize size;
+  for (const Statement* s : unit.stmts()) {
+    ++size.stmts;
+    for (const Expression* e : s->expressions())
+      walk(*e, [&](const Expression&) { ++size.exprs; });
+  }
+  return size;
+}
+
+void PassPipeline::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+std::vector<std::string> PassPipeline::pass_names() const {
+  std::vector<std::string> out;
+  for (const auto& p : passes_) out.push_back(p->name());
+  return out;
+}
+
+PassPipeline PassPipeline::standard() {
+  PassPipeline pipeline;
+  for (const Registration& r : kRegistry) pipeline.add(r.make());
+  return pipeline;
+}
+
+PassPipeline PassPipeline::parse(const std::string& spec) {
+  PassPipeline pipeline;
+  for (const std::string& raw : split(spec, ',')) {
+    std::string name = trim(raw);
+    if (name.empty())
+      throw UserError("empty pass name in pipeline spec '" + spec + "'");
+    std::unique_ptr<Pass> pass = create_pass(name);
+    if (pass == nullptr)
+      throw UserError("unknown pass '" + name + "' in pipeline spec (known: " +
+                      join(registered_passes(), ",") + ")");
+    pipeline.add(std::move(pass));
+  }
+  if (pipeline.empty())
+    throw UserError("empty pipeline spec");
+  return pipeline;
+}
+
+PassPipeline PassPipeline::from_options(const Options& opts) {
+  return opts.pipeline_spec.empty() ? standard() : parse(opts.pipeline_spec);
+}
+
+std::vector<std::string> PassPipeline::registered_passes() {
+  std::vector<std::string> out;
+  for (const Registration& r : kRegistry) out.emplace_back(r.name);
+  return out;
+}
+
+void PassPipeline::run(Program& program, AnalysisManager& am,
+                       PassContext& ctx) const {
+  const std::size_t first_timing = ctx.report.pass_timings.size();
+  for (const auto& pass : passes_) {
+    PassTiming t;
+    t.pass = pass->name();
+    ctx.report.pass_timings.push_back(std::move(t));
+  }
+
+  auto run_one = [&](Pass& pass, ProgramUnit& unit, PassTiming& timing) {
+    const bool whole_program = pass.program_scope();
+    IrSize before =
+        whole_program ? program_ir_size(program) : unit_ir_size(unit);
+    const std::size_t diags_before = ctx.report.diagnostics.all().size();
+    const AnalysisManager::Stats stats_before = am.stats();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    PreservedAnalyses preserved = pass.run(unit, am, ctx);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    am.invalidate(preserved);
+    IrSize after =
+        whole_program ? program_ir_size(program) : unit_ir_size(unit);
+
+    ++timing.runs;
+    timing.ms +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    timing.diags += static_cast<int>(ctx.report.diagnostics.all().size() -
+                                     diags_before);
+    timing.stmt_delta += after.stmts - before.stmts;
+    timing.expr_delta += after.exprs - before.exprs;
+    timing.analysis_queries += am.stats().queries - stats_before.queries;
+    timing.analysis_hits += am.stats().hits - stats_before.hits;
+  };
+
+  // Group maximal runs of unit-scope passes so every unit sees the whole
+  // group in order before the next unit starts (the seed driver's order);
+  // program-scope passes run alone.
+  std::size_t i = 0;
+  while (i < passes_.size()) {
+    if (passes_[i]->program_scope()) {
+      run_one(*passes_[i], *program.main(),
+              ctx.report.pass_timings[first_timing + i]);
+      ++i;
+      continue;
+    }
+    std::size_t group_end = i;
+    while (group_end < passes_.size() &&
+           !passes_[group_end]->program_scope())
+      ++group_end;
+    for (const auto& unit : program.units())
+      for (std::size_t j = i; j < group_end; ++j)
+        run_one(*passes_[j], *unit,
+                ctx.report.pass_timings[first_timing + j]);
+    i = group_end;
+  }
+}
+
+}  // namespace polaris

@@ -1,0 +1,105 @@
+// The pass-manager layer: the restructuring battery as data, not code.
+//
+// The seed hard-coded the Polaris pipeline as a fixed call sequence in
+// Compiler::transform.  This layer reifies each transformation as a Pass
+// with a uniform signature (the LLVM PassInfoMixin/PreservedAnalyses
+// idiom), assembles them into a PassPipeline — either the named standard
+// battery or a textual spec such as
+//
+//     -passes=inline,constprop,normalize,induction,forwardsub,doall,strength
+//
+// — and runs the pipeline with per-pass instrumentation: wall time,
+// diagnostics emitted, IR statement/expression deltas, and analysis-cache
+// hit rates.  Ablations reorder or drop passes without code edits; the
+// AnalysisManager carries flow facts across passes and is invalidated
+// according to each pass's PreservedAnalyses declaration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis_manager.h"
+#include "ir/program.h"
+#include "support/diagnostics.h"
+#include "support/options.h"
+
+namespace polaris {
+
+struct CompileReport;  // driver/compiler.h; carries the pass result counters
+
+/// Everything a pass may read or update besides the unit it transforms.
+struct PassContext {
+  Program& program;        ///< whole program (inliner, purity analysis)
+  const Options& opts;     ///< transformation switches
+  CompileReport& report;   ///< result counters + diagnostics sink
+};
+
+/// One restructuring pass.  Unit-scope passes run once per program unit;
+/// program-scope passes (the inliner) run once for the whole program and
+/// receive the main unit as `unit`.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  virtual bool program_scope() const { return false; }
+  /// Transforms `unit` and declares which cached analyses survived.
+  virtual PreservedAnalyses run(ProgramUnit& unit, AnalysisManager& am,
+                                PassContext& ctx) = 0;
+};
+
+/// Per-pass instrumentation, accumulated over every unit the pass ran on.
+struct PassTiming {
+  std::string pass;
+  int runs = 0;             ///< invocations (units, or 1 for program scope)
+  double ms = 0.0;          ///< total wall time
+  int diags = 0;            ///< diagnostics emitted
+  long stmt_delta = 0;      ///< IR statements added minus removed
+  long expr_delta = 0;      ///< IR expression nodes added minus removed
+  std::uint64_t analysis_queries = 0;  ///< AnalysisManager lookups
+  std::uint64_t analysis_hits = 0;     ///< answered from cache
+};
+
+/// IR size metric used for the per-pass deltas.
+struct IrSize {
+  long stmts = 0;
+  long exprs = 0;
+};
+IrSize unit_ir_size(const ProgramUnit& unit);
+
+class PassPipeline {
+ public:
+  void add(std::unique_ptr<Pass> pass);
+  bool empty() const { return passes_.empty(); }
+  std::vector<std::string> pass_names() const;
+
+  /// The standard Polaris battery.  Options::polaris() and
+  /// Options::baseline() both resolve to this pipeline — the switches
+  /// inside Options decide what each pass actually does.
+  static PassPipeline standard();
+
+  /// Builds a pipeline from a comma-separated spec ("constprop,doall").
+  /// Throws UserError on an empty component or unknown pass name.
+  static PassPipeline parse(const std::string& spec);
+
+  /// The pipeline `opts` selects: parse(opts.pipeline_spec) when set,
+  /// standard() otherwise.
+  static PassPipeline from_options(const Options& opts);
+
+  /// Registered pass names, in standard battery order.
+  static std::vector<std::string> registered_passes();
+
+  /// Runs the pipeline over `program`.  Consecutive unit-scope passes are
+  /// grouped and applied unit-by-unit (each unit sees the whole group in
+  /// order before the next unit starts — the order the seed driver used);
+  /// program-scope passes form their own group.  Appends one PassTiming
+  /// per pipeline position to `ctx.report.pass_timings` and invalidates
+  /// `am` per each pass's PreservedAnalyses.
+  void run(Program& program, AnalysisManager& am, PassContext& ctx) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace polaris

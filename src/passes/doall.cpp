@@ -42,6 +42,13 @@ bool subscripted_subscript_blockers(DoStmt* loop,
 
 DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
                               const Options& opts, Diagnostics& diags) {
+  AnalysisManager am;
+  return mark_doall_loops(program, unit, opts, diags, am);
+}
+
+DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
+                              const Options& opts, Diagnostics& diags,
+                              AnalysisManager& am) {
   DoallSummary summary;
   // Pure functions are safe to call from concurrent iterations.
   std::set<std::string> pure;
@@ -64,7 +71,7 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
       continue;
     }
     std::set<Symbol*> written_arrays;
-    for (Symbol* s : may_defined_symbols(first, last))
+    for (Symbol* s : am.may_defined_symbols(first, last))
       if (s->is_array()) written_arrays.insert(s);
     if (has_impure_calls(first, last, pure, written_arrays)) {
       loop->par.serial_reason = "unresolved subprogram call";
@@ -83,7 +90,7 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
     // Reductions first: their statements are exempt from scalar analysis
     // and their accumulators from dependence testing.
     std::vector<RecognizedReduction> reductions =
-        recognize_reductions(loop, opts, diags);
+        recognize_reductions(loop, opts, diags, am);
 
     // Paper Section 3.2: "the data-dependence pass later analyzes and
     // removes the flags for those statements which it can prove have no
@@ -101,7 +108,7 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
         if (sym != it->var) others.insert(sym);
       Diagnostics scratch;
       LoopDepStats probe =
-          test_loop_arrays(loop, opts, scratch, others, context);
+          test_loop_arrays(loop, opts, scratch, others, context, am);
       if (probe.parallel()) {
         for (AssignStmt* a : it->stmts) a->reduction_flag = ReductionKind::None;
         diags.note("reduction", context,
@@ -118,7 +125,7 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
 
     // Privatization of scalars and arrays.
     PrivatizationResult priv =
-        analyze_privatization(unit, loop, opts, diags);
+        analyze_privatization(unit, loop, opts, diags, am);
     for (Symbol* s : priv.private_scalars) exempt.insert(s);
     for (Symbol* s : priv.private_arrays) exempt.insert(s);
 
@@ -135,7 +142,7 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
 
     LoopDepStats stats;
     if (blocker.empty()) {
-      stats = test_loop_arrays(loop, opts, diags, exempt, context);
+      stats = test_loop_arrays(loop, opts, diags, exempt, context, am);
       loop->par.dep_pairs = stats.pairs;
       loop->par.dep_by_gcd = stats.by_gcd;
       loop->par.dep_by_banerjee = stats.by_banerjee;

@@ -9,6 +9,7 @@
 // subscripts are marked for speculative (PD-test) execution instead.
 #pragma once
 
+#include "analysis/analysis_manager.h"
 #include "ir/program.h"
 #include "support/diagnostics.h"
 #include "support/options.h"
@@ -24,7 +25,12 @@ struct DoallSummary {
 /// Analyzes and annotates every loop of `unit`.  The Program overload
 /// additionally computes pure functions interprocedurally so calls to them
 /// do not serialize loops; the unit-only overload treats every user
-/// function as opaque.
+/// function as opaque.  The pass only annotates — it preserves all cached
+/// analyses — and its sub-analyses (reductions, privatization, dependence
+/// tests) share `am`'s cached flow facts.
+DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
+                              const Options& opts, Diagnostics& diags,
+                              AnalysisManager& am);
 DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
                               const Options& opts, Diagnostics& diags);
 DoallSummary mark_doall_loops(ProgramUnit& unit, const Options& opts,

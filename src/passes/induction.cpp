@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "analysis/analysis_manager.h"
 #include "analysis/structure.h"
 #include "ir/build.h"
 #include "symbolic/poly.h"
@@ -86,8 +87,9 @@ Polynomial eval_with_env(const Expression& e, const Env& env) {
 class NestSolver {
  public:
   NestSolver(StmtList& stmts, DoStmt* nest, Diagnostics& diags,
-             const std::string& context)
-      : stmts_(stmts), nest_(nest), diags_(diags), context_(context) {}
+             const std::string& context, AnalysisManager& am)
+      : stmts_(stmts), nest_(nest), diags_(diags), context_(context),
+        am_(am) {}
 
   /// Collects candidates; returns false if none.
   bool collect(bool allow_cascaded, bool allow_triangular);
@@ -115,6 +117,7 @@ class NestSolver {
   DoStmt* nest_;
   Diagnostics& diags_;
   std::string context_;
+  AnalysisManager& am_;
   std::vector<Symbol*> order_;  ///< candidates in cascade-topological order
   std::vector<IncrementSite> sites_;
   std::vector<Statement*> to_delete_;
@@ -155,7 +158,8 @@ bool NestSolver::collect(bool allow_cascaded, bool allow_triangular) {
   for (DoStmt* d : stmts_.loops_in(nest_)) indices.insert(d->index());
 
   // Symbols the nest may modify (for invariance checks on increments).
-  std::set<Symbol*> modified = may_defined_symbols(nest_, nest_->follow());
+  const std::set<Symbol*>& modified =
+      am_.may_defined_symbols(nest_, nest_->follow());
 
   std::map<Symbol*, std::vector<Symbol*>> cascades;  // K -> referenced cands
   std::vector<Symbol*> candidates;
@@ -437,14 +441,16 @@ int NestSolver::run() {
 /// The counter is an ordinary additive induction the main solver then
 /// substitutes, yielding closed forms like K0 * c**((i-1)*m + j).
 int rewrite_multiplicative(ProgramUnit& unit, DoStmt* nest,
-                           Diagnostics& diags, const std::string& context) {
+                           Diagnostics& diags, const std::string& context,
+                           AnalysisManager& am) {
   StmtList& stmts = unit.stmts();
 
   // Gather multiplicative sites and other defs per scalar.
   std::map<Symbol*, std::vector<AssignStmt*>> sites;
   std::map<Symbol*, ExprPtr> factors;
   std::set<Symbol*> invalid;
-  std::set<Symbol*> modified = may_defined_symbols(nest, nest->follow());
+  const std::set<Symbol*>& modified =
+      am.may_defined_symbols(nest, nest->follow());
   for (Statement* s = nest->next(); s != nest->follow(); s = s->next()) {
     if (s->kind() == StmtKind::Assign) {
       auto* a = static_cast<AssignStmt*>(s);
@@ -574,21 +580,31 @@ int rewrite_multiplicative(ProgramUnit& unit, DoStmt* nest,
 
 InductionResult substitute_inductions(ProgramUnit& unit, const Options& opts,
                                       Diagnostics& diags) {
+  AnalysisManager am;
+  return substitute_inductions(unit, opts, diags, am);
+}
+
+InductionResult substitute_inductions(ProgramUnit& unit, const Options& opts,
+                                      Diagnostics& diags,
+                                      AnalysisManager& am) {
   InductionResult result;
   if (!opts.induction_subst) return result;
   // Outermost loops only; the solver handles the whole nest.
   for (DoStmt* loop : unit.stmts().loops()) {
     if (loop->outer() != nullptr) continue;
     std::string context = unit.name() + "/" + loop->loop_name();
-    if (opts.multiplicative_induction)
-      result.substituted += rewrite_multiplicative(unit, loop, diags,
-                                                   context);
-    NestSolver solver(unit.stmts(), loop, diags, context);
+    if (opts.multiplicative_induction) {
+      int mult = rewrite_multiplicative(unit, loop, diags, context, am);
+      if (mult > 0) am.invalidate_all();  // counters spliced into the nest
+      result.substituted += mult;
+    }
+    NestSolver solver(unit.stmts(), loop, diags, context, am);
     bool any =
         solver.collect(opts.cascaded_induction, opts.triangular_induction);
     result.rejected += solver.rejected_count_;
     if (!any) continue;
     result.substituted += solver.run();
+    am.invalidate_all();  // closed-form substitution rewrote the nest
   }
   return result;
 }

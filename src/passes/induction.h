@@ -16,6 +16,7 @@
 // modify (other than candidates); no cyclic cascades.
 #pragma once
 
+#include "analysis/analysis_manager.h"
 #include "ir/program.h"
 #include "support/diagnostics.h"
 #include "support/options.h"
@@ -28,6 +29,13 @@ struct InductionResult {
 };
 
 /// Runs induction substitution on every outermost loop nest of `unit`.
+/// Structural queries go through `am`; the pass invalidates it after each
+/// substituted nest.
+InductionResult substitute_inductions(ProgramUnit& unit, const Options& opts,
+                                      Diagnostics& diags,
+                                      AnalysisManager& am);
+
+/// Convenience overload with a private AnalysisManager.
 InductionResult substitute_inductions(ProgramUnit& unit, const Options& opts,
                                       Diagnostics& diags);
 

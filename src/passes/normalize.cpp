@@ -8,6 +8,12 @@ namespace polaris {
 
 int normalize_loops(ProgramUnit& unit, const Options& opts,
                     Diagnostics& diags) {
+  AnalysisManager am;
+  return normalize_loops(unit, opts, diags, am);
+}
+
+int normalize_loops(ProgramUnit& unit, const Options& opts,
+                    Diagnostics& diags, AnalysisManager& am) {
   if (!opts.loop_normalization) return 0;
   int rewritten = 0;
   for (DoStmt* loop : unit.stmts().loops()) {
@@ -23,7 +29,8 @@ int normalize_loops(ProgramUnit& unit, const Options& opts,
     // The body must not assign the index, and the bounds' operands must
     // not be modified inside (textual substitution re-evaluates them).
     if (!empty) {
-      std::set<Symbol*> modified = may_defined_symbols(body_first, body_last);
+      const std::set<Symbol*>& modified =
+          am.may_defined_symbols(body_first, body_last);
       if (modified.count(index)) continue;
       std::set<Symbol*> bound_syms;
       for (const Expression* e : {&loop->init(), &loop->limit()}) {
@@ -88,6 +95,7 @@ int normalize_loops(ProgramUnit& unit, const Options& opts,
                index->name() + ": step " + std::to_string(step) +
                    " loop normalized (index " + nrm->name() + ")");
     ++rewritten;
+    am.invalidate_all();  // the rewrite stales any cached region facts
   }
   return rewritten;
 }

@@ -14,6 +14,7 @@
 // The index must not be assigned inside the body (checked).
 #pragma once
 
+#include "analysis/analysis_manager.h"
 #include "ir/program.h"
 #include "support/diagnostics.h"
 #include "support/options.h"
@@ -21,7 +22,13 @@
 namespace polaris {
 
 /// Normalizes every constant-step loop with |step| != 1 (and negative unit
-/// steps); returns the number of loops rewritten.
+/// steps); returns the number of loops rewritten.  Structural queries go
+/// through `am`; the pass invalidates it after each rewrite.
+int normalize_loops(ProgramUnit& unit, const Options& opts,
+                    Diagnostics& diags, AnalysisManager& am);
+
+/// Convenience overload with a private AnalysisManager (no cross-pass
+/// caching).
 int normalize_loops(ProgramUnit& unit, const Options& opts,
                     Diagnostics& diags);
 

@@ -199,6 +199,14 @@ void add_counter_facts(FactContext& ctx, DoStmt* loop) {
 PrivatizationResult analyze_privatization(ProgramUnit& unit, DoStmt* loop,
                                           const Options& opts,
                                           Diagnostics& diags) {
+  AnalysisManager am;
+  return analyze_privatization(unit, loop, opts, diags, am);
+}
+
+PrivatizationResult analyze_privatization(ProgramUnit& unit, DoStmt* loop,
+                                          const Options& opts,
+                                          Diagnostics& diags,
+                                          AnalysisManager& am) {
   PrivatizationResult result;
   const std::string context = unit.name() + "/" + loop->loop_name();
   Statement* body_first = loop->next();
@@ -208,8 +216,8 @@ PrivatizationResult analyze_privatization(ProgramUnit& unit, DoStmt* loop,
   // --- scalars ---------------------------------------------------------------
   std::set<Symbol*> exposed, must;
   if (!empty_body) {
-    exposed = upward_exposed_scalars(body_first, body_last);
-    must = must_defined_scalars(body_first, body_last);
+    exposed = am.upward_exposed_scalars(body_first, body_last);
+    must = am.must_defined_scalars(body_first, body_last);
   }
   for (Symbol* s : scalars_assigned(loop)) {
     bool is_inner_index = false;
@@ -239,7 +247,7 @@ PrivatizationResult analyze_privatization(ProgramUnit& unit, DoStmt* loop,
 
   // --- arrays ----------------------------------------------------------------
   auto accesses = collect_array_accesses(loop);
-  GsaQuery gsa(unit);
+  GsaQuery& gsa = am.gsa(unit);
   for (auto& [array, refs] : accesses) {
     bool written = std::any_of(refs.begin(), refs.end(),
                                [](const ArrayAccess& a) { return a.is_write; });
@@ -257,7 +265,9 @@ PrivatizationResult analyze_privatization(ProgramUnit& unit, DoStmt* loop,
 
     // Walk accesses in statement order; writes outside IFs contribute
     // definition intervals, every read must be covered by a prior one.
-    FactContext ctx = loop_fact_context(empty_body ? loop : body_first);
+    Statement* at = empty_body ? loop : body_first;
+    FactContext ctx =
+        am.fact_context(at, [&] { return loop_fact_context(at); });
     int inner_rank = 100;
     for (DoStmt* d : unit.stmts().loops_in(loop))
       add_loop_facts(ctx, d, inner_rank++);

@@ -75,6 +75,14 @@ bool subscripts_clean(const AssignStmt* a) {
 std::vector<RecognizedReduction> recognize_reductions(DoStmt* loop,
                                                       const Options& opts,
                                                       Diagnostics& diags) {
+  AnalysisManager am;
+  return recognize_reductions(loop, opts, diags, am);
+}
+
+std::vector<RecognizedReduction> recognize_reductions(DoStmt* loop,
+                                                      const Options& opts,
+                                                      Diagnostics& diags,
+                                                      AnalysisManager& am) {
   std::vector<RecognizedReduction> out;
   if (!opts.reductions) return out;
 
@@ -99,7 +107,7 @@ std::vector<RecognizedReduction> recognize_reductions(DoStmt* loop,
       // loop index or any variable the loop modifies).
       const auto& lref = static_cast<const ArrayRef&>(a->lhs());
       for (const auto& sub : lref.subscripts())
-        if (!is_loop_invariant(*sub, loop)) r.histogram = true;
+        if (!am.is_loop_invariant(*sub, loop)) r.histogram = true;
     }
     r.stmts.push_back(a);
     a->reduction_flag = op;

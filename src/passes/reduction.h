@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "analysis/analysis_manager.h"
 #include "ir/program.h"
 #include "support/diagnostics.h"
 #include "support/options.h"
@@ -29,6 +30,13 @@ struct RecognizedReduction {
 /// Finds and flags the reductions of `loop`.  Only statements directly in
 /// the loop body (any nesting depth) participate; candidates invalidated
 /// by other references to A are not returned and their flags are cleared.
+/// Invariance checks share `am`'s cached loop facts.
+std::vector<RecognizedReduction> recognize_reductions(DoStmt* loop,
+                                                      const Options& opts,
+                                                      Diagnostics& diags,
+                                                      AnalysisManager& am);
+
+/// Convenience overload with a private AnalysisManager.
 std::vector<RecognizedReduction> recognize_reductions(DoStmt* loop,
                                                       const Options& opts,
                                                       Diagnostics& diags);

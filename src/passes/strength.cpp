@@ -25,7 +25,8 @@ struct Candidate {
 };
 
 std::optional<Candidate> analyze_subscript(const Expression& sub,
-                                           DoStmt* loop) {
+                                           DoStmt* loop,
+                                           AnalysisManager& am) {
   if (node_count(sub) < 6) return std::nullopt;  // not worth a temp
   Polynomial f = Polynomial::from_expr(sub);
   AtomId k = AtomTable::instance().intern_symbol(loop->index());
@@ -35,8 +36,8 @@ std::optional<Candidate> analyze_subscript(const Expression& sub,
   Polynomial rest = f - Polynomial::atom(k) * Polynomial::constant(c);
   if (rest.contains(k)) return std::nullopt;
   // Opaque atoms must not hide the index or anything the loop modifies.
-  std::set<Symbol*> modified =
-      may_defined_symbols(loop, loop->follow());
+  const std::set<Symbol*>& modified =
+      am.may_defined_symbols(loop, loop->follow());
   for (AtomId a : f.atoms()) {
     const Expression& ae = AtomTable::instance().expr(a);
     if (AtomTable::instance().symbol(a) == nullptr) {
@@ -70,6 +71,12 @@ bool is_innermost(StmtList& stmts, DoStmt* inner) {
 
 int strength_reduce(ProgramUnit& unit, const Options& opts,
                     Diagnostics& diags) {
+  AnalysisManager am;
+  return strength_reduce(unit, opts, diags, am);
+}
+
+int strength_reduce(ProgramUnit& unit, const Options& opts,
+                    Diagnostics& diags, AnalysisManager& am) {
   if (!opts.strength_reduction) return 0;
   int reduced = 0;
   StmtList& stmts = unit.stmts();
@@ -96,7 +103,7 @@ int strength_reduce(ProgramUnit& unit, const Options& opts,
             if (node->kind() != ExprKind::ArrayRef) return;
             auto& ar = static_cast<ArrayRef&>(*node);
             for (ExprPtr& sub : ar.subscripts()) {
-              auto cand = analyze_subscript(*sub, inner);
+              auto cand = analyze_subscript(*sub, inner, am);
               if (!cand) continue;
               std::string key = sub->to_string();
               Symbol* temp;
@@ -127,6 +134,7 @@ int strength_reduce(ProgramUnit& unit, const Options& opts,
       p_assert(before_follow != nullptr);
       stmts.splice_after(before_follow, std::move(post));
       stmts.splice_before(inner, std::move(pre));
+      am.invalidate_all();  // spliced temp assignments stale region facts
 
       // Bookkeeping: the temps are private to every enclosing parallel
       // loop; the inner loop now carries a recurrence, so its own mark

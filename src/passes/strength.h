@@ -21,6 +21,7 @@
 // execution engine always chooses the outermost parallel loop anyway).
 #pragma once
 
+#include "analysis/analysis_manager.h"
 #include "ir/program.h"
 #include "support/diagnostics.h"
 #include "support/options.h"
@@ -28,6 +29,12 @@
 namespace polaris {
 
 /// Runs after DOALL marking; returns the number of subscripts reduced.
+/// Invariance checks go through `am`'s cached may-defined sets; the pass
+/// invalidates it after each rewritten inner loop.
+int strength_reduce(ProgramUnit& unit, const Options& opts,
+                    Diagnostics& diags, AnalysisManager& am);
+
+/// Convenience overload with a private AnalysisManager.
 int strength_reduce(ProgramUnit& unit, const Options& opts,
                     Diagnostics& diags);
 

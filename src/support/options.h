@@ -43,6 +43,11 @@ struct Options {
   enum class ReductionScheme { Blocked, Private, Expanded };
   ReductionScheme reduction_scheme = ReductionScheme::Private;
 
+  // --- pipeline -------------------------------------------------------------
+  /// Empty: the standard battery.  Otherwise a comma-separated `-passes=`
+  /// spec ("constprop,doall") consumed by PassPipeline::from_options.
+  std::string pipeline_spec;
+
   /// "Current compiler" (PFA-like) baseline: linear tests only, scalar
   /// privatization only, simple inductions, no inlining, no range test.
   static Options baseline();
