@@ -39,7 +39,7 @@ int main() {
   for (size_t l = 0; l < 3; ++l) {
     Diagnostics diags;
     Options lin = Options::baseline();
-    std::set<Symbol*> none;
+    SymbolSet none;
     LoopDepStats base =
         test_loop_arrays(loops[l], lin, diags, none, "ftrvmt");
     Options full = Options::polaris();

@@ -53,7 +53,7 @@ void BM_RangeTestTrfdNest(benchmark::State& state) {
       "      end\n");
   DoStmt* loop = prog->main()->stmts().loops()[0];
   Options opts = Options::polaris();
-  std::set<Symbol*> none;
+  SymbolSet none;
   for (auto _ : state) {
     Diagnostics diags;
     LoopDepStats s = test_loop_arrays(loop, opts, diags, none, "bm");

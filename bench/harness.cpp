@@ -25,10 +25,11 @@ void emit_pass_json(CompilerMode mode, int processors,
     const PassTiming& t = report.pass_timings[i];
     std::fprintf(f,
                  "%s{\"pass\":\"%s\",\"runs\":%d,\"ms\":%.4f,\"diags\":%d,"
+                 "\"failures\":%d,"
                  "\"stmt_delta\":%ld,\"expr_delta\":%ld,"
                  "\"analysis_queries\":%llu,\"analysis_hits\":%llu}",
                  i == 0 ? "" : ",", t.pass.c_str(), t.runs, t.ms, t.diags,
-                 t.stmt_delta, t.expr_delta,
+                 t.failures, t.stmt_delta, t.expr_delta,
                  static_cast<unsigned long long>(t.analysis_queries),
                  static_cast<unsigned long long>(t.analysis_hits));
   }

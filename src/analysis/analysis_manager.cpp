@@ -2,7 +2,7 @@
 
 namespace polaris {
 
-const std::set<Symbol*>& AnalysisManager::region_query(StructureQuery q,
+const SymbolSet& AnalysisManager::region_query(StructureQuery q,
                                                        Statement* first,
                                                        Statement* last) {
   ++stats_.queries;
@@ -13,7 +13,7 @@ const std::set<Symbol*>& AnalysisManager::region_query(StructureQuery q,
     return it->second;
   }
   ++stats_.recomputes;
-  std::set<Symbol*> result;
+  SymbolSet result;
   switch (q) {
     case kMustDef:
       result = polaris::must_defined_scalars(first, last);
@@ -33,22 +33,22 @@ const std::set<Symbol*>& AnalysisManager::region_query(StructureQuery q,
   return region_[q].emplace(key, std::move(result)).first->second;
 }
 
-const std::set<Symbol*>& AnalysisManager::must_defined_scalars(
+const SymbolSet& AnalysisManager::must_defined_scalars(
     Statement* first, Statement* last) {
   return region_query(kMustDef, first, last);
 }
 
-const std::set<Symbol*>& AnalysisManager::may_defined_symbols(
+const SymbolSet& AnalysisManager::may_defined_symbols(
     Statement* first, Statement* last) {
   return region_query(kMayDef, first, last);
 }
 
-const std::set<Symbol*>& AnalysisManager::upward_exposed_scalars(
+const SymbolSet& AnalysisManager::upward_exposed_scalars(
     Statement* first, Statement* last) {
   return region_query(kExposed, first, last);
 }
 
-const std::set<Symbol*>& AnalysisManager::used_symbols(Statement* first,
+const SymbolSet& AnalysisManager::used_symbols(Statement* first,
                                                        Statement* last) {
   return region_query(kUsed, first, last);
 }

@@ -66,13 +66,13 @@ class AnalysisManager {
   AnalysisManager& operator=(const AnalysisManager&) = delete;
 
   // --- memoized structure queries (see analysis/structure.h) ---------------
-  const std::set<Symbol*>& must_defined_scalars(Statement* first,
+  const SymbolSet& must_defined_scalars(Statement* first,
                                                 Statement* last);
-  const std::set<Symbol*>& may_defined_symbols(Statement* first,
+  const SymbolSet& may_defined_symbols(Statement* first,
                                                Statement* last);
-  const std::set<Symbol*>& upward_exposed_scalars(Statement* first,
+  const SymbolSet& upward_exposed_scalars(Statement* first,
                                                   Statement* last);
-  const std::set<Symbol*>& used_symbols(Statement* first, Statement* last);
+  const SymbolSet& used_symbols(Statement* first, Statement* last);
 
   /// Loop-invariance through the cached may-defined set of the loop.
   bool is_loop_invariant(const Expression& e, DoStmt* loop);
@@ -116,10 +116,10 @@ class AnalysisManager {
   enum StructureQuery { kMustDef = 0, kMayDef, kExposed, kUsed, kNumQueries };
   using RegionKey = std::pair<Statement*, Statement*>;
 
-  const std::set<Symbol*>& region_query(StructureQuery q, Statement* first,
+  const SymbolSet& region_query(StructureQuery q, Statement* first,
                                         Statement* last);
 
-  std::map<RegionKey, std::set<Symbol*>> region_[kNumQueries];
+  std::map<RegionKey, SymbolSet> region_[kNumQueries];
   std::map<StmtList*, std::vector<DoStmt*>> loops_;
   std::map<ProgramUnit*, std::unique_ptr<GsaQuery>> gsa_;
   using PairKey = std::pair<Statement*, RegionKey>;

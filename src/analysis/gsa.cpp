@@ -227,11 +227,11 @@ std::vector<ExprPtr> GsaQuery::possible_values(const Expression& e,
 
   // Loop indices of enclosing loops stay symbolic: they are the induction
   // atoms the comparison engine ranges over.
-  std::set<Symbol*> skip;
+  SymbolSet skip;
   for (DoStmt* d = at->outer(); d != nullptr; d = d->outer())
     skip.insert(d->index());
 
-  std::set<Symbol*> vars;
+  SymbolSet vars;
   walk(e, [&](const Expression& node) {
     if (node.kind() == ExprKind::VarRef) {
       Symbol* s = static_cast<const VarRef&>(node).symbol();

@@ -76,7 +76,7 @@ std::set<std::string> pure_functions(const Program& program) {
 
 bool has_impure_calls(Statement* first, Statement* last,
                       const std::set<std::string>& pure,
-                      const std::set<Symbol*>& written_arrays) {
+                      const SymbolSet& written_arrays) {
   Statement* stop = last ? last->next() : nullptr;
   for (Statement* s = first; s != stop; s = s->next()) {
     p_assert(s != nullptr);

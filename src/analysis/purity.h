@@ -25,6 +25,6 @@ std::set<std::string> pure_functions(const Program& program);
 /// actuals are visible to the dependence tests and are fine).
 bool has_impure_calls(Statement* first, Statement* last,
                       const std::set<std::string>& pure,
-                      const std::set<Symbol*>& written_arrays);
+                      const SymbolSet& written_arrays);
 
 }  // namespace polaris

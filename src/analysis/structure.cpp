@@ -10,7 +10,7 @@ namespace {
 
 /// Adds every scalar symbol read by `e` to `out`; array element reads add
 /// the base symbol as well (a use of the array).
-void collect_uses(const Expression& e, std::set<Symbol*>& out) {
+void collect_uses(const Expression& e, SymbolSet& out) {
   walk(e, [&](const Expression& node) {
     if (node.kind() == ExprKind::VarRef)
       out.insert(static_cast<const VarRef&>(node).symbol());
@@ -25,16 +25,16 @@ void collect_uses(const Expression& e, std::set<Symbol*>& out) {
 ///   may_def   — symbols possibly written
 ///   exposed   — scalar uses not dominated by a prior region definition
 struct FlowState {
-  std::set<Symbol*> must_def;
-  std::set<Symbol*> may_def;
-  std::set<Symbol*> exposed;
+  SymbolSet must_def;
+  SymbolSet may_def;
+  SymbolSet exposed;
   bool irregular = false;
 
   void use(Symbol* s) {
     if (!must_def.count(s)) exposed.insert(s);
   }
   void use_expr(const Expression& e) {
-    std::set<Symbol*> syms;
+    SymbolSet syms;
     collect_uses(e, syms);
     for (Symbol* s : syms) use(s);
   }
@@ -46,9 +46,9 @@ struct FlowState {
       irregular = irregular || a.irregular;
     }
     if (exhaustive && !arms.empty()) {
-      std::set<Symbol*> common = arms[0].must_def;
+      SymbolSet common = arms[0].must_def;
       for (size_t i = 1; i < arms.size(); ++i) {
-        std::set<Symbol*> next;
+        SymbolSet next;
         std::set_intersection(common.begin(), common.end(),
                               arms[i].must_def.begin(),
                               arms[i].must_def.end(),
@@ -153,7 +153,7 @@ FlowState walk_until(Statement*& s, Statement* stop) {
         for (const ExprPtr& arg : c->args()) {
           st.use_expr(*arg);
           // Any symbol passed (by reference) may be modified.
-          std::set<Symbol*> syms;
+          SymbolSet syms;
           collect_uses(*arg, syms);
           st.may_def.insert(syms.begin(), syms.end());
         }
@@ -206,20 +206,20 @@ bool expr_has_user_call(const Expression& e) {
 
 }  // namespace
 
-std::set<Symbol*> must_defined_scalars(Statement* first, Statement* last) {
+SymbolSet must_defined_scalars(Statement* first, Statement* last) {
   return walk_region(first, last).must_def;
 }
 
-std::set<Symbol*> may_defined_symbols(Statement* first, Statement* last) {
+SymbolSet may_defined_symbols(Statement* first, Statement* last) {
   return walk_region(first, last).may_def;
 }
 
-std::set<Symbol*> upward_exposed_scalars(Statement* first, Statement* last) {
+SymbolSet upward_exposed_scalars(Statement* first, Statement* last) {
   return walk_region(first, last).exposed;
 }
 
-std::set<Symbol*> used_symbols(Statement* first, Statement* last) {
-  std::set<Symbol*> out;
+SymbolSet used_symbols(Statement* first, Statement* last) {
+  SymbolSet out;
   Statement* stop = last ? last->next() : nullptr;
   for (Statement* s = first; s != stop; s = s->next()) {
     p_assert(s != nullptr);
@@ -256,10 +256,10 @@ bool is_loop_invariant(const Expression& e, DoStmt* loop) {
 }
 
 bool is_loop_invariant(const Expression& e, DoStmt* loop,
-                       const std::set<Symbol*>& loop_may_defined) {
+                       const SymbolSet& loop_may_defined) {
   (void)loop;
   if (expr_has_user_call(e)) return false;
-  std::set<Symbol*> used;
+  SymbolSet used;
   collect_uses(e, used);
   for (Symbol* s : used)
     if (loop_may_defined.count(s)) return false;
@@ -275,7 +275,7 @@ bool is_live_after(DoStmt* loop, Symbol* s) {
       auto* a = static_cast<AssignStmt*>(cur);
       // Uses: the rhs, plus subscripts when the target is an array element
       // (a scalar lhs is a kill, not a use).
-      std::set<Symbol*> used;
+      SymbolSet used;
       collect_uses(a->rhs(), used);
       if (a->lhs().kind() == ExprKind::ArrayRef) {
         for (const auto& sub :
@@ -287,7 +287,7 @@ bool is_live_after(DoStmt* loop, Symbol* s) {
         return false;  // killed
     } else {
       for (const Expression* e : cur->expressions()) {
-        std::set<Symbol*> used;
+        SymbolSet used;
         collect_uses(*e, used);
         if (used.count(s)) return true;
       }

@@ -18,19 +18,19 @@ namespace polaris {
 /// Scalar symbols definitely assigned on every path through [first, last]
 /// (inclusive).  Array assignments do not count (partial definition);
 /// CALLs make their actual-argument symbols *may*-defined only.
-std::set<Symbol*> must_defined_scalars(Statement* first, Statement* last);
+SymbolSet must_defined_scalars(Statement* first, Statement* last);
 
 /// Symbols (scalar or array base) possibly written in [first, last],
 /// including DO indices and symbols passed to CALLs.
-std::set<Symbol*> may_defined_symbols(Statement* first, Statement* last);
+SymbolSet may_defined_symbols(Statement* first, Statement* last);
 
 /// Scalar symbols with an upward-exposed use in [first, last]: a use that
 /// may execute before any definition of the symbol in the region.
-std::set<Symbol*> upward_exposed_scalars(Statement* first, Statement* last);
+SymbolSet upward_exposed_scalars(Statement* first, Statement* last);
 
 /// Symbols read anywhere in [first, last] (scalar uses and array bases),
 /// including loop bounds and IF conditions.
-std::set<Symbol*> used_symbols(Statement* first, Statement* last);
+SymbolSet used_symbols(Statement* first, Statement* last);
 
 /// True if the region contains a GOTO, a RETURN/STOP, or a statement label
 /// (conservatively treated as a join from elsewhere).
@@ -48,7 +48,7 @@ bool is_loop_invariant(const Expression& e, DoStmt* loop);
 /// Same, with the loop's may-defined set supplied by the caller (the
 /// AnalysisManager caches it; the two-argument form recomputes per call).
 bool is_loop_invariant(const Expression& e, DoStmt* loop,
-                       const std::set<Symbol*>& loop_may_defined);
+                       const SymbolSet& loop_may_defined);
 
 /// True if scalar `s` may be used after `loop` exits before being
 /// redefined (conservative: region scan to the end of the unit; GOTO makes

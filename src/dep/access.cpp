@@ -7,7 +7,7 @@ namespace polaris {
 namespace {
 
 void collect_reads(const Expression& e, Statement* stmt,
-                   std::map<Symbol*, std::vector<ArrayAccess>>& out) {
+                   SymbolMap<std::vector<ArrayAccess>>& out) {
   walk(e, [&](const Expression& node) {
     if (node.kind() == ExprKind::ArrayRef) {
       const auto& a = static_cast<const ArrayRef&>(node);
@@ -18,9 +18,9 @@ void collect_reads(const Expression& e, Statement* stmt,
 
 }  // namespace
 
-std::map<Symbol*, std::vector<ArrayAccess>> collect_array_accesses(
+SymbolMap<std::vector<ArrayAccess>> collect_array_accesses(
     DoStmt* loop) {
-  std::map<Symbol*, std::vector<ArrayAccess>> out;
+  SymbolMap<std::vector<ArrayAccess>> out;
   for (Statement* s = loop->next(); s != loop->follow(); s = s->next()) {
     p_assert(s != nullptr);
     if (s->kind() == StmtKind::Assign) {

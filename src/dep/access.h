@@ -17,7 +17,7 @@ struct ArrayAccess {
 /// All array accesses inside the body of `loop` (including inner loop
 /// bounds and IF conditions), grouped by array symbol.  The left-hand side
 /// of an assignment is the only write; its subscripts are reads.
-std::map<Symbol*, std::vector<ArrayAccess>> collect_array_accesses(
+SymbolMap<std::vector<ArrayAccess>> collect_array_accesses(
     DoStmt* loop);
 
 /// Scalar symbols assigned within the loop body (targets of scalar

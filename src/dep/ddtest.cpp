@@ -59,7 +59,7 @@ PairVerdict test_pair(DoStmt* loop, const ArrayAccess& a,
 
 LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
                               Diagnostics& diags,
-                              const std::set<Symbol*>& exempt,
+                              const SymbolSet& exempt,
                               const std::string& context) {
   AnalysisManager am;
   return test_loop_arrays(loop, opts, diags, exempt, context, am);
@@ -67,7 +67,7 @@ LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
 
 LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
                               Diagnostics& diags,
-                              const std::set<Symbol*>& exempt,
+                              const SymbolSet& exempt,
                               const std::string& context,
                               AnalysisManager& am) {
   LoopDepStats stats;

@@ -34,14 +34,14 @@ struct LoopDepStats {
 /// and final runs over the same loop share them.
 LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
                               Diagnostics& diags,
-                              const std::set<Symbol*>& exempt,
+                              const SymbolSet& exempt,
                               const std::string& context,
                               AnalysisManager& am);
 
 /// Convenience overload with a private AnalysisManager.
 LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
                               Diagnostics& diags,
-                              const std::set<Symbol*>& exempt,
+                              const SymbolSet& exempt,
                               const std::string& context);
 
 }  // namespace polaris

@@ -1,11 +1,38 @@
 #include "driver/compiler.h"
 
 #include "driver/pass_manager.h"
+#include "ir/verifier.h"
 #include "parser/parser.h"
 #include "parser/printer.h"
+#include "support/assert.h"
+#include "symbolic/poly.h"
 #include "symbolic/simplify.h"
 
 namespace polaris {
+
+namespace {
+
+/// Arms deterministic fault injection for the duration of one transform
+/// when Options::fault_inject is set; disarms on every exit path.
+class FaultArmGuard {
+ public:
+  explicit FaultArmGuard(const std::string& spec) {
+    if (!spec.empty()) {
+      fault::arm(fault::parse_spec(spec));
+      armed_ = true;
+    }
+  }
+  ~FaultArmGuard() {
+    if (armed_) fault::disarm();
+  }
+  FaultArmGuard(const FaultArmGuard&) = delete;
+  FaultArmGuard& operator=(const FaultArmGuard&) = delete;
+
+ private:
+  bool armed_ = false;
+};
+
+}  // namespace
 
 std::unique_ptr<Program> Compiler::compile(const std::string& source,
                                            CompileReport* report) {
@@ -18,14 +45,28 @@ void Compiler::transform(Program& program, CompileReport* report) {
   CompileReport local;
   CompileReport& rep = report ? *report : local;
 
+  // Atom identity keys on Symbol pointers: start every compilation with an
+  // empty table so a recycled heap address can never alias an atom from a
+  // previous compilation (which would skew canonical term order).
+  AtomTable::instance().reset();
+
   // The battery (inline expansion, constant propagation, normalization,
   // induction substitution, forward substitution, DOALL recognition,
   // strength reduction — paper Sections 3.1-3.5) runs through the pass
   // manager; Options::pipeline_spec swaps in a custom `-passes=` battery.
   AnalysisManager am;
   PassContext ctx{program, opts_, rep};
+  FaultArmGuard inject(opts_.fault_inject);
   PassPipeline::from_options(opts_).run(program, am, ctx);
   rep.analysis = am.stats();
+
+  // The structural verifier always runs once after the pipeline (not just
+  // under -verify-each): corrupted IR must never escape into the printed
+  // output or the execution engine.
+  std::vector<VerifierViolation> violations = verify_program(program);
+  if (!violations.empty())
+    throw InternalError("ir-verifier", "post-pipeline", 0,
+                        format_violations(violations));
 
   for (const auto& unit : program.units()) {
     for (DoStmt* loop : unit->stmts().loops()) {

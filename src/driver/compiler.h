@@ -20,6 +20,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,20 @@ struct CompileReport {
   std::vector<PassTiming> pass_timings;
   /// Aggregate AnalysisManager accounting for the whole compilation.
   AnalysisManager::Stats analysis;
+  /// Pass invocations that faulted.  With fault recovery (default) each
+  /// was rolled back and the compile continued; the driver reports them as
+  /// warnings and still exits 0.
+  std::vector<PassFailure> failures;
+
+  /// Repro context stashed just before an InternalError escapes recovery;
+  /// the CLI writes it to polaris-crash-<unit>.f for offline debugging.
+  struct CrashInfo {
+    std::string pass;         ///< failing pass
+    std::string unit;         ///< failing unit
+    std::string unit_source;  ///< pre-pass snapshot of the unit, printed
+    std::string passes_spec;  ///< `-passes=` spec reproducing the pipeline
+  };
+  std::optional<CrashInfo> crash;
 };
 
 class Compiler {

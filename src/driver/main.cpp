@@ -13,7 +13,22 @@
 //                                  -passes=constprop,normalize,doall
 //   polaris -timing file.f         per-pass wall time, IR deltas, and
 //                                  analysis-cache hit rates
+//
+// Fault isolation (robustness layer):
+//   polaris -verify-each file.f        run the IR verifier after every pass
+//   polaris -fault-inject=P[:U[:N]]    force the Nth assertion in pass P on
+//                                      unit U to fire (also settable via the
+//                                      POLARIS_FAULT_INJECT env var)
+//   polaris -pass-budget-ms=N          roll back any pass exceeding N ms
+//                                      on a unit
+//   polaris -no-recover                disable rollback: the first pass
+//                                      fault aborts (exit 3) and writes a
+//                                      repro bundle to polaris-crash-<unit>.f
+//
+// A recovered fault still exits 0: the program compiles without the failed
+// pass's transformation on that unit, and a warning goes to stderr.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -29,8 +44,28 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: polaris [-report] [-diag] [-baseline] [-omp] [-run] "
-               "[-seq] [-p N] [-passes=SPEC] [-timing] file.f\n");
+               "[-seq] [-p N] [-passes=SPEC] [-timing] [-verify-each] "
+               "[-fault-inject=SPEC] [-pass-budget-ms=N] [-no-recover] "
+               "file.f\n");
   return 2;
+}
+
+/// Writes the crash repro bundle (unit source + pipeline spec) next to the
+/// current directory; best-effort — a failed write only warns.
+void write_crash_bundle(const polaris::CompileReport::CrashInfo& ci) {
+  const std::string path = "polaris-crash-" + ci.unit + ".f";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "polaris: could not write repro bundle %s\n",
+                 path.c_str());
+    return;
+  }
+  out << "* Polaris crash repro: pass '" << ci.pass << "' faulted on unit '"
+      << ci.unit << "'\n"
+      << "* reproduce with: polaris -no-recover -passes=" << ci.passes_spec
+      << " " << path << "\n"
+      << ci.unit_source;
+  std::fprintf(stderr, "polaris: repro bundle written to %s\n", path.c_str());
 }
 
 }  // namespace
@@ -41,8 +76,10 @@ int main(int argc, char** argv) {
   bool report_mode = false, diag_mode = false, baseline = false;
   bool run_mode = false, seq_mode = false, omp = false, timing = false;
   bool passes_given = false;
+  bool verify_each = false, no_recover = false;
+  double pass_budget_ms = 0.0;
   int processors = 8;
-  std::string path, passes_spec;
+  std::string path, passes_spec, fault_inject;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-report") == 0) report_mode = true;
@@ -52,6 +89,14 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "-omp") == 0) omp = true;
     else if (std::strcmp(argv[i], "-seq") == 0) seq_mode = true;
     else if (std::strcmp(argv[i], "-timing") == 0) timing = true;
+    else if (std::strcmp(argv[i], "-verify-each") == 0) verify_each = true;
+    else if (std::strcmp(argv[i], "-no-recover") == 0) no_recover = true;
+    else if (std::strncmp(argv[i], "-fault-inject=", 14) == 0)
+      fault_inject = argv[i] + 14;
+    else if (std::strncmp(argv[i], "-pass-budget-ms=", 16) == 0) {
+      pass_budget_ms = std::atof(argv[i] + 16);
+      if (pass_budget_ms <= 0.0) return usage();
+    }
     else if (std::strncmp(argv[i], "-passes=", 8) == 0) {
       passes_given = true;
       passes_spec = argv[i] + 8;
@@ -66,6 +111,10 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage();
+  if (fault_inject.empty()) {
+    if (const char* env = std::getenv("POLARIS_FAULT_INJECT"))
+      fault_inject = env;
+  }
 
   std::ifstream in(path);
   if (!in) {
@@ -76,6 +125,7 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
   const std::string source = buf.str();
 
+  CompileReport report;
   try {
     if (seq_mode) {
       auto prog = parse_program(source);
@@ -94,8 +144,18 @@ int main(int argc, char** argv) {
       PassPipeline::parse(passes_spec);  // reject bad specs before compiling
       compiler.options().pipeline_spec = passes_spec;
     }
-    CompileReport report;
+    compiler.options().verify_each = verify_each;
+    compiler.options().fault_recovery = !no_recover;
+    compiler.options().pass_budget_ms = pass_budget_ms;
+    compiler.options().fault_inject = fault_inject;
     auto prog = compiler.compile(source, &report);
+
+    for (const PassFailure& f : report.failures)
+      std::fprintf(stderr,
+                   "polaris: warning: pass '%s' %s failure on unit '%s'%s; "
+                   "rolled back and continued\n",
+                   f.pass.c_str(), to_string(f.kind), f.unit.c_str(),
+                   f.injected ? " (injected)" : "");
 
     if (timing) {
       std::printf("%-12s %5s %10s %6s %7s %7s %9s %7s\n", "pass", "runs",
@@ -178,7 +238,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "polaris: %s\n", e.what());
     return 1;
   } catch (const InternalError& e) {
-    std::fprintf(stderr, "polaris: internal error: %s\n", e.what());
+    if (report.crash) {
+      std::fprintf(stderr,
+                   "polaris: internal error in pass '%s' on unit '%s': %s\n",
+                   report.crash->pass.c_str(), report.crash->unit.c_str(),
+                   e.what());
+      write_crash_bundle(*report.crash);
+    } else {
+      std::fprintf(stderr, "polaris: internal error: %s\n", e.what());
+    }
     return 3;
   }
 }

@@ -1,16 +1,22 @@
 #include "driver/pass_manager.h"
 
 #include <chrono>
+#include <sstream>
 
 #include "driver/compiler.h"
+#include "ir/verifier.h"
+#include "parser/printer.h"
 #include "passes/constprop.h"
 #include "passes/doall.h"
 #include "passes/forwardsub.h"
 #include "passes/induction.h"
 #include "passes/inliner.h"
 #include "passes/normalize.h"
+#include "passes/privatization.h"
+#include "passes/reduction.h"
 #include "passes/strength.h"
 #include "support/string_util.h"
+#include "symbolic/poly.h"
 
 namespace polaris {
 
@@ -103,6 +109,45 @@ class StrengthPass : public Pass {
   }
 };
 
+/// Standalone reduction recognition (paper Section 3.2): flags reduction
+/// statements on every loop without running the full DOALL driver.  In the
+/// standard battery this runs as a sub-analysis of `doall`; registering it
+/// separately lets `-passes=` ablations and fault-injection tests target
+/// it directly.
+class ReductionPass : public Pass {
+ public:
+  std::string name() const override { return "reduction"; }
+  PreservedAnalyses run(ProgramUnit& unit, AnalysisManager& am,
+                        PassContext& ctx) override {
+    for (DoStmt* loop : unit.stmts().loops())
+      recognize_reductions(loop, ctx.opts, ctx.report.diagnostics, am);
+    // Statement flags only; no cached flow fact depends on them.
+    return PreservedAnalyses::all();
+  }
+};
+
+/// Standalone privatization analysis (paper Section 3.4): records each
+/// loop's private/lastvalue variables in its ParallelInfo without deciding
+/// parallelism.  Like `reduction`, a sub-analysis of `doall` in the
+/// standard battery.
+class PrivatizationPass : public Pass {
+ public:
+  std::string name() const override { return "privatization"; }
+  PreservedAnalyses run(ProgramUnit& unit, AnalysisManager& am,
+                        PassContext& ctx) override {
+    for (DoStmt* loop : unit.stmts().loops()) {
+      PrivatizationResult r = analyze_privatization(
+          unit, loop, ctx.opts, ctx.report.diagnostics, am);
+      loop->par.private_vars = r.private_scalars;
+      loop->par.private_vars.insert(loop->par.private_vars.end(),
+                                    r.private_arrays.begin(),
+                                    r.private_arrays.end());
+      loop->par.lastvalue_vars = r.lastvalue_scalars;
+    }
+    return PreservedAnalyses::all();
+  }
+};
+
 struct Registration {
   const char* name;
   std::unique_ptr<Pass> (*make)();
@@ -113,7 +158,7 @@ std::unique_ptr<Pass> make_pass() {
   return std::make_unique<P>();
 }
 
-/// In standard battery order; parse() and standard() both consult this.
+/// In standard battery order; standard() instantiates exactly this list.
 const Registration kRegistry[] = {
     {"inline", make_pass<InlinePass>},
     {"constprop", make_pass<ConstPropPass>},
@@ -124,8 +169,17 @@ const Registration kRegistry[] = {
     {"strength", make_pass<StrengthPass>},
 };
 
+/// Available to `-passes=` specs but not part of the standard battery
+/// (there they run inside `doall`).
+const Registration kExtraRegistry[] = {
+    {"reduction", make_pass<ReductionPass>},
+    {"privatization", make_pass<PrivatizationPass>},
+};
+
 std::unique_ptr<Pass> create_pass(const std::string& name) {
   for (const Registration& r : kRegistry)
+    if (name == r.name) return r.make();
+  for (const Registration& r : kExtraRegistry)
     if (name == r.name) return r.make();
   return nullptr;
 }
@@ -192,7 +246,17 @@ PassPipeline PassPipeline::from_options(const Options& opts) {
 std::vector<std::string> PassPipeline::registered_passes() {
   std::vector<std::string> out;
   for (const Registration& r : kRegistry) out.emplace_back(r.name);
+  for (const Registration& r : kExtraRegistry) out.emplace_back(r.name);
   return out;
+}
+
+const char* to_string(PassFailure::Kind kind) {
+  switch (kind) {
+    case PassFailure::Kind::Assertion: return "assertion";
+    case PassFailure::Kind::Verifier: return "verifier";
+    case PassFailure::Kind::Budget: return "budget";
+  }
+  return "?";
 }
 
 void PassPipeline::run(Program& program, AnalysisManager& am,
@@ -204,24 +268,145 @@ void PassPipeline::run(Program& program, AnalysisManager& am,
     ctx.report.pass_timings.push_back(std::move(t));
   }
 
-  auto run_one = [&](Pass& pass, ProgramUnit& unit, PassTiming& timing) {
-    const bool whole_program = pass.program_scope();
-    IrSize before =
-        whole_program ? program_ir_size(program) : unit_ir_size(unit);
+  const std::string repro_spec = ctx.opts.pipeline_spec.empty()
+                                     ? join(pass_names(), ",")
+                                     : ctx.opts.pipeline_spec;
+  constexpr std::size_t kProgramScope = static_cast<std::size_t>(-1);
+
+  // One pass invocation under fault isolation.  The unit is addressed by
+  // index, not reference: a rollback swaps the unit object under the
+  // program, and a reference captured before the pass ran would dangle.
+  auto run_one = [&](Pass& pass, std::size_t unit_index, PassTiming& timing) {
+    const bool whole_program = unit_index == kProgramScope;
+    auto unit_ptr = [&]() -> ProgramUnit* {
+      return whole_program ? program.main()
+                           : program.units()[unit_index].get();
+    };
+    ProgramUnit* unit = unit_ptr();
+    const std::string unit_name = unit->name();
+
+    // Pre-pass state: deep IR snapshot (all units for program scope) plus
+    // the report counters and diagnostics mark, so a failed pass leaves no
+    // trace beyond its PassFailure record.
+    std::vector<std::unique_ptr<ProgramUnit>> snapshot;
+    SymbolMap<Symbol*> snap_map;  // original -> snapshot symbols
+    if (whole_program) {
+      for (const auto& u : program.units())
+        snapshot.push_back(u->clone(u->name(), &snap_map));
+    } else {
+      snapshot.push_back(unit->clone(unit_name, &snap_map));
+    }
+    const InlineResult inl_before = ctx.report.inlining;
+    const InductionResult ind_before = ctx.report.induction;
+    const DoallSummary doall_before = ctx.report.doall;
     const std::size_t diags_before = ctx.report.diagnostics.all().size();
     const AnalysisManager::Stats stats_before = am.stats();
+    const std::size_t atoms_before = AtomTable::instance().size();
+    IrSize before =
+        whole_program ? program_ir_size(program) : unit_ir_size(*unit);
+
+    // Rollback (or, with recovery off, crash-bundle preparation) for one
+    // failed invocation.
+    auto fail = [&](PassFailure::Kind kind, const std::string& message,
+                    bool was_injected) {
+      ctx.report.diagnostics.truncate(diags_before);
+      ctx.report.inlining = inl_before;
+      ctx.report.induction = ind_before;
+      ctx.report.doall = doall_before;
+      PassFailure f;
+      f.pass = pass.name();
+      f.unit = unit_name;
+      f.kind = kind;
+      f.message = message;
+      f.injected = was_injected;
+      f.recovered = ctx.opts.fault_recovery;
+      if (!ctx.opts.fault_recovery) {
+        CompileReport::CrashInfo ci;
+        ci.pass = f.pass;
+        ci.unit = f.unit;
+        ci.passes_spec = repro_spec;
+        std::ostringstream os;
+        for (const auto& u : snapshot) print_unit(os, *u);
+        ci.unit_source = os.str();
+        ctx.report.crash = std::move(ci);
+        ctx.report.failures.push_back(std::move(f));
+        return;  // caller (re)throws
+      }
+      // Atoms the failed pass interned would shift canonical term ordering
+      // in every later polynomial round-trip; drop them, then transfer the
+      // surviving atoms' ids to the snapshot's symbols so later passes see
+      // the same atom order as a run that never attempted this pass.  Must
+      // happen before the snapshot is swapped in: remap reads the original
+      // symbols (snap_map keys), which the swap destroys.
+      AtomTable::instance().truncate(atoms_before);
+      AtomTable::instance().remap(snap_map);
+      if (whole_program)
+        program.reset_units(std::move(snapshot));
+      else
+        program.replace_unit(unit, std::move(snapshot.front()));
+      am.invalidate_all();
+      ctx.report.diagnostics.warning(
+          "fault-isolation", f.pass + "/" + f.unit,
+          std::string(to_string(kind)) +
+              (was_injected ? " (injected)" : "") +
+              " failure; pass rolled back, continuing without it: " +
+              message);
+      ++timing.failures;
+      ctx.report.failures.push_back(std::move(f));
+    };
+
     const auto t0 = std::chrono::steady_clock::now();
-
-    PreservedAnalyses preserved = pass.run(unit, am, ctx);
-
+    bool failed = false;
+    PreservedAnalyses preserved = PreservedAnalyses::all();
+    fault::set_scope(pass.name(), unit_name);
+    try {
+      preserved = pass.run(*unit, am, ctx);
+      // An armed injection that found fewer than N assertion sites in this
+      // pass/unit still fires, at the unit boundary — so the recovery path
+      // is exercisable for every pass regardless of its assertion density.
+      if (fault::consume_boundary_fault())
+        throw InternalError(detail::kInjectedCond, "unit-boundary", 0,
+                            "deterministic fault injection at unit boundary");
+      fault::clear_scope();
+    } catch (const InternalError& e) {
+      fault::clear_scope();
+      failed = true;
+      fail(PassFailure::Kind::Assertion, e.what(), e.injected());
+      if (!ctx.opts.fault_recovery) throw;
+    }
     const auto t1 = std::chrono::steady_clock::now();
-    am.invalidate(preserved);
-    IrSize after =
-        whole_program ? program_ir_size(program) : unit_ir_size(unit);
-
-    ++timing.runs;
-    timing.ms +=
+    const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    if (!failed) {
+      am.invalidate(preserved);
+      if (ctx.opts.pass_budget_ms > 0.0 && ms > ctx.opts.pass_budget_ms) {
+        failed = true;
+        std::ostringstream os;
+        os << "pass ran " << ms << " ms, budget "
+           << ctx.opts.pass_budget_ms << " ms";
+        fail(PassFailure::Kind::Budget, os.str(), false);
+        if (!ctx.opts.fault_recovery)
+          throw InternalError("pass-over-budget", pass.name(), 0, os.str());
+      }
+    }
+    if (!failed && ctx.opts.verify_each) {
+      std::vector<VerifierViolation> vs =
+          whole_program ? verify_program(program) : verify_unit(*unit_ptr());
+      if (!vs.empty()) {
+        failed = true;
+        fail(PassFailure::Kind::Verifier, format_violations(vs), false);
+        if (!ctx.opts.fault_recovery)
+          throw InternalError("verify-each", pass.name(), 0,
+                              format_violations(vs));
+      }
+    }
+
+    unit = unit_ptr();  // a rollback replaced the unit object
+    IrSize after =
+        whole_program ? program_ir_size(program) : unit_ir_size(*unit);
+    ++timing.runs;
+    timing.ms += ms;
     timing.diags += static_cast<int>(ctx.report.diagnostics.all().size() -
                                      diags_before);
     timing.stmt_delta += after.stmts - before.stmts;
@@ -236,7 +421,7 @@ void PassPipeline::run(Program& program, AnalysisManager& am,
   std::size_t i = 0;
   while (i < passes_.size()) {
     if (passes_[i]->program_scope()) {
-      run_one(*passes_[i], *program.main(),
+      run_one(*passes_[i], kProgramScope,
               ctx.report.pass_timings[first_timing + i]);
       ++i;
       continue;
@@ -245,9 +430,9 @@ void PassPipeline::run(Program& program, AnalysisManager& am,
     while (group_end < passes_.size() &&
            !passes_[group_end]->program_scope())
       ++group_end;
-    for (const auto& unit : program.units())
+    for (std::size_t ui = 0; ui < program.units().size(); ++ui)
       for (std::size_t j = i; j < group_end; ++j)
-        run_one(*passes_[j], *unit,
+        run_one(*passes_[j], ui,
                 ctx.report.pass_timings[first_timing + j]);
     i = group_end;
   }

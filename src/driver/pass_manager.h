@@ -59,7 +59,30 @@ struct PassTiming {
   long expr_delta = 0;      ///< IR expression nodes added minus removed
   std::uint64_t analysis_queries = 0;  ///< AnalysisManager lookups
   std::uint64_t analysis_hits = 0;     ///< answered from cache
+  int failures = 0;         ///< invocations rolled back (fault isolation)
 };
+
+/// One isolated pass failure.  With fault recovery on (the default), the
+/// pass was rolled back on that unit and compilation continued — the LRPD
+/// shape: the program still compiles, just without this pass's
+/// transformation on this unit.  With recovery off, the failure aborted
+/// the compile (recovered = false) after stashing a repro bundle in
+/// CompileReport::crash.
+struct PassFailure {
+  enum class Kind {
+    Assertion,  ///< a p_assert fired inside the pass (or was injected)
+    Verifier,   ///< the post-pass IR verifier found violations
+    Budget,     ///< the pass exceeded Options::pass_budget_ms on the unit
+  };
+  std::string pass;
+  std::string unit;
+  Kind kind = Kind::Assertion;
+  std::string message;
+  bool injected = false;  ///< raised by deterministic fault injection
+  bool recovered = true;
+};
+
+const char* to_string(PassFailure::Kind kind);
 
 /// IR size metric used for the per-pass deltas.
 struct IrSize {
@@ -87,7 +110,9 @@ class PassPipeline {
   /// standard() otherwise.
   static PassPipeline from_options(const Options& opts);
 
-  /// Registered pass names, in standard battery order.
+  /// Registered pass names: the standard battery followed by the extra
+  /// analysis passes available to `-passes=` specs only ("reduction",
+  /// "privatization" — sub-analyses of `doall` in the standard battery).
   static std::vector<std::string> registered_passes();
 
   /// Runs the pipeline over `program`.  Consecutive unit-scope passes are
@@ -96,6 +121,16 @@ class PassPipeline {
   /// program-scope passes form their own group.  Appends one PassTiming
   /// per pipeline position to `ctx.report.pass_timings` and invalidates
   /// `am` per each pass's PreservedAnalyses.
+  ///
+  /// Fault isolation: every pass invocation runs against a pre-pass deep
+  /// snapshot of its unit (all units for program-scope passes).  An
+  /// InternalError thrown by the pass, a `-verify-each` verifier
+  /// violation, or a `-pass-budget-ms` overrun rolls the unit back to the
+  /// snapshot, fully invalidates `am`, unwinds the pass's diagnostics and
+  /// result counters, records a PassFailure in `ctx.report.failures`, and
+  /// continues with the remaining passes.  With Options::fault_recovery
+  /// off, the failure propagates instead after stashing a repro bundle in
+  /// `ctx.report.crash`.
   void run(Program& program, AnalysisManager& am, PassContext& ctx) const;
 
  private:

@@ -107,7 +107,7 @@ class Interpreter {
   bool in_parallel_ = false;
   std::uint64_t reduction_updates_ = 0;  ///< flagged-stmt executions
   std::uint64_t stmt_limit_ = 500'000'000;
-  std::map<Symbol*, ShadowArrays*> shadows_;  ///< active PD-test shadows
+  SymbolMap<ShadowArrays*> shadows_;  ///< active PD-test shadows
 };
 
 /// Convenience: run a program and return the result.

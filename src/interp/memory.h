@@ -69,7 +69,7 @@ class Frame {
   bool bound(Symbol* sym) const { return cells_.count(sym) > 0; }
 
  private:
-  std::map<Symbol*, Cell*> cells_;
+  SymbolMap<Cell*> cells_;
   std::vector<std::unique_ptr<Cell>> owned_;
 };
 

@@ -473,4 +473,17 @@ int replace_var(ExprPtr& root, const Symbol* sym, const Expression& to) {
   return count;
 }
 
+void remap_symbols(Expression& e, const SymbolMap<Symbol*>& map) {
+  if (e.kind() == ExprKind::VarRef) {
+    auto& v = static_cast<VarRef&>(e);
+    auto it = map.find(v.symbol());
+    if (it != map.end()) v.set_symbol(it->second);
+  } else if (e.kind() == ExprKind::ArrayRef) {
+    auto& a = static_cast<ArrayRef&>(e);
+    auto it = map.find(a.symbol());
+    if (it != map.end()) a.set_symbol(it->second);
+  }
+  for (ExprPtr* slot : e.children()) remap_symbols(**slot, map);
+}
+
 }  // namespace polaris

@@ -304,4 +304,9 @@ int replace_all(ExprPtr& root, const Expression& from, const Expression& to);
 /// Replaces every reference to scalar symbol `sym` with a clone of `to`.
 int replace_var(ExprPtr& root, const Symbol* sym, const Expression& to);
 
+/// Rewrites every VarRef/ArrayRef symbol in the tree through `map`
+/// (identity for symbols not present).  Used by ProgramUnit::clone and the
+/// fault-isolation rollback (AtomTable::remap).
+void remap_symbols(Expression& e, const SymbolMap<Symbol*>& map);
+
 }  // namespace polaris

@@ -6,25 +6,6 @@
 
 namespace polaris {
 
-namespace {
-
-/// Rewrites every symbol reference in the tree through `map` (identity for
-/// symbols not present).
-void remap_expr(Expression& e, const std::map<Symbol*, Symbol*>& map) {
-  if (e.kind() == ExprKind::VarRef) {
-    auto& v = static_cast<VarRef&>(e);
-    auto it = map.find(v.symbol());
-    if (it != map.end()) v.set_symbol(it->second);
-  } else if (e.kind() == ExprKind::ArrayRef) {
-    auto& a = static_cast<ArrayRef&>(e);
-    auto it = map.find(a.symbol());
-    if (it != map.end()) a.set_symbol(it->second);
-  }
-  for (ExprPtr* slot : e.children()) remap_expr(**slot, map);
-}
-
-}  // namespace
-
 ProgramUnit::ProgramUnit(UnitKind kind, std::string name)
     : kind_(kind), name_(to_lower(name)) {}
 
@@ -37,9 +18,9 @@ void ProgramUnit::add_formal(Symbol* s) {
 }
 
 std::unique_ptr<ProgramUnit> ProgramUnit::clone(
-    const std::string& new_name) const {
+    const std::string& new_name, SymbolMap<Symbol*>* out_map) const {
   auto copy = std::make_unique<ProgramUnit>(kind_, new_name);
-  std::map<Symbol*, Symbol*> map;
+  SymbolMap<Symbol*> map;
 
   // First pass: declare all symbols (dims and values cloned below so that
   // forward references between symbols resolve through `map`).
@@ -60,40 +41,52 @@ std::unique_ptr<ProgramUnit> ProgramUnit::clone(
     for (const Dimension& d : old_sym->dims()) {
       ExprPtr lo = d.lower ? d.lower->clone() : nullptr;
       ExprPtr hi = d.upper ? d.upper->clone() : nullptr;
-      if (lo) remap_expr(*lo, map);
-      if (hi) remap_expr(*hi, map);
+      if (lo) remap_symbols(*lo, map);
+      if (hi) remap_symbols(*hi, map);
       dims.emplace_back(std::move(lo), std::move(hi));
     }
     new_sym->set_dims(std::move(dims));
     if (old_sym->param_value()) {
       ExprPtr v = old_sym->param_value()->clone();
-      remap_expr(*v, map);
+      remap_symbols(*v, map);
       new_sym->set_param_value(std::move(v));
     }
     for (const ExprPtr& dv : old_sym->data_values()) {
       ExprPtr v = dv->clone();
-      remap_expr(*v, map);
+      remap_symbols(*v, map);
       new_sym->add_data_value(std::move(v));
     }
   }
 
-  // Statements: clone the whole list and remap.
+  // Statements: clone the whole list and remap.  ParallelInfo annotations
+  // also carry raw Symbol* (privates, reductions, speculative arrays) and
+  // must point into the new table — the fault-isolation snapshot/rollback
+  // machinery relies on clones being fully self-contained.
   if (!stmts_.empty()) {
     std::vector<StmtPtr> frag =
         stmts_.clone_range(stmts_.first(), stmts_.last());
+    auto remap_sym = [&map](Symbol*& sym) {
+      auto it = map.find(sym);
+      if (it != map.end()) sym = it->second;
+    };
     for (StmtPtr& s : frag) {
       if (s->kind() == StmtKind::Do) {
         auto* d = static_cast<DoStmt*>(s.get());
         auto it = map.find(d->index());
         if (it != map.end()) d->set_index(it->second);
+        for (Symbol*& v : d->par.private_vars) remap_sym(v);
+        for (Symbol*& v : d->par.lastvalue_vars) remap_sym(v);
+        for (Symbol*& v : d->par.speculative_arrays) remap_sym(v);
+        for (ReductionInfo& r : d->par.reductions) remap_sym(r.var);
       }
-      for (ExprPtr* slot : s->expr_slots()) remap_expr(**slot, map);
+      for (ExprPtr* slot : s->expr_slots()) remap_symbols(**slot, map);
     }
     copy->stmts_.splice_back(std::move(frag));
   }
 
   for (Symbol* f : formals_) copy->formals_.push_back(map.at(f));
   if (result_) copy->result_ = map.at(result_);
+  if (out_map) out_map->insert(map.begin(), map.end());
   return copy;
 }
 
@@ -133,6 +126,23 @@ ProgramUnit* Program::main() const {
 void Program::merge(Program&& other) {
   for (auto& u : other.units_) add_unit(std::move(u));
   other.units_.clear();
+}
+
+ProgramUnit* Program::replace_unit(ProgramUnit* old_unit,
+                                   std::unique_ptr<ProgramUnit> replacement) {
+  p_assert(old_unit != nullptr && replacement != nullptr);
+  for (auto& u : units_) {
+    if (u.get() != old_unit) continue;
+    u = std::move(replacement);
+    return u.get();
+  }
+  p_unreachable("replace_unit: unit not owned by this program");
+}
+
+void Program::reset_units(std::vector<std::unique_ptr<ProgramUnit>> units) {
+  p_assert_msg(!units.empty(), "reset_units: empty unit list");
+  for (const auto& u : units) p_assert(u != nullptr);
+  units_ = std::move(units);
 }
 
 }  // namespace polaris

@@ -106,6 +106,10 @@ class Statement {
 
  private:
   friend class StmtList;
+  /// Test-only seam: verifier tests corrupt derived links directly to
+  /// exercise detection paths unreachable through the consistency-checked
+  /// public API.  Defined in tests/ir/verifier_test.cpp only.
+  friend class VerifierTestPeer;
 
   StmtKind kind_;
   int id_;

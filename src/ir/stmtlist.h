@@ -64,6 +64,10 @@ class StmtList {
   /// The statement carrying numeric label `l`, or null.
   Statement* find_label(int l) const;
 
+  /// Read-only view of the whole label map (the IR verifier cross-checks
+  /// it against the labels statements actually carry, in both directions).
+  const std::map<int, Statement*>& label_map() const { return labels_; }
+
   /// All DO statements, outermost first, in source order.
   std::vector<DoStmt*> loops() const;
   /// DO statements properly nested inside `outer_do` (any depth).
@@ -99,6 +103,10 @@ class StmtList {
   iterator end() const { return iterator(nullptr); }
 
  private:
+  /// Test-only seam (see Statement): lets verifier tests corrupt the label
+  /// map and derived links that the public API keeps consistent.
+  friend class VerifierTestPeer;
+
   /// Checks [first,last] is a contiguous well-formed block of this list.
   void check_block(Statement* first, Statement* last) const;
   /// Detach without revalidation; shared by remove/extract.

@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,23 @@ class Symbol {
   ExprPtr param_value_;
   std::vector<ExprPtr> data_values_;
 };
+
+/// Orders symbols by Symbol::id() — allocation order, preserved relatively
+/// by ProgramUnit::clone.  Every symbol-keyed container whose iteration
+/// order can reach the output must use this instead of pointer order:
+/// after a fault-isolation rollback swaps in a cloned unit, pointer order
+/// is arbitrary (heap reuse) but id order is stable, so compiles stay
+/// bit-identical to a run that never attempted the failed pass.
+struct SymbolIdLess {
+  bool operator()(const Symbol* a, const Symbol* b) const {
+    return a->id() < b->id();
+  }
+};
+
+/// Deterministically ordered symbol set/map (see SymbolIdLess).
+using SymbolSet = std::set<Symbol*, SymbolIdLess>;
+template <typename V>
+using SymbolMap = std::map<Symbol*, V, SymbolIdLess>;
 
 /// Per-program-unit symbol table.  Names are canonicalized to lower case.
 class SymbolTable {

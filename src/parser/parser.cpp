@@ -1027,8 +1027,18 @@ std::string canonical_intrinsic(const std::string& name) {
 }
 
 std::unique_ptr<Program> parse_program(const std::string& source) {
-  Parser p(source);
-  return p.parse();
+  // Robustness boundary: malformed input must always surface as UserError
+  // (exit 1), never as InternalError (exit 3) — a p_assert tripped by a
+  // degenerate source is a parser bug from the compiler's point of view,
+  // but from the user's it is still just bad input.
+  try {
+    Parser p(source);
+    return p.parse();
+  } catch (const InternalError& e) {
+    throw UserError(std::string("malformed source (parser invariant '") +
+                    e.condition() + "' failed at " + e.file() + ":" +
+                    std::to_string(e.line()) + ")");
+  }
 }
 
 ExprPtr parse_expression(const std::string& text, SymbolTable& symtab) {

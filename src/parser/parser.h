@@ -25,7 +25,9 @@ namespace polaris {
 
 /// Parses Fortran source text into a Program.  If the source does not begin
 /// with a unit header, the statements are wrapped in an implicit
-/// "program main".  Throws UserError on malformed input.
+/// "program main".  Throws UserError on malformed input — including input
+/// degenerate enough to trip a parser invariant: InternalError never
+/// escapes this boundary.
 std::unique_ptr<Program> parse_program(const std::string& source);
 
 /// Parses a single expression (test and tooling helper).  Symbols are

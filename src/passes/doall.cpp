@@ -16,7 +16,7 @@ namespace {
 /// speculative path targets loops whose only unresolved accesses go
 /// through subscripted subscripts (index arrays computed from input data).
 bool subscripted_subscript_blockers(DoStmt* loop,
-                                    const std::set<Symbol*>& exempt) {
+                                    const SymbolSet& exempt) {
   bool found_any = false;
   for (Statement* s = loop->next(); s != loop->follow(); s = s->next()) {
     if (s->kind() != StmtKind::Assign) continue;
@@ -70,7 +70,7 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
       diags.note("doall", context, loop->par.serial_reason);
       continue;
     }
-    std::set<Symbol*> written_arrays;
+    SymbolSet written_arrays;
     for (Symbol* s : am.may_defined_symbols(first, last))
       if (s->is_array()) written_arrays.insert(s);
     if (has_impure_calls(first, last, pure, written_arrays)) {
@@ -103,7 +103,7 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
         continue;
       }
       auto all_accesses = collect_array_accesses(loop);
-      std::set<Symbol*> others;
+      SymbolSet others;
       for (const auto& [sym, refs] : all_accesses)
         if (sym != it->var) others.insert(sym);
       Diagnostics scratch;
@@ -120,7 +120,7 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
       }
     }
 
-    std::set<Symbol*> exempt;
+    SymbolSet exempt;
     for (const RecognizedReduction& r : reductions) exempt.insert(r.var);
 
     // Privatization of scalars and arrays.

@@ -28,8 +28,8 @@ class ForwardSub {
  private:
   struct Definition {
     ExprPtr value;                  // fully substituted rhs at def point
-    std::set<Symbol*> operands;     // scalar operands (kill on write)
-    std::set<Symbol*> arrays;       // arrays read (kill on array write)
+    SymbolSet operands;     // scalar operands (kill on write)
+    SymbolSet arrays;       // arrays read (kill on array write)
   };
 
   void kill_dependents(Symbol* written, bool is_array) {
@@ -44,8 +44,8 @@ class ForwardSub {
   void kill_all() { avail_.clear(); }
 
   /// Deep copy of the availability map (Definition owns its value tree).
-  std::map<Symbol*, Definition> snapshot() const {
-    std::map<Symbol*, Definition> out;
+  SymbolMap<Definition> snapshot() const {
+    SymbolMap<Definition> out;
     for (const auto& [sym, d] : avail_) {
       Definition c;
       c.value = d.value->clone();
@@ -193,7 +193,7 @@ class ForwardSub {
   }
 
   ProgramUnit& unit_;
-  std::map<Symbol*, Definition> avail_;
+  SymbolMap<Definition> avail_;
   int rewrites_ = 0;
 };
 

@@ -21,7 +21,7 @@ struct IncrementSite {
   ExprPtr inc;  ///< owned copy of the increment expression
 };
 
-using Env = std::map<Symbol*, Polynomial>;
+using Env = SymbolMap<Polynomial>;
 
 /// Matches K = K + inc / K = inc + K / K = K - inc; returns the increment
 /// or null.
@@ -128,8 +128,8 @@ class NestSolver {
 
 bool NestSolver::collect(bool allow_cascaded, bool allow_triangular) {
   // Gather increment statements and all defs per scalar.
-  std::map<Symbol*, std::vector<IncrementSite>> incs;
-  std::map<Symbol*, int> other_defs;
+  SymbolMap<std::vector<IncrementSite>> incs;
+  SymbolMap<int> other_defs;
   for (Statement* s = nest_->next(); s != nest_->follow(); s = s->next()) {
     if (s->kind() == StmtKind::Assign) {
       auto* a = static_cast<AssignStmt*>(s);
@@ -153,15 +153,15 @@ bool NestSolver::collect(bool allow_cascaded, bool allow_triangular) {
     }
   }
   // Loop indices of the nest (including the nest root) are not candidates.
-  std::set<Symbol*> indices;
+  SymbolSet indices;
   indices.insert(nest_->index());
   for (DoStmt* d : stmts_.loops_in(nest_)) indices.insert(d->index());
 
   // Symbols the nest may modify (for invariance checks on increments).
-  const std::set<Symbol*>& modified =
+  const SymbolSet& modified =
       am_.may_defined_symbols(nest_, nest_->follow());
 
-  std::map<Symbol*, std::vector<Symbol*>> cascades;  // K -> referenced cands
+  SymbolMap<std::vector<Symbol*>> cascades;  // K -> referenced cands
   std::vector<Symbol*> candidates;
   for (auto& [k, sites] : incs) {
     if (other_defs.count(k) || indices.count(k)) {
@@ -255,7 +255,7 @@ bool NestSolver::collect(bool allow_cascaded, bool allow_triangular) {
 
   // Topological sort of cascades (reject cycles).
   std::vector<Symbol*> order;
-  std::set<Symbol*> done, visiting;
+  SymbolSet done, visiting;
   std::function<bool(Symbol*)> visit = [&](Symbol* k) {
     if (done.count(k)) return true;
     if (visiting.count(k)) return false;  // cycle
@@ -446,10 +446,10 @@ int rewrite_multiplicative(ProgramUnit& unit, DoStmt* nest,
   StmtList& stmts = unit.stmts();
 
   // Gather multiplicative sites and other defs per scalar.
-  std::map<Symbol*, std::vector<AssignStmt*>> sites;
-  std::map<Symbol*, ExprPtr> factors;
-  std::set<Symbol*> invalid;
-  const std::set<Symbol*>& modified =
+  SymbolMap<std::vector<AssignStmt*>> sites;
+  SymbolMap<ExprPtr> factors;
+  SymbolSet invalid;
+  const SymbolSet& modified =
       am.may_defined_symbols(nest, nest->follow());
   for (Statement* s = nest->next(); s != nest->follow(); s = s->next()) {
     if (s->kind() == StmtKind::Assign) {

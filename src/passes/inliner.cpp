@@ -89,8 +89,8 @@ bool Expander::expand(CallStmt* call) {
 
   // --- symbol remapping -------------------------------------------------------
   // Locals get fresh names in the caller; commons unify by block+name.
-  std::map<Symbol*, Symbol*> sym_map;           // locals & commons
-  std::map<Symbol*, FormalMap> formal_map;      // formals
+  SymbolMap<Symbol*> sym_map;           // locals & commons
+  SymbolMap<FormalMap> formal_map;      // formals
 
   for (size_t i = 0; i < work->formals().size(); ++i) {
     Symbol* formal = work->formals()[i];

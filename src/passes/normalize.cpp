@@ -29,10 +29,10 @@ int normalize_loops(ProgramUnit& unit, const Options& opts,
     // The body must not assign the index, and the bounds' operands must
     // not be modified inside (textual substitution re-evaluates them).
     if (!empty) {
-      const std::set<Symbol*>& modified =
+      const SymbolSet& modified =
           am.may_defined_symbols(body_first, body_last);
       if (modified.count(index)) continue;
-      std::set<Symbol*> bound_syms;
+      SymbolSet bound_syms;
       for (const Expression* e : {&loop->init(), &loop->limit()}) {
         walk(*e, [&](const Expression& n) {
           if (n.kind() == ExprKind::VarRef)

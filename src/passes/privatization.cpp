@@ -149,7 +149,7 @@ void add_counter_facts(FactContext& ctx, DoStmt* loop) {
     int incs = 0;
     bool bad = false;
   };
-  std::map<Symbol*, CounterInfo> info;
+  SymbolMap<CounterInfo> info;
   for (Statement* s = loop->next(); s != loop->follow(); s = s->next()) {
     if (s->kind() == StmtKind::Do) {
       info[static_cast<DoStmt*>(s)->index()].bad = true;
@@ -214,7 +214,7 @@ PrivatizationResult analyze_privatization(ProgramUnit& unit, DoStmt* loop,
   const bool empty_body = (body_first == loop->follow());
 
   // --- scalars ---------------------------------------------------------------
-  std::set<Symbol*> exposed, must;
+  SymbolSet exposed, must;
   if (!empty_body) {
     exposed = am.upward_exposed_scalars(body_first, body_last);
     must = am.must_defined_scalars(body_first, body_last);

@@ -87,8 +87,8 @@ std::vector<RecognizedReduction> recognize_reductions(DoStmt* loop,
   if (!opts.reductions) return out;
 
   // Phase 1: flag candidates by pattern (the Wildcard-based recognition).
-  std::map<Symbol*, RecognizedReduction> candidates;
-  std::map<Symbol*, bool> invalid;
+  SymbolMap<RecognizedReduction> candidates;
+  SymbolMap<bool> invalid;
   for (Statement* s = loop->next(); s != loop->follow(); s = s->next()) {
     if (s->kind() != StmtKind::Assign) continue;
     auto* a = static_cast<AssignStmt*>(s);

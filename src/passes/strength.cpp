@@ -36,7 +36,7 @@ std::optional<Candidate> analyze_subscript(const Expression& sub,
   Polynomial rest = f - Polynomial::atom(k) * Polynomial::constant(c);
   if (rest.contains(k)) return std::nullopt;
   // Opaque atoms must not hide the index or anything the loop modifies.
-  const std::set<Symbol*>& modified =
+  const SymbolSet& modified =
       am.may_defined_symbols(loop, loop->follow());
   for (AtomId a : f.atoms()) {
     const Expression& ae = AtomTable::instance().expr(a);

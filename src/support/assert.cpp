@@ -1,10 +1,14 @@
 #include "support/assert.h"
 
+#include <cctype>
+#include <cstdlib>
 #include <sstream>
+#include <vector>
 
 namespace polaris {
 
 namespace {
+
 std::string format_message(const std::string& cond, const std::string& file,
                            int line, const std::string& msg) {
   std::ostringstream os;
@@ -13,6 +17,23 @@ std::string format_message(const std::string& cond, const std::string& file,
   if (!msg.empty()) os << ": " << msg;
   return os.str();
 }
+
+/// Process-wide injection state.  Compilation is single-threaded today
+/// (parallel per-unit pipelines are a ROADMAP item; injection will need to
+/// become thread-local with them).
+struct FaultState {
+  fault::InjectionSpec spec;
+  bool scope_active = false;
+  bool scope_matches = false;
+  bool fired_in_scope = false;
+  long sites_in_scope = 0;
+};
+FaultState g_fault;
+
+bool spec_matches(const std::string& pattern, const std::string& value) {
+  return pattern == "*" || pattern == value;
+}
+
 }  // namespace
 
 InternalError::InternalError(const std::string& cond, const std::string& file,
@@ -22,11 +43,108 @@ InternalError::InternalError(const std::string& cond, const std::string& file,
       file_(file),
       line_(line) {}
 
+bool InternalError::injected() const {
+  return cond_ == detail::kInjectedCond;
+}
+
+namespace fault {
+
+InjectionSpec parse_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : spec) {
+    if (c == ':') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+
+  if (parts.size() > 3)
+    throw UserError("bad fault-injection spec '" + spec +
+                    "' (want PASS[:UNIT[:N]])");
+  InjectionSpec out;
+  if (parts[0].empty())
+    throw UserError("bad fault-injection spec '" + spec +
+                    "': empty pass name");
+  out.pass = parts[0];
+  if (parts.size() >= 2 && !parts[1].empty()) out.unit = parts[1];
+  if (parts.size() == 3) {
+    const std::string& n = parts[2];
+    char* end = nullptr;
+    long v = n.empty() ? 0 : std::strtol(n.c_str(), &end, 10);
+    if (n.empty() || end == nullptr || *end != '\0' || v < 1)
+      throw UserError("bad fault-injection spec '" + spec +
+                      "': site index must be a positive integer");
+    out.site = v;
+  }
+  // Unit names are canonicalized to lower case in the IR; match likewise.
+  for (char& c : out.unit)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+void arm(const InjectionSpec& spec) {
+  g_fault = FaultState{};
+  g_fault.spec = spec;
+  detail::fault_armed_flag = true;
+}
+
+void disarm() {
+  detail::fault_armed_flag = false;
+  g_fault = FaultState{};
+}
+
+bool armed() { return detail::fault_armed_flag; }
+
+void set_scope(const std::string& pass, const std::string& unit) {
+  g_fault.scope_active = true;
+  g_fault.scope_matches = spec_matches(g_fault.spec.pass, pass) &&
+                          spec_matches(g_fault.spec.unit, unit);
+  g_fault.fired_in_scope = false;
+  g_fault.sites_in_scope = 0;
+}
+
+void clear_scope() {
+  g_fault.scope_active = false;
+  g_fault.scope_matches = false;
+  g_fault.sites_in_scope = 0;
+}
+
+bool consume_boundary_fault() {
+  if (!detail::fault_armed_flag || !g_fault.scope_active ||
+      !g_fault.scope_matches || g_fault.fired_in_scope)
+    return false;
+  g_fault.fired_in_scope = true;
+  return true;
+}
+
+long sites_in_scope() { return g_fault.sites_in_scope; }
+
+}  // namespace fault
+
 namespace detail {
+
+const char* const kInjectedCond = "fault-injection";
+
+bool fault_armed_flag = false;
+
+bool fault_tick_slow() {
+  if (!g_fault.scope_active || !g_fault.scope_matches ||
+      g_fault.fired_in_scope)
+    return false;
+  if (++g_fault.sites_in_scope != g_fault.spec.site) return false;
+  g_fault.fired_in_scope = true;
+  return true;
+}
+
 void assert_failed(const char* cond, const char* file, int line,
                    const std::string& msg) {
   throw InternalError(cond, file, line, msg);
 }
+
 }  // namespace detail
 
 }  // namespace polaris

@@ -7,6 +7,17 @@
 // <cassert>, p_assert is always on (analysis correctness matters more than
 // the last few percent of compile speed) and failures raise a typed
 // exception carrying the source location so tests can observe them.
+//
+// Deterministic fault injection: every p_assert site doubles as an
+// injection point.  When injection is armed with a "PASS[:UNIT[:N]]" spec
+// (the `-fault-inject=` flag / POLARIS_FAULT_INJECT env var) and the pass
+// manager has declared the current (pass, unit) scope, the Nth assertion
+// executed inside each matching scope throws an InternalError even though
+// its condition holds — so the rollback/recovery path is exercisable in
+// tests and CI instead of only on real bugs.  If fewer than N sites execute
+// before the pass finishes, the pass manager forces the fault at the unit
+// boundary (fault::consume_boundary_fault), so an armed injection always
+// fires for every matching scope.
 #pragma once
 
 #include <stdexcept>
@@ -24,6 +35,10 @@ class InternalError : public std::logic_error {
   const std::string& file() const { return file_; }
   int line() const { return line_; }
 
+  /// True when this error was raised by deterministic fault injection
+  /// rather than a genuine assertion failure.
+  bool injected() const;
+
  private:
   std::string cond_;
   std::string file_;
@@ -37,17 +52,70 @@ class UserError : public std::runtime_error {
   explicit UserError(const std::string& msg) : std::runtime_error(msg) {}
 };
 
+namespace fault {
+
+/// Parsed "PASS[:UNIT[:N]]" injection spec.  PASS and UNIT may be "*"
+/// (match anything); UNIT defaults to "*", N to 1 (1-based site index).
+struct InjectionSpec {
+  std::string pass = "*";
+  std::string unit = "*";
+  long site = 1;
+};
+
+/// Parses a spec string; throws UserError on malformed input (empty pass,
+/// non-numeric or non-positive N, trailing components).
+InjectionSpec parse_spec(const std::string& spec);
+
+/// Arms injection process-wide.  Each (pass, unit) scope entered via
+/// set_scope counts its own assertion sites from 1 and fires at most once.
+void arm(const InjectionSpec& spec);
+void disarm();
+bool armed();
+
+/// Declares the (pass, unit) the currently executing code is attributed
+/// to; the pass manager brackets every pass invocation with these.  The
+/// site counter restarts on every set_scope call.
+void set_scope(const std::string& pass, const std::string& unit);
+void clear_scope();
+
+/// True when injection is armed for the current scope but has not fired
+/// there yet; marks the scope as fired.  The pass manager calls this at
+/// the unit boundary so a matching pass with fewer than N assertion sites
+/// still faults deterministically.
+bool consume_boundary_fault();
+
+/// Assertion sites executed inside the current scope (diagnostics/tests).
+long sites_in_scope();
+
+}  // namespace fault
+
 namespace detail {
 [[noreturn]] void assert_failed(const char* cond, const char* file, int line,
                                 const std::string& msg);
+/// Condition string used for injected failures; InternalError::injected()
+/// keys off it.
+extern const char* const kInjectedCond;
+
+/// True only between fault::arm / fault::disarm — keeps the per-site
+/// overhead of fault_tick() to one predictable branch.
+extern bool fault_armed_flag;
+bool fault_tick_slow();
+inline bool fault_tick() {
+  return fault_armed_flag && fault_tick_slow();
+}
 }  // namespace detail
 
 }  // namespace polaris
 
 /// Polaris assertion: always enabled, throws polaris::InternalError on
 /// failure.  Use for conditions that indicate a bug in the compiler.
+/// Every site is also a deterministic fault-injection point (see above).
 #define p_assert(cond)                                                      \
   do {                                                                      \
+    if (::polaris::detail::fault_tick())                                    \
+      ::polaris::detail::assert_failed(::polaris::detail::kInjectedCond,    \
+                                       __FILE__, __LINE__,                  \
+                                       "deterministic fault injection");    \
     if (!(cond))                                                            \
       ::polaris::detail::assert_failed(#cond, __FILE__, __LINE__, "");      \
   } while (0)
@@ -56,6 +124,10 @@ namespace detail {
 /// via std::string concatenation at the call site).
 #define p_assert_msg(cond, msg)                                             \
   do {                                                                      \
+    if (::polaris::detail::fault_tick())                                    \
+      ::polaris::detail::assert_failed(::polaris::detail::kInjectedCond,    \
+                                       __FILE__, __LINE__,                  \
+                                       "deterministic fault injection");    \
     if (!(cond))                                                            \
       ::polaris::detail::assert_failed(#cond, __FILE__, __LINE__, (msg));   \
   } while (0)

@@ -20,6 +20,10 @@ void Diagnostics::error(const std::string& pass, const std::string& context,
   diags_.push_back({DiagSeverity::Error, pass, context, message});
 }
 
+void Diagnostics::truncate(std::size_t n) {
+  if (n < diags_.size()) diags_.resize(n);
+}
+
 bool Diagnostics::has_errors() const {
   return count(DiagSeverity::Error) > 0;
 }

@@ -40,6 +40,10 @@ class Diagnostics {
   bool contains(const std::string& needle) const;
 
   void clear() { diags_.clear(); }
+  /// Drops every diagnostic past the first `n` — the fault-isolation layer
+  /// unwinds a rolled-back pass's messages so the report matches a run
+  /// that never attempted the pass.
+  void truncate(std::size_t n);
   void print(std::ostream& os) const;
 
  private:

@@ -39,6 +39,8 @@ void Options::set(const std::string& name, bool value) {
   else if (name == "pure_functions") pure_functions = value;
   else if (name == "strength_reduction") strength_reduction = value;
   else if (name == "runtime_pd_test") runtime_pd_test = value;
+  else if (name == "fault_recovery") fault_recovery = value;
+  else if (name == "verify_each") verify_each = value;
   else p_assert_msg(false, "unknown option: " + name);
 }
 

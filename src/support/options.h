@@ -48,6 +48,25 @@ struct Options {
   /// spec ("constprop,doall") consumed by PassPipeline::from_options.
   std::string pipeline_spec;
 
+  // --- fault isolation ------------------------------------------------------
+  /// Roll a failing pass back to its pre-pass snapshot and continue with
+  /// the remaining passes (the LRPD shape: degrade to "less optimized,
+  /// still correct").  When false, pass failures propagate as
+  /// InternalError, aborting the compile.
+  bool fault_recovery = true;
+  /// Run the structural IR verifier after every pass; violations are
+  /// treated like assertion failures (rollback or abort per
+  /// fault_recovery).  The verifier always runs once after the pipeline
+  /// regardless of this switch.
+  bool verify_each = false;
+  /// Per-pass, per-unit wall-time budget in milliseconds; a pass exceeding
+  /// it at the unit boundary is rolled back and reported like a fault.
+  /// 0 disables the budget.
+  double pass_budget_ms = 0.0;
+  /// Deterministic fault-injection spec "PASS[:UNIT[:N]]" (empty: off);
+  /// armed by the driver for the duration of the pipeline.
+  std::string fault_inject;
+
   /// "Current compiler" (PFA-like) baseline: linear tests only, scalar
   /// privatization only, simple inductions, no inlining, no range test.
   static Options baseline();

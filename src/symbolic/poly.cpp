@@ -44,6 +44,24 @@ Symbol* AtomTable::symbol(AtomId id) const {
   return nullptr;
 }
 
+void AtomTable::remap(const SymbolMap<Symbol*>& map) {
+  for (ExprPtr& a : atoms_) remap_symbols(*a, map);
+  buckets_.clear();
+  for (std::size_t i = 0; i < atoms_.size(); ++i)
+    buckets_.emplace(atoms_[i]->hash(), static_cast<AtomId>(i));
+}
+
+void AtomTable::truncate(std::size_t n) {
+  if (n >= atoms_.size()) return;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (static_cast<std::size_t>(it->second) >= n)
+      it = buckets_.erase(it);
+    else
+      ++it;
+  }
+  atoms_.resize(n);
+}
+
 // --- Monomial ------------------------------------------------------------------
 
 Monomial Monomial::atom(AtomId id, int power) {

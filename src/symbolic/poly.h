@@ -26,7 +26,11 @@ namespace polaris {
 using AtomId = int;
 
 /// Process-wide interning table of atoms.  Atoms are immutable; the table
-/// only grows.  (Single compilation thread by design, like Polaris.)
+/// only grows — except that the fault-isolation layer truncates it back to
+/// its pre-pass size when a pass is rolled back, so atoms a failed pass
+/// interned (whose ids would otherwise perturb canonical term ordering in
+/// later passes, and whose symbols may die with the rolled-back unit)
+/// leave no trace.  (Single compilation thread by design, like Polaris.)
 class AtomTable {
  public:
   static AtomTable& instance();
@@ -39,6 +43,26 @@ class AtomTable {
   const Expression& expr(AtomId id) const;
   /// The symbol if the atom is a plain VarRef, else null.
   Symbol* symbol(AtomId id) const;
+
+  /// Number of interned atoms; pairs with truncate() for rollback.
+  std::size_t size() const { return atoms_.size(); }
+  /// Drops every atom with id >= n.  Only valid when no live Polynomial or
+  /// cached analysis references the dropped ids (the pass manager discards
+  /// both when it rolls a pass back).
+  void truncate(std::size_t n);
+  /// Clears the table.  The driver calls this at the start of every
+  /// compilation: atom identity keys on Symbol pointers, so atoms left by
+  /// a previous compilation could be falsely reused when the allocator
+  /// hands a new Symbol an old address — skewing canonical term order.
+  /// Atom ids (and thus printed polynomial order) are canonical *per
+  /// compilation*, never across compilations.
+  void reset() { truncate(0); }
+  /// Rewrites interned atoms through an original-to-clone symbol map and
+  /// rebuilds the hash index.  After a rollback swaps a cloned unit in, the
+  /// clone's symbols inherit the original symbols' atom ids — so canonical
+  /// term ordering (and with it the printed output) is bit-identical to a
+  /// run that never attempted the failed pass.
+  void remap(const SymbolMap<Symbol*>& map);
 
  private:
   AtomTable() = default;

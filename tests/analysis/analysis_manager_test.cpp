@@ -15,7 +15,7 @@ std::unique_ptr<Program> parse(const std::string& src) {
   return parse_program(src);
 }
 
-std::set<std::string> names(const std::set<Symbol*>& syms) {
+std::set<std::string> names(const SymbolSet& syms) {
   std::set<std::string> out;
   for (Symbol* s : syms) out.insert(s->name());
   return out;

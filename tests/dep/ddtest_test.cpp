@@ -20,7 +20,7 @@ struct DriverFixture {
   }
 
   LoopDepStats run(DoStmt* loop, const Options& opts,
-                   std::set<Symbol*> exempt = {}) {
+                   SymbolSet exempt = {}) {
     return test_loop_arrays(loop, opts, diags, exempt, "main/test");
   }
 };
@@ -98,7 +98,7 @@ TEST(DdtestTest, ExemptArraysSkipped) {
       "        a(i) = a(i - 1)\n"
       "      end do\n"
       "      end\n");
-  std::set<Symbol*> exempt = {f.unit->symtab().lookup("a")};
+  SymbolSet exempt = {f.unit->symtab().lookup("a")};
   auto pol = f.run(f.loops[0], Options::polaris(), exempt);
   EXPECT_TRUE(pol.parallel());
   EXPECT_EQ(pol.pairs, 0);

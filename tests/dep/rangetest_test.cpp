@@ -12,7 +12,7 @@ struct AccessFixture {
   std::unique_ptr<Program> prog;
   ProgramUnit* unit;
   std::vector<DoStmt*> loops;
-  std::map<Symbol*, std::vector<ArrayAccess>> accesses;
+  SymbolMap<std::vector<ArrayAccess>> accesses;
 
   AccessFixture(const std::string& src, int outer_loop_index = 0)
       : prog(parse_program(src)) {

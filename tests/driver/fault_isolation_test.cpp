@@ -1,0 +1,202 @@
+// Fault-isolated pass execution, end to end through the Compiler API.
+//
+// The headline guarantee under test: a pass that faults on every unit is
+// rolled back so cleanly that the compile is *bit-identical* to a pipeline
+// that never ran the pass at all — IR, symbol ids, interned atoms, and all.
+// Plus the satellite behaviors: budget overruns roll back like faults,
+// `-verify-each` stays clean across the whole suite in both compiler
+// modes, and recovery-off compiles stash a crash-repro bundle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.h"
+#include "driver/pass_manager.h"
+#include "suite/suite.h"
+#include "support/assert.h"
+
+namespace polaris {
+namespace {
+
+/// Comma-joins a pass-name list into a `-passes=` spec.
+std::string join_spec(const std::vector<std::string>& names) {
+  std::string spec;
+  for (const auto& n : names) {
+    if (!spec.empty()) spec += ",";
+    spec += n;
+  }
+  return spec;
+}
+
+std::vector<std::string> standard_names() {
+  return PassPipeline::standard().pass_names();
+}
+
+/// The spec the round-trip runs with `pass` present: the standard battery
+/// for standard passes, or the standard battery with the extra pass
+/// spliced in before `doall` for registry-only passes.
+std::vector<std::string> spec_with(const std::string& pass) {
+  std::vector<std::string> names = standard_names();
+  if (std::find(names.begin(), names.end(), pass) == names.end()) {
+    auto it = std::find(names.begin(), names.end(), "doall");
+    names.insert(it, pass);
+  }
+  return names;
+}
+
+std::vector<std::string> without(std::vector<std::string> names,
+                                 const std::string& pass) {
+  names.erase(std::remove(names.begin(), names.end(), pass), names.end());
+  return names;
+}
+
+/// Compiles `source` and returns the annotated output.
+std::string compile_annotated(Options opts, const std::string& source,
+                              CompileReport* report = nullptr) {
+  CompileReport local;
+  Compiler c(std::move(opts));
+  c.compile(source, report ? report : &local);
+  return (report ? *report : local).annotated_source;
+}
+
+// For every registered pass and every suite code: injecting a fault into
+// the pass on every unit must produce output identical to the same
+// pipeline with the pass omitted.  This is the rollback acceptance
+// criterion — any state the failed pass leaked (IR, diagnostics, report
+// counters, interned atoms, symbol ordering) shows up as a diff.
+TEST(FaultIsolation, InjectedFaultMatchesPassOmittedPipeline) {
+  for (const std::string& pass : PassPipeline::registered_passes()) {
+    const std::vector<std::string> with_names = spec_with(pass);
+    const std::string skipped = join_spec(without(with_names, pass));
+    for (const auto& bench : benchmark_suite()) {
+      Options faulted = Options::polaris();
+      faulted.pipeline_spec = join_spec(with_names);
+      faulted.fault_inject = pass;
+      CompileReport rep;
+      const std::string out = compile_annotated(faulted, bench.source, &rep);
+
+      ASSERT_FALSE(rep.failures.empty()) << pass << " on " << bench.name;
+      for (const PassFailure& f : rep.failures) {
+        EXPECT_EQ(f.pass, pass);
+        EXPECT_EQ(f.kind, PassFailure::Kind::Assertion);
+        EXPECT_TRUE(f.injected);
+        EXPECT_TRUE(f.recovered);
+      }
+
+      Options clean = Options::polaris();
+      clean.pipeline_spec = skipped;
+      CompileReport clean_rep;
+      const std::string ref = compile_annotated(clean, bench.source, &clean_rep);
+      EXPECT_TRUE(clean_rep.failures.empty());
+      EXPECT_EQ(out, ref) << "rollback of '" << pass
+                          << "' leaked state on " << bench.name;
+    }
+  }
+}
+
+// A budget so small every pass overruns it: all invocations roll back with
+// Kind::Budget, and the result equals a compile where *every* pass faults
+// (i.e. no transformation was retained at all).
+TEST(FaultIsolation, ExhaustedBudgetRollsBackEveryPass) {
+  const auto& bench = suite_program("trfd");
+
+  Options budget = Options::polaris();
+  budget.pass_budget_ms = 1e-9;
+  CompileReport rep;
+  const std::string out = compile_annotated(budget, bench.source, &rep);
+
+  ASSERT_FALSE(rep.failures.empty());
+  for (const PassFailure& f : rep.failures) {
+    EXPECT_EQ(f.kind, PassFailure::Kind::Budget);
+    EXPECT_FALSE(f.injected);
+    EXPECT_TRUE(f.recovered);
+  }
+  int total_runs = 0;
+  for (const PassTiming& t : rep.pass_timings) total_runs += t.runs;
+  EXPECT_EQ(static_cast<int>(rep.failures.size()), total_runs);
+
+  Options all_faults = Options::polaris();
+  all_faults.fault_inject = "*";
+  const std::string ref = compile_annotated(all_faults, bench.source);
+  EXPECT_EQ(out, ref);
+}
+
+// -verify-each across the full 16-code suite in both compiler modes:
+// every pass leaves structurally valid IR, so zero failures are recorded.
+TEST(FaultIsolation, VerifyEachCleanAcrossSuiteAndModes) {
+  for (CompilerMode mode : {CompilerMode::Polaris, CompilerMode::Baseline}) {
+    for (const auto& bench : benchmark_suite()) {
+      Options opts = mode == CompilerMode::Polaris ? Options::polaris()
+                                                   : Options::baseline();
+      opts.verify_each = true;
+      CompileReport rep;
+      compile_annotated(opts, bench.source, &rep);
+      EXPECT_TRUE(rep.failures.empty())
+          << bench.name << " mode="
+          << (mode == CompilerMode::Polaris ? "polaris" : "baseline");
+    }
+  }
+}
+
+// With recovery off, the injected fault escapes as InternalError and the
+// report carries a crash-repro bundle naming the pass and unit.
+TEST(FaultIsolation, NoRecoveryStashesCrashBundle) {
+  const auto& bench = suite_program("ocean");
+  Options opts = Options::polaris();
+  opts.fault_recovery = false;
+  opts.fault_inject = "doall";
+  Compiler c(opts);
+  CompileReport rep;
+  bool threw = false;
+  try {
+    c.compile(bench.source, &rep);
+  } catch (const InternalError& e) {
+    threw = true;
+    EXPECT_TRUE(e.injected());
+  }
+  EXPECT_TRUE(threw);
+  ASSERT_TRUE(rep.crash.has_value());
+  EXPECT_EQ(rep.crash->pass, "doall");
+  EXPECT_FALSE(rep.crash->unit.empty());
+  EXPECT_FALSE(rep.crash->unit_source.empty());
+  EXPECT_NE(rep.crash->passes_spec.find("doall"), std::string::npos);
+}
+
+// Rollback unwinds diagnostics emitted by the failed pass but adds the
+// fault-isolation warning, so users can see what was skipped.
+TEST(FaultIsolation, RollbackWarnsAndUnwindsPassDiagnostics) {
+  const auto& bench = suite_program("trfd");
+  Options opts = Options::polaris();
+  opts.fault_inject = "induction";
+  CompileReport rep;
+  compile_annotated(opts, bench.source, &rep);
+  ASSERT_FALSE(rep.failures.empty());
+  bool warned = false;
+  for (const auto& d : rep.diagnostics.all())
+    if (d.pass == "fault-isolation") warned = true;
+  EXPECT_TRUE(warned);
+  // The rolled-back pass reports zero retained transformations.
+  EXPECT_EQ(rep.induction.substituted, 0);
+}
+
+// Targeted injection: PASS:UNIT:N faults only the named unit; other units
+// keep the transformation.
+TEST(FaultIsolation, UnitScopedInjectionLeavesOtherUnitsTransformed) {
+  const auto& bench = suite_program("trfd");
+  Options all = Options::polaris();
+  CompileReport ref;
+  compile_annotated(all, bench.source, &ref);
+
+  Options scoped = Options::polaris();
+  scoped.fault_inject = "doall:nosuchunit";
+  CompileReport rep;
+  const std::string out = compile_annotated(scoped, bench.source, &rep);
+  // No unit matches: nothing fires, output equals the clean compile.
+  EXPECT_TRUE(rep.failures.empty());
+  EXPECT_EQ(out, ref.annotated_source);
+}
+
+}  // namespace
+}  // namespace polaris

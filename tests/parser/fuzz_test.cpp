@@ -1,12 +1,13 @@
-// Parser robustness: mutated suite sources must never crash or hang — the
-// frontend either parses them or raises a typed error.  (InternalError is
-// tolerated here only for structural violations the parser defers to the
-// IR's consistency checks, e.g. duplicated labels; crashes and infinite
-// loops are the bugs this guards against.)
+// Parser robustness: mutated suite sources must never crash, hang, or leak
+// an InternalError — parse_program is a UserError boundary (malformed input
+// is the *user's* problem, exit 1), so every failure mode of the frontend
+// must surface as UserError.  When parsing succeeds, the resulting IR must
+// survive revalidation AND the structural verifier.
 #include <gtest/gtest.h>
 
 #include <random>
 
+#include "ir/verifier.h"
 #include "parser/parser.h"
 #include "suite/suite.h"
 
@@ -15,7 +16,7 @@ namespace {
 
 class ParserFuzz : public ::testing::TestWithParam<unsigned> {};
 
-TEST_P(ParserFuzz, MutatedSourcesDoNotCrash) {
+TEST_P(ParserFuzz, MutatedSourcesNeverLeakInternalError) {
   std::mt19937 rng(GetParam());
   const auto& suite = benchmark_suite();
   std::string src = suite[rng() % suite.size()].source;
@@ -41,16 +42,54 @@ TEST_P(ParserFuzz, MutatedSourcesDoNotCrash) {
 
   try {
     auto prog = parse_program(src);
-    // Parsed: the IR must at least print and revalidate.
+    // Parsed: the IR must revalidate and pass the structural verifier.
     for (const auto& unit : prog->units()) unit->stmts().revalidate();
+    std::vector<VerifierViolation> vs = verify_program(*prog);
+    EXPECT_TRUE(vs.empty()) << format_violations(vs);
   } catch (const UserError&) {
     // expected for malformed input
-  } catch (const InternalError&) {
-    // structural violation caught by the consistency layer — acceptable
   }
+  // InternalError deliberately NOT caught: parse_program converts parser
+  // invariant failures to UserError, so one escaping here is a real bug.
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1u, 65u));
+
+/// Either parses cleanly (IR verifies) or raises UserError; anything else
+/// (InternalError, crash) fails the test.
+void expect_clean_outcome(const std::string& src, const std::string& what) {
+  try {
+    auto prog = parse_program(src);
+    std::vector<VerifierViolation> vs = verify_program(*prog);
+    EXPECT_TRUE(vs.empty()) << what << ": " << format_violations(vs);
+  } catch (const UserError&) {
+    // the clean failure mode
+  }
+}
+
+TEST(ParserRobustness, TruncatedSuiteCodesYieldUserError) {
+  for (const auto& bench : benchmark_suite()) {
+    const std::string& src = bench.source;
+    // Cut mid-statement at several fractions, including mid-line cuts that
+    // leave dangling DO/IF nests and half tokens.
+    for (double frac : {0.15, 0.4, 0.55, 0.7, 0.85, 0.97}) {
+      std::string cut =
+          src.substr(0, static_cast<size_t>(src.size() * frac));
+      expect_clean_outcome(cut, bench.name + " truncated");
+    }
+  }
+}
+
+TEST(ParserRobustness, GarbledSuiteCodesYieldUserError) {
+  for (const auto& bench : benchmark_suite()) {
+    // Deterministic garbling: overwrite every 37th character.
+    std::string garbled = bench.source;
+    const char junk[] = ")(=$*";
+    for (size_t i = 11; i < garbled.size(); i += 37)
+      garbled[i] = junk[i % (sizeof(junk) - 1)];
+    expect_clean_outcome(garbled, bench.name + " garbled");
+  }
+}
 
 }  // namespace
 }  // namespace polaris

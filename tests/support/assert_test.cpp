@@ -47,5 +47,107 @@ TEST(AssertTest, UserErrorIsDistinctFromInternalError) {
   EXPECT_FALSE(caught_as_runtime);
 }
 
+/// Fixture guaranteeing injection state never leaks between tests.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::clear_scope();
+    fault::disarm();
+  }
+};
+
+TEST_F(FaultInjectionTest, ParseSpecDefaults) {
+  fault::InjectionSpec s = fault::parse_spec("doall");
+  EXPECT_EQ(s.pass, "doall");
+  EXPECT_EQ(s.unit, "*");
+  EXPECT_EQ(s.site, 1);
+}
+
+TEST_F(FaultInjectionTest, ParseSpecFull) {
+  fault::InjectionSpec s = fault::parse_spec("induction:olda:17");
+  EXPECT_EQ(s.pass, "induction");
+  EXPECT_EQ(s.unit, "olda");
+  EXPECT_EQ(s.site, 17);
+}
+
+TEST_F(FaultInjectionTest, ParseSpecRejectsMalformed) {
+  EXPECT_THROW(fault::parse_spec(""), UserError);
+  EXPECT_THROW(fault::parse_spec(":u"), UserError);
+  EXPECT_THROW(fault::parse_spec("p:u:abc"), UserError);
+  EXPECT_THROW(fault::parse_spec("p:u:0"), UserError);
+  EXPECT_THROW(fault::parse_spec("p:u:-3"), UserError);
+  EXPECT_THROW(fault::parse_spec("p:u:1:extra"), UserError);
+}
+
+TEST_F(FaultInjectionTest, FiresAtNthSiteInMatchingScope) {
+  fault::arm(fault::parse_spec("mypass:*:3"));
+  fault::set_scope("mypass", "someunit");
+  int fired_at = 0;
+  for (int i = 1; i <= 5 && fired_at == 0; ++i) {
+    try {
+      p_assert(1 + 1 == 2);  // condition holds; only injection can throw
+    } catch (const InternalError& e) {
+      EXPECT_TRUE(e.injected());
+      fired_at = i;
+    }
+  }
+  EXPECT_EQ(fired_at, 3);
+  // Fires at most once per scope: further sites pass untouched, and the
+  // site counter freezes at the firing site.
+  EXPECT_NO_THROW(p_assert(true));
+  EXPECT_EQ(fault::sites_in_scope(), 3);
+}
+
+TEST_F(FaultInjectionTest, NonMatchingScopeIsUntouched) {
+  fault::arm(fault::parse_spec("mypass:theunit"));
+  fault::set_scope("otherpass", "theunit");
+  for (int i = 0; i < 4; ++i) EXPECT_NO_THROW(p_assert(true));
+  fault::set_scope("mypass", "otherunit");
+  for (int i = 0; i < 4; ++i) EXPECT_NO_THROW(p_assert(true));
+  EXPECT_FALSE(fault::consume_boundary_fault());
+}
+
+TEST_F(FaultInjectionTest, ScopeCounterRestartsPerScope) {
+  fault::arm(fault::parse_spec("p:*:2"));
+  fault::set_scope("p", "u1");
+  EXPECT_NO_THROW(p_assert(true));          // site 1
+  EXPECT_THROW(p_assert(true), InternalError);  // site 2 fires
+  fault::set_scope("p", "u2");              // fresh scope, fresh counter
+  EXPECT_NO_THROW(p_assert(true));
+  EXPECT_THROW(p_assert(true), InternalError);
+}
+
+TEST_F(FaultInjectionTest, BoundaryFaultCoversAssertFreeScopes) {
+  // A matching pass with fewer than N assertion sites still faults: the
+  // pass manager asks for the boundary fault at the end of the scope.
+  fault::arm(fault::parse_spec("p:u:100"));
+  fault::set_scope("p", "u");
+  EXPECT_NO_THROW(p_assert(true));
+  EXPECT_TRUE(fault::consume_boundary_fault());
+  EXPECT_FALSE(fault::consume_boundary_fault());  // consumed: fires once
+}
+
+TEST_F(FaultInjectionTest, DisarmedTicksAreFree) {
+  EXPECT_FALSE(fault::armed());
+  fault::set_scope("p", "u");
+  EXPECT_NO_THROW(p_assert(true));
+  EXPECT_FALSE(fault::consume_boundary_fault());
+}
+
+TEST_F(FaultInjectionTest, InjectedFlagDistinguishesRealFailures) {
+  try {
+    p_assert(2 + 2 == 5);
+  } catch (const InternalError& e) {
+    EXPECT_FALSE(e.injected());
+  }
+  fault::arm(fault::parse_spec("*"));
+  fault::set_scope("p", "u");
+  try {
+    p_assert(true);
+  } catch (const InternalError& e) {
+    EXPECT_TRUE(e.injected());
+  }
+}
+
 }  // namespace
 }  // namespace polaris

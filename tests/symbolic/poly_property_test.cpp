@@ -45,7 +45,7 @@ struct Gen {
 };
 
 std::int64_t direct_eval(const Expression& e,
-                         const std::map<Symbol*, std::int64_t>& env) {
+                         const SymbolMap<std::int64_t>& env) {
   switch (e.kind()) {
     case ExprKind::IntConst:
       return static_cast<const IntConst&>(e).value();
@@ -84,7 +84,7 @@ TEST_P(PolySemantics, CanonicalFormMatchesDirectEvaluation) {
     ExprPtr e = gen.expr(0);
     Polynomial p = Polynomial::from_expr(*e, /*exact_division=*/false);
 
-    std::map<Symbol*, std::int64_t> env;
+    SymbolMap<std::int64_t> env;
     Polynomial substituted = p;
     for (Symbol* v : gen.vars) {
       std::int64_t value = gen.pick(9) - 4;
