@@ -4,42 +4,30 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "driver/report_json.h"
 #include "parser/parser.h"
 
 namespace polaris::bench {
 
 namespace {
 
-/// POLARIS_BENCH_JSON=<path> appends one JSON line per measurement with the
-/// pass-manager instrumentation (per-pass wall time, IR deltas, cache hits).
+/// POLARIS_BENCH_JSON=<path> appends one JSON line per measurement: the
+/// full `-report-json` compile-report document (pass timings, loop
+/// outcomes with reason codes, remarks, statistics, cache accounting)
+/// wrapped with the measurement's mode and processor count.
 void emit_pass_json(CompilerMode mode, int processors,
                     const CompileReport& report) {
   const char* path = std::getenv("POLARIS_BENCH_JSON");
   if (path == nullptr || *path == '\0') return;
   std::FILE* f = std::fopen(path, "a");
   if (f == nullptr) return;
-  std::fprintf(f, "{\"mode\":\"%s\",\"processors\":%d,\"passes\":[",
-               mode == CompilerMode::Polaris ? "polaris" : "baseline",
-               processors);
-  for (std::size_t i = 0; i < report.pass_timings.size(); ++i) {
-    const PassTiming& t = report.pass_timings[i];
-    std::fprintf(f,
-                 "%s{\"pass\":\"%s\",\"runs\":%d,\"ms\":%.4f,\"diags\":%d,"
-                 "\"failures\":%d,"
-                 "\"stmt_delta\":%ld,\"expr_delta\":%ld,"
-                 "\"analysis_queries\":%llu,\"analysis_hits\":%llu}",
-                 i == 0 ? "" : ",", t.pass.c_str(), t.runs, t.ms, t.diags,
-                 t.failures, t.stmt_delta, t.expr_delta,
-                 static_cast<unsigned long long>(t.analysis_queries),
-                 static_cast<unsigned long long>(t.analysis_hits));
-  }
-  std::fprintf(f,
-               "],\"analysis\":{\"queries\":%llu,\"hits\":%llu,"
-               "\"recomputes\":%llu,\"invalidations\":%llu}}\n",
-               static_cast<unsigned long long>(report.analysis.queries),
-               static_cast<unsigned long long>(report.analysis.hits),
-               static_cast<unsigned long long>(report.analysis.recomputes),
-               static_cast<unsigned long long>(report.analysis.invalidations));
+  JsonValue line = JsonValue::object();
+  line.set("mode", JsonValue::str(mode == CompilerMode::Polaris
+                                      ? "polaris"
+                                      : "baseline"));
+  line.set("processors", JsonValue::num(processors));
+  line.set("report", compile_report_to_json(report));
+  std::fprintf(f, "%s\n", line.serialize().c_str());
   std::fclose(f);
 }
 

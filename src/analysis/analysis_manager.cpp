@@ -1,5 +1,7 @@
 #include "analysis/analysis_manager.h"
 
+#include "support/trace.h"
+
 namespace polaris {
 
 const SymbolSet& AnalysisManager::region_query(StructureQuery q,
@@ -80,6 +82,8 @@ GsaQuery& AnalysisManager::gsa(ProgramUnit& unit) {
     return *it->second;
   }
   ++stats_.recomputes;
+  trace::TraceSpan gsa_span("gsa-build", "analysis");
+  gsa_span.arg("unit", unit.name());
   return *gsa_.emplace(&unit, std::make_unique<GsaQuery>(unit))
               .first->second;
 }

@@ -4,11 +4,17 @@
 
 #include "analysis/structure.h"
 #include "ir/build.h"
+#include "support/statistic.h"
 #include "symbolic/simplify.h"
 
 namespace polaris {
 
 namespace {
+
+POLARIS_STATISTIC("gsa", value_queries,
+                  "backward value-of walks (gamma/mu/eta gate demand)");
+POLARIS_STATISTIC("gsa", gamma_forks,
+                  "if-chains forked into per-arm values (gamma gates)");
 
 /// Finds the IF heading the chain that contains `arm` (an ElseIf or Else),
 /// scanning backward over balanced nested constructs.
@@ -67,6 +73,7 @@ bool may_define(Statement* first, Statement* last, Symbol* v) {
 }  // namespace
 
 std::vector<ExprPtr> GsaQuery::value_of(Symbol* v, Statement* at, int depth) {
+  ++value_queries;
   std::vector<ExprPtr> out;
   auto add = [&](ExprPtr e) {
     for (const ExprPtr& existing : out)
@@ -172,6 +179,7 @@ std::vector<ExprPtr> GsaQuery::value_of(Symbol* v, Statement* at, int depth) {
       cur = chain_head(cur)->prev();
     } else if (cur->kind() == StmtKind::EndIf) {
       // A whole if-chain behind us: gamma gate.  Fork into per-arm values.
+      ++gamma_forks;
       auto* endif = static_cast<EndIfStmt*>(cur);
       int nest = 0;
       IfStmt* head = nullptr;

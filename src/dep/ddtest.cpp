@@ -5,6 +5,8 @@
 #include "analysis/structure.h"
 #include "dep/linear.h"
 #include "dep/rangetest.h"
+#include "support/statistic.h"
+#include "support/trace.h"
 
 namespace polaris {
 
@@ -55,6 +57,15 @@ PairVerdict test_pair(DoStmt* loop, const ArrayAccess& a,
   return PairVerdict::Dependent;
 }
 
+POLARIS_STATISTIC("ddtest", pairs_tested,
+                  "array reference pairs submitted to dependence testing");
+POLARIS_STATISTIC("ddtest", pairs_independent_gcd,
+                  "pairs proven independent by the GCD test");
+POLARIS_STATISTIC("ddtest", pairs_independent_banerjee,
+                  "pairs proven independent by the Banerjee test");
+POLARIS_STATISTIC("ddtest", pairs_assumed_dependent,
+                  "pairs no test could disprove (assumed dependent)");
+
 }  // namespace
 
 LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
@@ -71,6 +82,8 @@ LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
                               const std::string& context,
                               AnalysisManager& am) {
   LoopDepStats stats;
+  trace::TraceSpan batch_span("ddtest", "dep");
+  batch_span.arg("loop", context);
   auto accesses = collect_array_accesses(loop);
   for (auto& [array, refs] : accesses) {
     if (exempt.count(array)) continue;
@@ -81,17 +94,21 @@ LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
         // dependence across iterations).
         if (i == j && !refs[i].is_write) continue;
         ++stats.pairs;
+        ++pairs_tested;
         switch (test_pair(loop, refs[i], refs[j], opts, am)) {
           case PairVerdict::Gcd:
             ++stats.by_gcd;
+            ++pairs_independent_gcd;
             break;
           case PairVerdict::Banerjee:
             ++stats.by_banerjee;
+            ++pairs_independent_banerjee;
             break;
           case PairVerdict::RangeTest:
             ++stats.by_rangetest;
             break;
           case PairVerdict::Dependent: {
+            ++pairs_assumed_dependent;
             std::string desc = array->name() + "(" +
                                refs[i].ref->to_string() + " vs " +
                                refs[j].ref->to_string() + ")";
@@ -102,6 +119,8 @@ LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
       }
     }
   }
+  batch_span.arg("pairs", static_cast<std::uint64_t>(stats.pairs));
+  batch_span.arg("parallel", stats.parallel() ? "true" : "false");
   if (stats.parallel()) {
     diags.note("ddtest", context,
                "no carried array dependences (" +

@@ -4,11 +4,20 @@
 
 #include "analysis/structure.h"
 #include "dep/regions.h"
+#include "support/statistic.h"
+#include "support/trace.h"
 #include "symbolic/simplify.h"
 
 namespace polaris {
 
 namespace {
+
+POLARIS_STATISTIC("rangetest", pairs_queried,
+                  "reference pairs submitted to the symbolic range test");
+POLARIS_STATISTIC("rangetest", pairs_proven,
+                  "pairs the range test proved independent");
+POLARIS_STATISTIC("rangetest", permutations_tried,
+                  "fixed-subset loop permutations enumerated");
 
 /// Bounds of a loop as polynomials oriented so lo <= index <= hi, for
 /// constant steps (negative steps swap).  nullopt for symbolic steps.
@@ -131,6 +140,9 @@ bool RangeTest::independent(DoStmt* carrier, const ArrayAccess& a,
                             const ArrayAccess& b) const {
   p_assert(a.ref->symbol() == b.ref->symbol());
   p_assert(a.ref->rank() == b.ref->rank());
+  ++pairs_queried;
+  trace::TraceSpan pair_span("rangetest", "dep");
+  pair_span.arg("array", a.ref->symbol()->name());
 
   std::int64_t step = 0;
   if (!try_fold_int(carrier->step(), &step) || step == 0) return false;
@@ -211,6 +223,7 @@ bool RangeTest::independent(DoStmt* carrier, const ArrayAccess& a,
   };
 
   for (size_t mask = 0; mask < subsets && mask < budget * 2; ++mask) {
+    ++permutations_tried;
     std::vector<DoStmt*> fixed;
     for (size_t bit = 0; bit < n_common; ++bit)
       if (mask & (size_t{1} << bit)) fixed.push_back(common[bit]);
@@ -232,7 +245,11 @@ bool RangeTest::independent(DoStmt* carrier, const ArrayAccess& a,
       Polynomial g = Polynomial::from_expr(*b.ref->subscripts()[d]);
       ok = test_dimension(carrier, f, g, elim_f, elim_g, step, ctx);
     }
-    if (ok) return true;
+    if (ok) {
+      ++pairs_proven;
+      pair_span.arg("proven", "true");
+      return true;
+    }
   }
   return false;
 }

@@ -5,6 +5,8 @@
 #include "parser/parser.h"
 #include "parser/printer.h"
 #include "support/assert.h"
+#include "support/statistic.h"
+#include "support/trace.h"
 #include "symbolic/poly.h"
 #include "symbolic/simplify.h"
 
@@ -32,11 +34,42 @@ class FaultArmGuard {
   bool armed_ = false;
 };
 
+/// Arms the trace collector for the duration of one compile when
+/// Options::trace_path is set and no outer scope already armed it
+/// (Compiler::compile arms before calling transform; transform must not
+/// re-arm).  On destruction the owning guard stops the collector and
+/// writes the Chrome trace file.
+class TraceArmGuard {
+ public:
+  explicit TraceArmGuard(const std::string& path) {
+    if (!path.empty() && !trace::on()) {
+      trace::start(path);
+      owner_ = true;
+    }
+  }
+  ~TraceArmGuard() {
+    if (owner_) trace::stop();
+  }
+  TraceArmGuard(const TraceArmGuard&) = delete;
+  TraceArmGuard& operator=(const TraceArmGuard&) = delete;
+
+ private:
+  bool owner_ = false;
+};
+
 }  // namespace
 
 std::unique_ptr<Program> Compiler::compile(const std::string& source,
                                            CompileReport* report) {
-  std::unique_ptr<Program> program = parse_program(source);
+  TraceArmGuard tracing(opts_.trace_path);
+  trace::TraceSpan compile_span("compile", "driver");
+  std::unique_ptr<Program> program;
+  {
+    trace::TraceSpan parse_span("parse", "driver");
+    program = parse_program(source);
+    parse_span.arg("units",
+                   static_cast<std::uint64_t>(program->units().size()));
+  }
   transform(*program, report);
   return program;
 }
@@ -44,6 +77,12 @@ std::unique_ptr<Program> Compiler::compile(const std::string& source,
 void Compiler::transform(Program& program, CompileReport* report) {
   CompileReport local;
   CompileReport& rep = report ? *report : local;
+
+  // Arms only when Compiler::compile (or a test) hasn't already; the
+  // pipeline span then nests under the compile span when both exist.
+  TraceArmGuard tracing(opts_.trace_path);
+  trace::TraceSpan pipeline_span("pipeline", "driver");
+  StatisticSnapshot stats_base = StatisticRegistry::instance().snapshot();
 
   // Atom identity keys on Symbol pointers: start every compilation with an
   // empty table so a recycled heap address can never alias an atom from a
@@ -77,6 +116,15 @@ void Compiler::transform(Program& program, CompileReport* report) {
       lr.parallel = loop->par.is_parallel;
       lr.speculative = loop->par.speculative;
       lr.serial_reason = loop->par.serial_reason;
+      lr.reason_code = loop->par.serial_code;
+      // Every serial loop must carry a machine-readable code.  A loop the
+      // DOALL pass never visited (custom `-passes=` battery without doall)
+      // gets the explicit fallback instead of an empty field.
+      if (!lr.parallel && lr.reason_code.empty()) {
+        lr.reason_code = "not-analyzed";
+        if (lr.serial_reason.empty())
+          lr.serial_reason = "loop not analyzed for parallelism";
+      }
       lr.dep_pairs = loop->par.dep_pairs;
       lr.dep_by_gcd = loop->par.dep_by_gcd;
       lr.dep_by_banerjee = loop->par.dep_by_banerjee;
@@ -85,6 +133,7 @@ void Compiler::transform(Program& program, CompileReport* report) {
     }
   }
   rep.annotated_source = to_source(program);
+  rep.stats = StatisticRegistry::instance().delta_since(stats_base);
 }
 
 ExecutionConfig backend_config(CompilerMode mode, const Program& program,

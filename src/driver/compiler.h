@@ -33,6 +33,7 @@
 #include "passes/inliner.h"
 #include "support/diagnostics.h"
 #include "support/options.h"
+#include "support/statistic.h"
 
 namespace polaris {
 
@@ -45,6 +46,9 @@ struct LoopReport {
   bool parallel = false;
   bool speculative = false;
   std::string serial_reason;
+  /// Machine-readable code behind serial_reason ("carried-dependence",
+  /// "loop-io", ...); non-empty for every non-parallel loop.
+  std::string reason_code;
   // Dependence-test accounting (pairs tested / resolved per test).
   int dep_pairs = 0;
   int dep_by_gcd = 0;
@@ -64,6 +68,9 @@ struct CompileReport {
   std::vector<PassTiming> pass_timings;
   /// Aggregate AnalysisManager accounting for the whole compilation.
   AnalysisManager::Stats analysis;
+  /// Per-compilation deltas of every POLARIS_STATISTIC counter that moved
+  /// during this compile (the `-stats` payload, embedded in report JSON).
+  std::vector<StatisticValue> stats;
   /// Pass invocations that faulted.  With fault recovery (default) each
   /// was rolled back and the compile continued; the driver reports them as
   /// warnings and still exits 0.

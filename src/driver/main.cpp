@@ -14,6 +14,17 @@
 //   polaris -timing file.f         per-pass wall time, IR deltas, and
 //                                  analysis-cache hit rates
 //
+// Observability layer:
+//   polaris -trace=FILE file.f         write a Chrome trace (chrome://tracing
+//                                      / Perfetto) of the whole compile; also
+//                                      settable via the POLARIS_TRACE env var
+//   polaris -stats file.f              dump every statistic counter the
+//                                      compile incremented
+//   polaris -remarks=FILE file.f       stream structured optimization remarks
+//                                      (JSONL; `-` for stdout)
+//   polaris -report-json=FILE file.f   serialize the whole compile report as
+//                                      stable-schema JSON (`-` for stdout)
+//
 // Fault isolation (robustness layer):
 //   polaris -verify-each file.f        run the IR verifier after every pass
 //   polaris -fault-inject=P[:U[:N]]    force the Nth assertion in pass P on
@@ -31,10 +42,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
 #include "driver/compiler.h"
+#include "driver/report_json.h"
 #include "interp/interp.h"
 #include "parser/parser.h"
 #include "parser/printer.h"
@@ -46,6 +59,7 @@ int usage() {
                "usage: polaris [-report] [-diag] [-baseline] [-omp] [-run] "
                "[-seq] [-p N] [-passes=SPEC] [-timing] [-verify-each] "
                "[-fault-inject=SPEC] [-pass-budget-ms=N] [-no-recover] "
+               "[-trace=FILE] [-stats] [-remarks=FILE] [-report-json=FILE] "
                "file.f\n");
   return 2;
 }
@@ -77,9 +91,11 @@ int main(int argc, char** argv) {
   bool run_mode = false, seq_mode = false, omp = false, timing = false;
   bool passes_given = false;
   bool verify_each = false, no_recover = false;
+  bool stats_mode = false;
   double pass_budget_ms = 0.0;
   int processors = 8;
   std::string path, passes_spec, fault_inject;
+  std::string trace_path, remarks_path, report_json_path;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-report") == 0) report_mode = true;
@@ -91,6 +107,13 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "-timing") == 0) timing = true;
     else if (std::strcmp(argv[i], "-verify-each") == 0) verify_each = true;
     else if (std::strcmp(argv[i], "-no-recover") == 0) no_recover = true;
+    else if (std::strcmp(argv[i], "-stats") == 0) stats_mode = true;
+    else if (std::strncmp(argv[i], "-trace=", 7) == 0)
+      trace_path = argv[i] + 7;
+    else if (std::strncmp(argv[i], "-remarks=", 9) == 0)
+      remarks_path = argv[i] + 9;
+    else if (std::strncmp(argv[i], "-report-json=", 13) == 0)
+      report_json_path = argv[i] + 13;
     else if (std::strncmp(argv[i], "-fault-inject=", 14) == 0)
       fault_inject = argv[i] + 14;
     else if (std::strncmp(argv[i], "-pass-budget-ms=", 16) == 0) {
@@ -114,6 +137,9 @@ int main(int argc, char** argv) {
   if (fault_inject.empty()) {
     if (const char* env = std::getenv("POLARIS_FAULT_INJECT"))
       fault_inject = env;
+  }
+  if (trace_path.empty()) {
+    if (const char* env = std::getenv("POLARIS_TRACE")) trace_path = env;
   }
 
   std::ifstream in(path);
@@ -148,7 +174,36 @@ int main(int argc, char** argv) {
     compiler.options().fault_recovery = !no_recover;
     compiler.options().pass_budget_ms = pass_budget_ms;
     compiler.options().fault_inject = fault_inject;
+    compiler.options().trace_path = trace_path;
     auto prog = compiler.compile(source, &report);
+
+    if (!remarks_path.empty()) {
+      if (remarks_path == "-") {
+        report.diagnostics.print_remarks(std::cout);
+      } else {
+        std::ofstream out(remarks_path);
+        if (!out) {
+          std::fprintf(stderr, "polaris: cannot write %s\n",
+                       remarks_path.c_str());
+          return 1;
+        }
+        report.diagnostics.print_remarks(out);
+      }
+    }
+    if (!report_json_path.empty()) {
+      const std::string doc = compile_report_json(report);
+      if (report_json_path == "-") {
+        std::printf("%s\n", doc.c_str());
+      } else {
+        std::ofstream out(report_json_path);
+        if (!out) {
+          std::fprintf(stderr, "polaris: cannot write %s\n",
+                       report_json_path.c_str());
+          return 1;
+        }
+        out << doc << "\n";
+      }
+    }
 
     for (const PassFailure& f : report.failures)
       std::fprintf(stderr,
@@ -177,6 +232,14 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(report.analysis.recomputes),
                   static_cast<unsigned long long>(
                       report.analysis.invalidations));
+    }
+
+    if (stats_mode) {
+      std::printf("=== statistics (per-compile deltas) ===\n");
+      for (const StatisticValue& sv : report.stats)
+        std::printf("%8llu %-14s %-28s %s\n",
+                    static_cast<unsigned long long>(sv.value),
+                    sv.component.c_str(), sv.name.c_str(), sv.desc.c_str());
     }
 
     if (report_mode) {
@@ -226,7 +289,12 @@ int main(int argc, char** argv) {
               (static_cast<double>(run.clock.parallel) *
                cfg.codegen_factor));
     }
-    if (!report_mode && !diag_mode && !run_mode && !timing) {
+    // When a machine-readable stream goes to stdout, keep it the only
+    // thing on stdout so consumers can pipe it straight into a parser.
+    const bool structured_stdout =
+        remarks_path == "-" || report_json_path == "-";
+    if (!report_mode && !diag_mode && !run_mode && !timing && !stats_mode &&
+        !structured_stdout) {
       if (omp)
         std::printf("%s",
                     to_source(*prog, DirectiveStyle::OpenMP).c_str());

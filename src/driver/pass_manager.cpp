@@ -15,7 +15,9 @@
 #include "passes/privatization.h"
 #include "passes/reduction.h"
 #include "passes/strength.h"
+#include "support/statistic.h"
 #include "support/string_util.h"
+#include "support/trace.h"
 #include "symbolic/poly.h"
 
 namespace polaris {
@@ -290,11 +292,14 @@ void PassPipeline::run(Program& program, AnalysisManager& am,
     // trace beyond its PassFailure record.
     std::vector<std::unique_ptr<ProgramUnit>> snapshot;
     SymbolMap<Symbol*> snap_map;  // original -> snapshot symbols
-    if (whole_program) {
-      for (const auto& u : program.units())
-        snapshot.push_back(u->clone(u->name(), &snap_map));
-    } else {
-      snapshot.push_back(unit->clone(unit_name, &snap_map));
+    {
+      trace::TraceSpan snap_span("snapshot", "fault");
+      if (whole_program) {
+        for (const auto& u : program.units())
+          snapshot.push_back(u->clone(u->name(), &snap_map));
+      } else {
+        snapshot.push_back(unit->clone(unit_name, &snap_map));
+      }
     }
     const InlineResult inl_before = ctx.report.inlining;
     const InductionResult ind_before = ctx.report.induction;
@@ -304,6 +309,18 @@ void PassPipeline::run(Program& program, AnalysisManager& am,
     const std::size_t atoms_before = AtomTable::instance().size();
     IrSize before =
         whole_program ? program_ir_size(program) : unit_ir_size(*unit);
+
+    // The invocation's trace span plus the rollback marks: everything a
+    // failed pass emitted (child spans, instants) and every statistic it
+    // bumped is unwound along with the IR, so an injected fault leaves the
+    // observability record identical to a run that skipped the pass — save
+    // for the invocation span itself, tagged rolled_back, and one rollback
+    // instant event.
+    const std::size_t trace_mark = trace::mark();
+    const StatisticSnapshot stats_mark =
+        StatisticRegistry::instance().snapshot();
+    trace::TraceSpan pass_span(pass.name(), "pass");
+    pass_span.arg("unit", unit_name);
 
     // Rollback (or, with recovery off, crash-bundle preparation) for one
     // failed invocation.
@@ -345,6 +362,17 @@ void PassPipeline::run(Program& program, AnalysisManager& am,
       else
         program.replace_unit(unit, std::move(snapshot.front()));
       am.invalidate_all();
+      // Unwind the observability record too: drop trace events emitted
+      // inside the failed pass (its own span emits later, at scope exit,
+      // and survives), zero statistics back to the pre-pass snapshot, and
+      // leave one instant event marking the rollback itself.
+      trace::truncate(trace_mark);
+      StatisticRegistry::instance().restore(stats_mark);
+      pass_span.arg("rolled_back", "true");
+      trace::instant("rollback", "fault",
+                     {{"pass", pass.name()},
+                      {"unit", unit_name},
+                      {"kind", to_string(kind)}});
       ctx.report.diagnostics.warning(
           "fault-isolation", f.pass + "/" + f.unit,
           std::string(to_string(kind)) +
@@ -413,6 +441,12 @@ void PassPipeline::run(Program& program, AnalysisManager& am,
     timing.expr_delta += after.exprs - before.exprs;
     timing.analysis_queries += am.stats().queries - stats_before.queries;
     timing.analysis_hits += am.stats().hits - stats_before.hits;
+    if (trace::on()) {
+      const AnalysisManager::Stats s = am.stats();
+      trace::counter("analysis-cache",
+                     {{"queries", static_cast<std::uint64_t>(s.queries)},
+                      {"hits", static_cast<std::uint64_t>(s.hits)}});
+    }
   };
 
   // Group maximal runs of unit-scope passes so every unit sees the whole

@@ -1,0 +1,31 @@
+// CompileReport -> stable-schema JSON (`polaris -report-json=FILE`).
+//
+// The full decision record of one compilation — per-loop outcomes with
+// structured reason codes, optimization remarks, pass timings, fault
+// failures, statistic deltas, and analysis-cache accounting — as a single
+// JSON document the bench harness and CI can consume without scraping
+// text output.
+//
+// Schema stability: the document carries {"schema": "polaris-compile-
+// report", "version": N}.  Additions bump nothing (consumers must ignore
+// unknown fields); renames/removals/semantic changes bump `version`.
+// The current schema is documented in DESIGN.md §7.
+#pragma once
+
+#include <string>
+
+#include "driver/compiler.h"
+#include "support/json.h"
+
+namespace polaris {
+
+/// Current `-report-json` schema version.
+inline constexpr int kCompileReportSchemaVersion = 1;
+
+/// Builds the JSON document for `report`.
+JsonValue compile_report_to_json(const CompileReport& report);
+
+/// compile_report_to_json(...).serialize() — one compact JSON document.
+std::string compile_report_json(const CompileReport& report);
+
+}  // namespace polaris

@@ -68,6 +68,10 @@ struct ParallelInfo {
   int dep_by_banerjee = 0;
   int dep_by_rangetest = 0;
   std::string serial_reason;   ///< why the loop stayed serial (diagnostics)
+  /// Machine-readable reason code behind serial_reason (kebab-case, e.g.
+  /// "carried-dependence"); empty iff the loop is parallel.  Backed by a
+  /// structured Missed remark carrying the same code.
+  std::string serial_code;
 };
 
 class Statement {

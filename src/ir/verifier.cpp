@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "support/trace.h"
+
 namespace polaris {
 
 namespace {
@@ -358,12 +360,16 @@ class UnitVerifier {
 }  // namespace
 
 std::vector<VerifierViolation> verify_unit(const ProgramUnit& unit) {
+  trace::TraceSpan span("verify-unit", "verifier");
+  span.arg("unit", unit.name());
   std::vector<VerifierViolation> out;
   UnitVerifier(unit, out).run();
+  span.arg("violations", static_cast<std::uint64_t>(out.size()));
   return out;
 }
 
 std::vector<VerifierViolation> verify_program(const Program& program) {
+  trace::TraceSpan span("verify-program", "verifier");
   std::vector<VerifierViolation> out;
   std::set<std::string> names;
   int mains = 0;

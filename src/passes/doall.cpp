@@ -59,14 +59,26 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
     loop->par = ParallelInfo{};
     const std::string context = unit.name() + "/" + loop->loop_name();
 
+    // Every serialization site records the human-readable reason, the
+    // machine-readable code (LoopReport::reason_code / `-remarks` stream),
+    // and a structured Missed remark.
+    auto serialize = [&](const std::string& code, const std::string& reason,
+                         std::vector<RemarkArg> args = {}) {
+      loop->par.serial_reason = reason;
+      loop->par.serial_code = code;
+      diags.remark(RemarkKind::Missed, "doall", context, code,
+                   "serial: " + reason, std::move(args));
+    };
+
     Statement* first = loop->next();
     Statement* last = loop->follow()->prev();
     if (first == loop->follow()) {
-      loop->par.serial_reason = "empty body";
+      serialize("empty-body", "empty body");
       continue;
     }
     if (has_irregular_flow(first, last)) {
-      loop->par.serial_reason = "irregular control flow (goto/return/stop)";
+      serialize("irregular-control-flow",
+                "irregular control flow (goto/return/stop)");
       diags.note("doall", context, loop->par.serial_reason);
       continue;
     }
@@ -74,7 +86,7 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
     for (Symbol* s : am.may_defined_symbols(first, last))
       if (s->is_array()) written_arrays.insert(s);
     if (has_impure_calls(first, last, pure, written_arrays)) {
-      loop->par.serial_reason = "unresolved subprogram call";
+      serialize("unresolved-call", "unresolved subprogram call");
       diags.note("doall", context, loop->par.serial_reason);
       continue;
     }
@@ -82,7 +94,7 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
     for (Statement* s = first; s != loop->follow(); s = s->next())
       if (s->kind() == StmtKind::Print) has_io = true;
     if (has_io) {
-      loop->par.serial_reason = "I/O statement in loop body";
+      serialize("loop-io", "I/O statement in loop body");
       diags.note("doall", context, loop->par.serial_reason);
       continue;
     }
@@ -134,9 +146,13 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
     // Blocked *arrays* are not fatal here: the dependence tests below
     // decide whether their accesses actually conflict across iterations.
     std::string blocker;
+    std::string blocker_code;
+    std::vector<RemarkArg> blocker_args;
     for (Symbol* s : priv.blocked) {
       if (exempt.count(s) || s->is_array()) continue;
       blocker = s->name() + ": unresolved scalar recurrence";
+      blocker_code = "scalar-recurrence";
+      blocker_args = {{"variable", s->name()}};
       break;
     }
 
@@ -147,8 +163,12 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
       loop->par.dep_by_gcd = stats.by_gcd;
       loop->par.dep_by_banerjee = stats.by_banerjee;
       loop->par.dep_by_rangetest = stats.by_rangetest;
-      if (!stats.parallel())
+      if (!stats.parallel()) {
         blocker = "carried dependence: " + stats.blockers.front();
+        blocker_code = "carried-dependence";
+        blocker_args = {{"pair", stats.blockers.front()},
+                        {"dep_pairs", std::to_string(stats.pairs)}};
+      }
     }
 
     if (blocker.empty()) {
@@ -162,10 +182,16 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
         loop->par.reductions.push_back({r.var, r.op, r.histogram});
       ++summary.parallel;
       diags.note("doall", context, "parallel");
+      diags.remark(
+          RemarkKind::Parallelized, "doall", context, "parallel", "parallel",
+          {{"dep_pairs", std::to_string(stats.pairs)},
+           {"reductions", std::to_string(reductions.size())},
+           {"private_vars", std::to_string(loop->par.private_vars.size())}});
       continue;
     }
 
     loop->par.serial_reason = blocker;
+    loop->par.serial_code = blocker_code;
     if (opts.runtime_pd_test &&
         subscripted_subscript_blockers(loop, exempt)) {
       loop->par.speculative = true;
@@ -190,8 +216,13 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
         loop->par.reductions.push_back({r.var, r.op, r.histogram});
       ++summary.speculative;
       diags.note("doall", context, "speculative (run-time PD test)");
+      diags.remark(RemarkKind::Parallelized, "doall", context,
+                   "speculative-pd-test", "speculative (run-time PD test)",
+                   {{"blocked_on", blocker}});
     } else {
       diags.note("doall", context, "serial: " + blocker);
+      diags.remark(RemarkKind::Missed, "doall", context, blocker_code,
+                   "serial: " + blocker, std::move(blocker_args));
     }
   }
   return summary;

@@ -8,11 +8,19 @@
 #include "dep/access.h"
 #include "dep/regions.h"
 #include "ir/build.h"
+#include "support/statistic.h"
 #include "symbolic/simplify.h"
 
 namespace polaris {
 
 namespace {
+
+POLARIS_STATISTIC("privatization", scalars_privatized,
+                  "scalars proven private to a loop iteration");
+POLARIS_STATISTIC("privatization", arrays_privatized,
+                  "arrays proven private to a loop iteration");
+POLARIS_STATISTIC("privatization", privatization_blocked,
+                  "variables that failed the privatization proof");
 
 /// True if `s` lies under an IF within `loop`'s body.
 bool under_if(DoStmt* loop, Statement* s) {
@@ -231,6 +239,7 @@ PrivatizationResult analyze_privatization(ProgramUnit& unit, DoStmt* loop,
     if (exposed.count(s)) {
       diags.note("privatization", context,
                  s->name() + ": upward-exposed use, not privatizable");
+      ++privatization_blocked;
       result.blocked.push_back(s);
       continue;
     }
@@ -238,9 +247,11 @@ PrivatizationResult analyze_privatization(ProgramUnit& unit, DoStmt* loop,
     if (live_out && !must.count(s)) {
       diags.note("privatization", context,
                  s->name() + ": live-out but conditionally assigned");
+      ++privatization_blocked;
       result.blocked.push_back(s);
       continue;
     }
+    ++scalars_privatized;
     result.private_scalars.push_back(s);
     if (live_out) result.lastvalue_scalars.push_back(s);
   }
@@ -343,9 +354,11 @@ PrivatizationResult analyze_privatization(ProgramUnit& unit, DoStmt* loop,
 
     if (ok) {
       diags.note("privatization", context, array->name() + ": privatized");
+      ++arrays_privatized;
       result.private_arrays.push_back(array);
     } else {
       diags.note("privatization", context, array->name() + ": " + why);
+      ++privatization_blocked;
       result.blocked.push_back(array);
     }
   }

@@ -4,10 +4,16 @@
 
 #include "analysis/structure.h"
 #include "ir/build.h"
+#include "support/statistic.h"
 
 namespace polaris {
 
 namespace {
+
+POLARIS_STATISTIC("reduction", reductions_recognized,
+                  "reduction statements recognized (paper Section 3.2)");
+POLARIS_STATISTIC("reduction", histogram_reductions,
+                  "recognized reductions with subscripted accumulators");
 
 /// Matches one reduction statement; fills op and returns true.  beta is
 /// the non-accumulator operand.
@@ -150,6 +156,8 @@ std::vector<RecognizedReduction> recognize_reductions(DoStmt* loop,
     diags.note("reduction", loop->loop_name(),
                sym->name() + (r.histogram ? ": histogram reduction"
                                           : ": single-address reduction"));
+    ++reductions_recognized;
+    if (r.histogram) ++histogram_reductions;
     out.push_back(r);
   }
   return out;

@@ -148,6 +148,12 @@ int strength_reduce(ProgramUnit& unit, const Options& opts,
       if (inner->par.is_parallel) {
         inner->par.is_parallel = false;
         inner->par.serial_reason = "strength-reduced (outer loop parallel)";
+        inner->par.serial_code = "strength-reduced";
+        diags.remark(RemarkKind::Missed, "strength",
+                     unit.name() + "/" + inner->loop_name(),
+                     "strength-reduced",
+                     "serial: strength-reduced (outer loop parallel)",
+                     {{"temps", std::to_string(temps.size())}});
       }
       diags.note("strength", unit.name() + "/" + inner->loop_name(),
                  std::to_string(temps.size()) +

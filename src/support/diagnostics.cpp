@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <ostream>
 
+#include "support/json.h"
+
 namespace polaris {
+
+const char* to_string(RemarkKind kind) {
+  switch (kind) {
+    case RemarkKind::None: return "none";
+    case RemarkKind::Parallelized: return "parallelized";
+    case RemarkKind::Missed: return "missed";
+    case RemarkKind::Analysis: return "analysis";
+  }
+  return "?";
+}
 
 void Diagnostics::note(const std::string& pass, const std::string& context,
                        const std::string& message) {
@@ -20,6 +32,22 @@ void Diagnostics::error(const std::string& pass, const std::string& context,
   diags_.push_back({DiagSeverity::Error, pass, context, message});
 }
 
+void Diagnostics::remark(RemarkKind kind, const std::string& pass,
+                         const std::string& context,
+                         const std::string& reason,
+                         const std::string& message,
+                         std::vector<RemarkArg> args) {
+  Diagnostic d;
+  d.severity = DiagSeverity::Note;
+  d.pass = pass;
+  d.context = context;
+  d.message = message;
+  d.remark = kind;
+  d.reason = reason;
+  d.args = std::move(args);
+  diags_.push_back(std::move(d));
+}
+
 void Diagnostics::truncate(std::size_t n) {
   if (n < diags_.size()) diags_.resize(n);
 }
@@ -32,6 +60,13 @@ std::size_t Diagnostics::count(DiagSeverity sev) const {
   return static_cast<std::size_t>(
       std::count_if(diags_.begin(), diags_.end(),
                     [&](const Diagnostic& d) { return d.severity == sev; }));
+}
+
+std::vector<const Diagnostic*> Diagnostics::remarks() const {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : diags_)
+    if (d.remark != RemarkKind::None) out.push_back(&d);
+  return out;
 }
 
 bool Diagnostics::contains(const std::string& needle) const {
@@ -48,6 +83,22 @@ void Diagnostics::print(std::ostream& os) const {
       case DiagSeverity::Error: os << "error"; break;
     }
     os << " [" << d.pass << "] " << d.context << ": " << d.message << "\n";
+  }
+}
+
+void Diagnostics::print_remarks(std::ostream& os) const {
+  for (const Diagnostic* d : remarks()) {
+    JsonValue obj = JsonValue::object();
+    obj.set("kind", JsonValue::str(to_string(d->remark)));
+    obj.set("pass", JsonValue::str(d->pass));
+    obj.set("context", JsonValue::str(d->context));
+    obj.set("reason", JsonValue::str(d->reason));
+    obj.set("message", JsonValue::str(d->message));
+    JsonValue args = JsonValue::object();
+    for (const RemarkArg& a : d->args)
+      args.set(a.key, JsonValue::str(a.value));
+    obj.set("args", std::move(args));
+    os << obj.serialize() << "\n";
   }
 }
 

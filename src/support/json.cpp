@@ -1,0 +1,370 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/assert.h"
+
+namespace polaris {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind = Kind::Bool;
+  v.bool_value = b;
+  return v;
+}
+
+JsonValue JsonValue::num(double d) {
+  JsonValue v;
+  v.kind = Kind::Number;
+  v.number = d;
+  return v;
+}
+
+JsonValue JsonValue::num(std::int64_t i) {
+  return num(static_cast<double>(i));
+}
+
+JsonValue JsonValue::num(std::uint64_t u) {
+  return num(static_cast<double>(u));
+}
+
+JsonValue JsonValue::str(std::string s) {
+  JsonValue v;
+  v.kind = Kind::String;
+  v.string_value = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind = Kind::Array;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind = Kind::Object;
+  return v;
+}
+
+JsonValue& JsonValue::add(JsonValue v) {
+  p_assert(kind == Kind::Array);
+  items.push_back(std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  p_assert(kind == Kind::Object);
+  members.emplace_back(key, std::move(v));
+  return *this;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+void serialize_number(double d, std::string* out) {
+  // Integers (the overwhelmingly common case in our reports) print without
+  // a decimal point so they round-trip textually.
+  if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    *out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    *out += buf;
+  }
+}
+
+void serialize_rec(const JsonValue& v, std::string* out) {
+  switch (v.kind) {
+    case JsonValue::Kind::Null:
+      *out += "null";
+      break;
+    case JsonValue::Kind::Bool:
+      *out += v.bool_value ? "true" : "false";
+      break;
+    case JsonValue::Kind::Number:
+      serialize_number(v.number, out);
+      break;
+    case JsonValue::Kind::String:
+      *out += '"';
+      *out += json_escape(v.string_value);
+      *out += '"';
+      break;
+    case JsonValue::Kind::Array: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items) {
+        if (!first) *out += ',';
+        first = false;
+        serialize_rec(item, out);
+      }
+      *out += ']';
+      break;
+    }
+    case JsonValue::Kind::Object: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.members) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        *out += json_escape(key);
+        *out += "\":";
+        serialize_rec(value, out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+/// Strict recursive-descent JSON parser over a string.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw UserError("JSON parse error at offset " + std::to_string(pos_) +
+                    ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (depth_ > 200) fail("nesting too deep");
+    skip_ws();
+    char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue::str(parse_string());
+    if (c == 't') {
+      if (!literal("true")) fail("bad literal");
+      return JsonValue::boolean(true);
+    }
+    if (c == 'f') {
+      if (!literal("false")) fail("bad literal");
+      return JsonValue::boolean(false);
+    }
+    if (c == 'n') {
+      if (!literal("null")) fail("bad literal");
+      return JsonValue::null();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    ++depth_;
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    --depth_;
+    return obj;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    ++depth_;
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return arr;
+    }
+    while (true) {
+      arr.add(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      break;
+    }
+    --depth_;
+    return arr;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape digit");
+            }
+            // Only BMP code points are emitted by our writer; encode UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+      ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+      fail("bad number");
+    return JsonValue::num(std::strtod(text_.c_str() + start, nullptr));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::serialize() const {
+  std::string out;
+  serialize_rec(*this, &out);
+  return out;
+}
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+}  // namespace polaris

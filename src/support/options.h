@@ -67,6 +67,12 @@ struct Options {
   /// armed by the driver for the duration of the pipeline.
   std::string fault_inject;
 
+  // --- observability --------------------------------------------------------
+  /// When non-empty, the compiler collects a hierarchical span trace for
+  /// the compilation and writes Chrome trace-event JSON here (`-trace=` /
+  /// POLARIS_TRACE).  Empty: tracing fully disabled (one branch per site).
+  std::string trace_path;
+
   /// "Current compiler" (PFA-like) baseline: linear tests only, scalar
   /// privatization only, simple inductions, no inlining, no range test.
   static Options baseline();

@@ -1,0 +1,53 @@
+#include "support/statistic.h"
+
+namespace polaris {
+
+Statistic::Statistic(const char* component, const char* name,
+                     const char* desc)
+    : component_(component), name_(name), desc_(desc) {
+  StatisticRegistry::instance().register_stat(this);
+}
+
+StatisticRegistry& StatisticRegistry::instance() {
+  static StatisticRegistry registry;
+  return registry;
+}
+
+std::vector<StatisticValue> StatisticRegistry::values() const {
+  std::vector<StatisticValue> out;
+  out.reserve(stats_.size());
+  for (const Statistic* s : stats_)
+    out.push_back({s->component(), s->name(), s->desc(), s->value()});
+  return out;
+}
+
+StatisticSnapshot StatisticRegistry::snapshot() const {
+  StatisticSnapshot snap;
+  snap.reserve(stats_.size());
+  for (const Statistic* s : stats_) snap.push_back(s->value());
+  return snap;
+}
+
+void StatisticRegistry::restore(const StatisticSnapshot& snap) {
+  for (std::size_t i = 0; i < stats_.size(); ++i)
+    stats_[i]->value_ = i < snap.size() ? snap[i] : 0;
+}
+
+std::vector<StatisticValue> StatisticRegistry::delta_since(
+    const StatisticSnapshot& base) const {
+  std::vector<StatisticValue> out;
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    const std::uint64_t before = i < base.size() ? base[i] : 0;
+    const Statistic* s = stats_[i];
+    if (s->value() == before) continue;
+    out.push_back({s->component(), s->name(), s->desc(),
+                   s->value() - before});
+  }
+  return out;
+}
+
+void StatisticRegistry::reset() {
+  for (Statistic* s : stats_) s->value_ = 0;
+}
+
+}  // namespace polaris

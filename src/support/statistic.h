@@ -1,0 +1,100 @@
+// LLVM-style static statistic registry.
+//
+// Analyses scattered ad-hoc counters through diagnostics strings; this
+// registry makes them first-class: a POLARIS_STATISTIC at namespace scope
+// in a .cpp defines a named counter that registers itself once, costs one
+// uint64 increment per event, and is dumped by `polaris -stats`, embedded
+// in CompileReport::stats (as per-compilation deltas), and serialized into
+// the `-report-json` payload.
+//
+// Rollback discipline: counters are process-global and monotonically
+// increasing, so the fault-isolation layer snapshots all values before a
+// pass invocation and restores them when the pass is rolled back — a
+// failed pass leaves no orphan counts (see StatisticSnapshot).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polaris {
+
+/// One registered counter.  Construct only via POLARIS_STATISTIC (the
+/// registry keeps a pointer for the process lifetime).
+class Statistic {
+ public:
+  Statistic(const char* component, const char* name, const char* desc);
+  Statistic(const Statistic&) = delete;
+  Statistic& operator=(const Statistic&) = delete;
+
+  Statistic& operator++() {
+    ++value_;
+    return *this;
+  }
+  Statistic& operator+=(std::uint64_t n) {
+    value_ += n;
+    return *this;
+  }
+
+  std::uint64_t value() const { return value_; }
+  const char* component() const { return component_; }
+  const char* name() const { return name_; }
+  const char* desc() const { return desc_; }
+
+ private:
+  friend class StatisticRegistry;
+  const char* component_;
+  const char* name_;
+  const char* desc_;
+  std::uint64_t value_ = 0;
+};
+
+/// A named counter value (registry dump / per-compilation delta).
+struct StatisticValue {
+  std::string component;
+  std::string name;
+  std::string desc;
+  std::uint64_t value = 0;
+};
+
+/// Raw values of every registered counter at one instant, in registration
+/// order.  Restoring also zeroes counters registered *after* the snapshot
+/// was taken (they can only have been touched by the rolled-back code).
+using StatisticSnapshot = std::vector<std::uint64_t>;
+
+class StatisticRegistry {
+ public:
+  static StatisticRegistry& instance();
+
+  /// Current value of every registered counter (including zeros).
+  std::vector<StatisticValue> values() const;
+
+  StatisticSnapshot snapshot() const;
+  void restore(const StatisticSnapshot& snap);
+
+  /// Per-counter deltas `current - base`, non-zero entries only, in
+  /// registration order.  `base` must be an earlier snapshot.
+  std::vector<StatisticValue> delta_since(const StatisticSnapshot& base) const;
+
+  /// Zeroes every counter (test isolation).
+  void reset();
+
+  std::size_t size() const { return stats_.size(); }
+
+ private:
+  friend class Statistic;
+  void register_stat(Statistic* s) { stats_.push_back(s); }
+  std::vector<Statistic*> stats_;
+};
+
+}  // namespace polaris
+
+/// Defines a file-local statistic counter `NAME` under `COMPONENT` (a
+/// string literal naming the pass or analysis).  Use at namespace scope:
+///
+///   POLARIS_STATISTIC("rangetest", pairs_proven,
+///                     "pairs proven independent by the range test");
+///   ...
+///   ++pairs_proven;
+#define POLARIS_STATISTIC(COMPONENT, NAME, DESC) \
+  static ::polaris::Statistic NAME(COMPONENT, #NAME, DESC)

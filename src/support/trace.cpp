@@ -1,0 +1,160 @@
+#include "support/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "support/assert.h"
+#include "support/json.h"
+
+namespace polaris::trace {
+
+namespace detail {
+bool g_on = false;
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Collector {
+  std::string path;
+  Clock::time_point t0;
+  std::vector<TraceEvent> events;
+};
+
+Collector& collector() {
+  static Collector c;
+  return c;
+}
+
+}  // namespace
+
+void start(const std::string& path) {
+  p_assert_msg(!detail::g_on, "trace already started");
+  Collector& c = collector();
+  c.path = path;
+  c.t0 = Clock::now();
+  c.events.clear();
+  detail::g_on = true;
+}
+
+std::string stop() {
+  if (!detail::g_on) return std::string();
+  detail::g_on = false;
+  Collector& c = collector();
+  std::string json = to_chrome_json(c.events);
+  if (!c.path.empty()) {
+    std::ofstream out(c.path);
+    if (out)
+      out << json;
+    else
+      std::fprintf(stderr, "polaris: cannot write trace to %s\n",
+                   c.path.c_str());
+  }
+  c.events.clear();
+  c.path.clear();
+  return json;
+}
+
+const std::string& path() {
+  static const std::string empty;
+  return detail::g_on ? collector().path : empty;
+}
+
+std::size_t mark() { return detail::g_on ? collector().events.size() : 0; }
+
+void truncate(std::size_t mark) {
+  if (!detail::g_on) return;
+  std::vector<TraceEvent>& ev = collector().events;
+  if (mark < ev.size()) ev.resize(mark);
+}
+
+std::size_t event_count() {
+  return detail::g_on ? collector().events.size() : 0;
+}
+
+std::uint64_t now_us() {
+  if (!detail::g_on) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now() - collector().t0)
+          .count());
+}
+
+void instant(const std::string& name, const std::string& category,
+             std::vector<std::pair<std::string, std::string>> args) {
+  if (!detail::g_on) return;
+  TraceEvent e;
+  e.phase = 'i';
+  e.name = name;
+  e.category = category;
+  e.ts_us = now_us();
+  e.args = std::move(args);
+  collector().events.push_back(std::move(e));
+}
+
+void counter(const std::string& name,
+             std::vector<std::pair<std::string, std::uint64_t>> series) {
+  if (!detail::g_on) return;
+  TraceEvent e;
+  e.phase = 'C';
+  e.name = name;
+  e.category = "counter";
+  e.ts_us = now_us();
+  e.numeric_args = true;
+  for (auto& [key, value] : series)
+    e.args.emplace_back(std::move(key), std::to_string(value));
+  collector().events.push_back(std::move(e));
+}
+
+TraceSpan::~TraceSpan() {
+  // on() may have flipped off mid-span (a test calling stop()); drop the
+  // event then rather than record against a dead collector.
+  if (!active_ || !detail::g_on) return;
+  TraceEvent e;
+  e.phase = 'X';
+  e.name = std::move(name_);
+  e.category = std::move(category_);
+  e.ts_us = t0_;
+  e.dur_us = now_us() - t0_;
+  e.args = std::move(args_);
+  collector().events.push_back(std::move(e));
+}
+
+const std::vector<TraceEvent>& events() { return collector().events; }
+
+std::string to_chrome_json(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+           json_escape(e.category) + "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":1,\"ts\":" + std::to_string(e.ts_us);
+    if (e.phase == 'X') out += ",\"dur\":" + std::to_string(e.dur_us);
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += "\"" + json_escape(key) + "\":";
+        if (e.numeric_args)
+          out += value;
+        else
+          out += "\"" + json_escape(value) + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace polaris::trace

@@ -1,0 +1,124 @@
+// Hierarchical scoped-span tracing with Chrome trace-event output.
+//
+// Polaris's `-timing` table answers "how long did each pass take overall";
+// the tracer answers "what happened, when, inside which pass, on which
+// unit" — parse, every pass x unit invocation, dependence-test batches,
+// GSA-engine construction, verifier runs, and fault-isolation
+// snapshot/rollback events, plus counter tracks for analysis-cache
+// accounting.  Output is the Chrome trace-event JSON format, loadable in
+// chrome://tracing or Perfetto (`-trace=FILE` / POLARIS_TRACE).
+//
+// Cost discipline: tracing is off by default and every instrumentation
+// site reduces to a single predictable branch on a global flag
+// (trace::on()).  Spans are RAII (TraceSpan), so an exception unwinding
+// through an instrumented region closes its spans; the fault-isolation
+// layer additionally truncates the event buffer to its pre-pass mark on
+// rollback so a rolled-back pass contributes no events at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace polaris::trace {
+
+namespace detail {
+extern bool g_on;  ///< set only between start()/stop(); read by on()
+}  // namespace detail
+
+/// True while a trace is being collected.  The one branch every
+/// instrumentation site pays when tracing is disabled.
+inline bool on() { return detail::g_on; }
+
+/// One recorded trace event (Chrome trace-event model).
+struct TraceEvent {
+  char phase = 'X';       ///< 'X' complete span, 'i' instant, 'C' counter
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;   ///< microseconds since trace start
+  std::uint64_t dur_us = 0;  ///< span duration ('X' only)
+  /// Key-value args; for counters the values must be numeric literals
+  /// (rendered unquoted so the viewer draws a counter track).
+  std::vector<std::pair<std::string, std::string>> args;
+  bool numeric_args = false;  ///< render arg values as numbers
+};
+
+/// Begins collecting; `path` is where stop() writes the JSON.  Calling
+/// start while already collecting is an error (tests aside, the driver
+/// arms exactly one trace per compile).
+void start(const std::string& path);
+
+/// Writes the collected events to the path given to start() (empty path:
+/// discard) and disables collection.  Returns the serialized JSON so
+/// in-process consumers (tests) can validate without touching the file.
+std::string stop();
+
+/// The armed output path (empty when off).
+const std::string& path();
+
+/// Event-buffer high-water mark; pair with truncate() to unwind the
+/// events of a rolled-back pass.  Returns 0 when tracing is off.
+std::size_t mark();
+
+/// Drops every event recorded after `mark` (fault-isolation rollback).
+void truncate(std::size_t mark);
+
+/// Number of buffered events (tests).
+std::size_t event_count();
+
+/// Instant event (rollback markers and similar point-in-time facts).
+void instant(const std::string& name, const std::string& category,
+             std::vector<std::pair<std::string, std::string>> args = {});
+
+/// Counter sample: one track per `name`, one series per arg key.
+void counter(const std::string& name,
+             std::vector<std::pair<std::string, std::uint64_t>> series);
+
+/// Microseconds since trace start (0 when off).
+std::uint64_t now_us();
+
+/// RAII span.  When tracing is off, construction is one branch and no
+/// state is touched — the const char* overloads exist so disabled call
+/// sites never materialize a std::string (these sit on per-pair hot
+/// paths in the dependence testers).  The event is emitted at
+/// destruction as a complete ('X') event, so nesting falls out of the
+/// ts/dur containment.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : active_(on()), name_(active_ ? name : ""),
+        category_(active_ ? category : ""), t0_(active_ ? now_us() : 0) {}
+  TraceSpan(const std::string& name, const char* category)
+      : active_(on()), name_(active_ ? name : std::string()),
+        category_(active_ ? category : ""), t0_(active_ ? now_us() : 0) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  /// Attaches a key-value arg shown in the trace viewer's detail panel.
+  void arg(const char* key, const std::string& value) {
+    if (active_) args_.emplace_back(key, value);
+  }
+  void arg(const char* key, const char* value) {
+    if (active_) args_.emplace_back(key, value);
+  }
+  void arg(const char* key, std::uint64_t value) {
+    if (active_) args_.emplace_back(key, std::to_string(value));
+  }
+
+ private:
+  bool active_;
+  std::string name_;
+  std::string category_;
+  std::uint64_t t0_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Read-only view of the buffered events (tests).
+const std::vector<TraceEvent>& events();
+
+/// Serializes events as Chrome trace JSON (what stop() writes).
+std::string to_chrome_json(const std::vector<TraceEvent>& events);
+
+}  // namespace polaris::trace

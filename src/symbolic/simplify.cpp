@@ -1,11 +1,17 @@
 #include "symbolic/simplify.h"
 
 #include "ir/build.h"
+#include "support/statistic.h"
 #include "symbolic/poly.h"
 
 namespace polaris {
 
 namespace {
+
+POLARIS_STATISTIC("simplify", canonical_roundtrips,
+                  "integer subtrees kept in canonical polynomial form");
+POLARIS_STATISTIC("simplify", comparisons_folded,
+                  "constant comparisons folded to a logical constant");
 
 /// Counts nodes, a crude size metric to decide whether canonicalization
 /// actually simplified anything.
@@ -77,8 +83,11 @@ ExprPtr simplify_rec(const Expression& e) {
     Polynomial p = Polynomial::from_expr(e, /*exact_division=*/false);
     ExprPtr canon = p.to_expr();
     ExprPtr structural = simplify_children(e);
-    return node_count(*canon) <= node_count(*structural) ? std::move(canon)
-                                                         : std::move(structural);
+    if (node_count(*canon) <= node_count(*structural)) {
+      ++canonical_roundtrips;
+      return canon;
+    }
+    return structural;
   }
   switch (e.kind()) {
     case ExprKind::BinOp: {
@@ -112,6 +121,7 @@ ExprPtr simplify_rec(const Expression& e) {
         Polynomial d = Polynomial::from_expr(*l, false) -
                        Polynomial::from_expr(*r, false);
         if (d.is_constant()) {
+          ++comparisons_folded;
           int s = d.constant_value().sign();
           switch (b.op()) {
             case BinOpKind::Lt: return ib::lc(s < 0);

@@ -198,5 +198,60 @@ TEST(FaultIsolation, UnitScopedInjectionLeavesOtherUnitsTransformed) {
   EXPECT_EQ(out, ref.annotated_source);
 }
 
+// Soak test (ROADMAP follow-up to the fault-isolation PR): sweep the
+// injected site index N for one (pass, unit) scope until the scope runs
+// out of real assertion sites and the injection falls through to the
+// unit-boundary fault.  Two invariants across the whole sweep: every N
+// rolls back to the identical compile output (which site fires must not
+// matter — the rollback is all-or-nothing), and the sweep terminates by
+// hitting the boundary path, proving N beyond the site count still faults
+// deterministically instead of silently not firing.
+TEST(FaultIsolation, SiteSweepExhaustsScopeThenFaultsAtUnitBoundary) {
+  const auto& bench = suite_program("trfd");
+  // normalize executes a few dozen assertion sites on trfd — large enough
+  // to exercise real sites, small enough to sweep past exhaustively.
+  const std::string pass = "normalize";
+
+  // Resolve the unit name the injection scopes to from a clean compile.
+  Options clean = Options::polaris();
+  CompileReport clean_rep;
+  compile_annotated(clean, bench.source, &clean_rep);
+  ASSERT_FALSE(clean_rep.loops.empty());
+  const std::string unit = clean_rep.loops.front().unit;
+
+  std::string reference_out;
+  bool hit_boundary = false;
+  int sites_exercised = 0;
+  constexpr int kMaxSweep = 200;
+  for (int n = 1; n <= kMaxSweep && !hit_boundary; ++n) {
+    Options opts = Options::polaris();
+    opts.fault_inject = pass + ":" + unit + ":" + std::to_string(n);
+    CompileReport rep;
+    const std::string out = compile_annotated(opts, bench.source, &rep);
+
+    ASSERT_EQ(rep.failures.size(), 1u) << "N=" << n;
+    const PassFailure& f = rep.failures.front();
+    EXPECT_EQ(f.pass, pass);
+    EXPECT_EQ(f.unit, unit);
+    EXPECT_EQ(f.kind, PassFailure::Kind::Assertion);
+    EXPECT_TRUE(f.injected);
+    EXPECT_TRUE(f.recovered);
+    if (f.message.find("unit boundary") != std::string::npos)
+      hit_boundary = true;
+    else
+      ++sites_exercised;
+
+    if (n == 1)
+      reference_out = out;
+    else
+      EXPECT_EQ(out, reference_out)
+          << "rollback output depends on which site fired (N=" << n << ")";
+  }
+  EXPECT_TRUE(hit_boundary)
+      << "scope has more than " << kMaxSweep << " assertion sites";
+  // The sweep exercised every real site before falling off the end.
+  EXPECT_GT(sites_exercised, 0);
+}
+
 }  // namespace
 }  // namespace polaris

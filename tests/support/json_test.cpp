@@ -1,0 +1,91 @@
+// support/json: the minimal JSON document model the observability layer
+// builds on (report-json serialization, trace output, remark streams) and
+// the strict parser the schema-validation tests consume it back with.
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.h"
+
+namespace polaris {
+namespace {
+
+TEST(Json, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(Json, SerializesScalarsAndContainers) {
+  JsonValue doc = JsonValue::object();
+  doc.set("b", JsonValue::boolean(true));
+  doc.set("n", JsonValue::null());
+  doc.set("i", JsonValue::num(std::int64_t{-42}));
+  doc.set("d", JsonValue::num(1.5));
+  doc.set("s", JsonValue::str("x\ny"));
+  JsonValue arr = JsonValue::array();
+  arr.add(JsonValue::num(1));
+  arr.add(JsonValue::num(2));
+  doc.set("a", std::move(arr));
+  EXPECT_EQ(doc.serialize(),
+            "{\"b\":true,\"n\":null,\"i\":-42,\"d\":1.5,\"s\":\"x\\ny\","
+            "\"a\":[1,2]}");
+}
+
+TEST(Json, IntegersSerializeWithoutExponentOrFraction) {
+  EXPECT_EQ(JsonValue::num(std::uint64_t{9000000000000000ULL}).serialize(),
+            "9000000000000000");
+  EXPECT_EQ(JsonValue::num(0).serialize(), "0");
+  EXPECT_EQ(JsonValue::num(-7).serialize(), "-7");
+}
+
+TEST(Json, ParsesWhatItSerializes) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", JsonValue::str("polaris"));
+  doc.set("count", JsonValue::num(3));
+  JsonValue inner = JsonValue::object();
+  inner.set("flag", JsonValue::boolean(false));
+  doc.set("inner", std::move(inner));
+  const std::string text = doc.serialize();
+
+  JsonValue back = parse_json(text);
+  ASSERT_EQ(back.kind, JsonValue::Kind::Object);
+  const JsonValue* name = back.find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string_value, "polaris");
+  const JsonValue* count = back.find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->number, 3.0);
+  const JsonValue* flag = back.find("inner")->find("flag");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_FALSE(flag->bool_value);
+  // Member order is preserved, so the round trip is byte-stable.
+  EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(Json, ParsesEscapesAndUnicode) {
+  JsonValue v = parse_json("\"a\\n\\t\\\"\\\\\\u0041\"");
+  EXPECT_EQ(v.string_value, "a\n\t\"\\A");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_json(""), UserError);
+  EXPECT_THROW(parse_json("{"), UserError);
+  EXPECT_THROW(parse_json("[1,]"), UserError);
+  EXPECT_THROW(parse_json("{\"a\":1,}"), UserError);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), UserError);
+  EXPECT_THROW(parse_json("nul"), UserError);
+  EXPECT_THROW(parse_json("1 2"), UserError);          // trailing garbage
+  EXPECT_THROW(parse_json("\"\x01\""), UserError);     // raw control char
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_THROW(parse_json(deep), UserError);
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,57 @@
+// support/statistic: the POLARIS_STATISTIC counter registry behind
+// `-stats`, CompileReport::stats, and the fault-isolation restore path.
+#include "support/statistic.h"
+
+#include <gtest/gtest.h>
+
+namespace polaris {
+namespace {
+
+POLARIS_STATISTIC("test-stat", widgets_built, "widgets built by this test");
+POLARIS_STATISTIC("test-stat", gizmos_seen, "gizmos seen by this test");
+
+StatisticValue find_stat(const std::vector<StatisticValue>& values,
+                         const std::string& name) {
+  for (const StatisticValue& v : values)
+    if (v.component == "test-stat" && v.name == name) return v;
+  return {};
+}
+
+TEST(Statistic, RegistersAndCounts) {
+  const std::uint64_t before = widgets_built.value();
+  ++widgets_built;
+  widgets_built += 3;
+  EXPECT_EQ(widgets_built.value(), before + 4);
+
+  StatisticValue v = find_stat(StatisticRegistry::instance().values(),
+                               "widgets_built");
+  EXPECT_EQ(v.component, "test-stat");
+  EXPECT_EQ(v.desc, "widgets built by this test");
+  EXPECT_EQ(v.value, widgets_built.value());
+}
+
+TEST(Statistic, DeltaSinceReportsOnlyMovedCounters) {
+  StatisticRegistry& reg = StatisticRegistry::instance();
+  StatisticSnapshot base = reg.snapshot();
+  ++gizmos_seen;
+  ++gizmos_seen;
+  std::vector<StatisticValue> delta = reg.delta_since(base);
+  StatisticValue moved = find_stat(delta, "gizmos_seen");
+  EXPECT_EQ(moved.value, 2u);
+  // widgets_built did not move between snapshot and delta: absent.
+  EXPECT_TRUE(find_stat(delta, "widgets_built").name.empty());
+}
+
+TEST(Statistic, RestoreUnwindsIncrements) {
+  StatisticRegistry& reg = StatisticRegistry::instance();
+  const std::uint64_t before = widgets_built.value();
+  StatisticSnapshot snap = reg.snapshot();
+  widgets_built += 100;
+  ++gizmos_seen;
+  reg.restore(snap);
+  EXPECT_EQ(widgets_built.value(), before);
+  EXPECT_TRUE(reg.delta_since(snap).empty());
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,0 +1,141 @@
+// support/trace: the scoped-span tracer behind `-trace=FILE`.
+//
+// Covers the collection lifecycle (start/stop, disabled-by-default), span
+// nesting via ts/dur containment, instant and counter events, the
+// mark/truncate unwinding hook the fault-isolation layer uses, and that
+// the emitted document is valid Chrome trace JSON (validated with the
+// in-tree parser).
+#include "support/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "support/json.h"
+
+namespace polaris {
+namespace {
+
+/// RAII trace session writing nowhere; stop() returns the JSON.
+class TraceSession {
+ public:
+  TraceSession() { trace::start(""); }
+  ~TraceSession() {
+    if (trace::on()) trace::stop();
+  }
+  std::string finish() { return trace::stop(); }
+};
+
+TEST(Trace, OffByDefaultAndSpansAreNoOps) {
+  ASSERT_FALSE(trace::on());
+  {
+    trace::TraceSpan span("ghost", "test");
+    span.arg("k", "v");
+  }
+  trace::instant("ghost", "test");
+  trace::counter("ghost", {{"x", 1}});
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_EQ(trace::mark(), 0u);
+}
+
+TEST(Trace, CollectsSpansInstantsAndCounters) {
+  TraceSession session;
+  {
+    trace::TraceSpan outer("outer", "test");
+    {
+      trace::TraceSpan inner("inner", "test");
+      inner.arg("key", "value");
+      inner.arg("n", std::uint64_t{7});
+    }
+    trace::instant("ping", "test", {{"why", "because"}});
+    trace::counter("track", {{"hits", 3}, {"misses", 1}});
+  }
+  const auto& evs = trace::events();
+  ASSERT_EQ(evs.size(), 4u);
+  // Spans emit at destruction: inner closes before outer.
+  EXPECT_EQ(evs[0].name, "inner");
+  EXPECT_EQ(evs[0].phase, 'X');
+  ASSERT_EQ(evs[0].args.size(), 2u);
+  EXPECT_EQ(evs[0].args[1].second, "7");
+  EXPECT_EQ(evs[1].name, "ping");
+  EXPECT_EQ(evs[1].phase, 'i');
+  EXPECT_EQ(evs[2].name, "track");
+  EXPECT_EQ(evs[2].phase, 'C');
+  EXPECT_TRUE(evs[2].numeric_args);
+  EXPECT_EQ(evs[3].name, "outer");
+  // Nesting falls out of ts/dur containment.
+  EXPECT_LE(evs[3].ts_us, evs[0].ts_us);
+  EXPECT_GE(evs[3].ts_us + evs[3].dur_us, evs[0].ts_us + evs[0].dur_us);
+}
+
+TEST(Trace, StopDisablesAndClears) {
+  {
+    TraceSession session;
+    trace::instant("one", "test");
+    EXPECT_EQ(trace::event_count(), 1u);
+    session.finish();
+  }
+  EXPECT_FALSE(trace::on());
+  EXPECT_EQ(trace::event_count(), 0u);
+}
+
+TEST(Trace, TruncateUnwindsEventsAfterMark) {
+  TraceSession session;
+  trace::instant("kept", "test");
+  const std::size_t mark = trace::mark();
+  trace::instant("dropped-1", "test");
+  trace::instant("dropped-2", "test");
+  EXPECT_EQ(trace::event_count(), 3u);
+  trace::truncate(mark);
+  ASSERT_EQ(trace::event_count(), 1u);
+  EXPECT_EQ(trace::events()[0].name, "kept");
+  // A span open across the truncation still emits afterwards.
+  {
+    trace::TraceSpan late("late", "test");
+  }
+  EXPECT_EQ(trace::event_count(), 2u);
+}
+
+TEST(Trace, SpanOpenAcrossStopIsDropped) {
+  std::string json;
+  {
+    trace::start("");
+    trace::TraceSpan span("cut-off", "test");
+    json = trace::stop();
+    // Span destructs after stop: must not crash or resurrect the buffer.
+  }
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+}
+
+TEST(Trace, EmitsValidChromeTraceJson) {
+  std::string json;
+  {
+    TraceSession session;
+    {
+      trace::TraceSpan span("work", "cat");
+      span.arg("detail", "quoted \"text\"\n");
+    }
+    trace::counter("cache", {{"hits", 5}});
+    json = session.finish();
+  }
+  JsonValue doc = parse_json(json);
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("displayTimeUnit"), nullptr);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items.size(), 2u);
+  const JsonValue& span = events->items[0];
+  EXPECT_EQ(span.find("name")->string_value, "work");
+  EXPECT_EQ(span.find("ph")->string_value, "X");
+  EXPECT_EQ(span.find("cat")->string_value, "cat");
+  ASSERT_NE(span.find("ts"), nullptr);
+  ASSERT_NE(span.find("dur"), nullptr);
+  EXPECT_EQ(span.find("args")->find("detail")->string_value,
+            "quoted \"text\"\n");
+  const JsonValue& counter = events->items[1];
+  EXPECT_EQ(counter.find("ph")->string_value, "C");
+  EXPECT_EQ(counter.find("args")->find("hits")->number, 5.0);
+}
+
+}  // namespace
+}  // namespace polaris
