@@ -1,5 +1,6 @@
 #include "analysis/analysis_manager.h"
 
+#include "support/context.h"
 #include "support/trace.h"
 
 namespace polaris {
@@ -82,7 +83,8 @@ GsaQuery& AnalysisManager::gsa(ProgramUnit& unit) {
     return *it->second;
   }
   ++stats_.recomputes;
-  trace::TraceSpan gsa_span("gsa-build", "analysis");
+  trace::TraceSpan gsa_span(ctx_ != nullptr ? &ctx_->trace() : nullptr,
+                            "gsa-build", "analysis");
   gsa_span.arg("unit", unit.name());
   return *gsa_.emplace(&unit, std::make_unique<GsaQuery>(unit))
               .first->second;
@@ -130,6 +132,14 @@ void AnalysisManager::invalidate(const PreservedAnalyses& pa) {
 
 void AnalysisManager::invalidate_all() {
   invalidate(PreservedAnalyses::none());
+}
+
+void AnalysisManager::clear_caches() {
+  for (auto& m : region_) m.clear();
+  loops_.clear();
+  gsa_.clear();
+  facts_.clear();
+  pair_facts_.clear();
 }
 
 }  // namespace polaris

@@ -29,6 +29,8 @@
 
 namespace polaris {
 
+class CompileContext;  // support/context.h
+
 /// The analysis families the manager caches.  Coarse by design: passes
 /// reason about "structure facts" as a unit, not per-region entries.
 enum class AnalysisID : unsigned {
@@ -62,8 +64,17 @@ class PreservedAnalyses {
 class AnalysisManager {
  public:
   AnalysisManager() = default;
+  /// Binds the manager to a compilation: expensive recomputes (GSA engine
+  /// builds) emit trace spans into `ctx`'s collector.  The context also
+  /// rides along to code that receives the manager but not the context
+  /// directly (dependence testers).  Null behaves like the default ctor.
+  explicit AnalysisManager(CompileContext* ctx) : ctx_(ctx) {}
   AnalysisManager(const AnalysisManager&) = delete;
   AnalysisManager& operator=(const AnalysisManager&) = delete;
+
+  /// The owning compilation's context (null when unbound, e.g. in
+  /// analysis unit tests).
+  CompileContext* context() const { return ctx_; }
 
   // --- memoized structure queries (see analysis/structure.h) ---------------
   const SymbolSet& must_defined_scalars(Statement* first,
@@ -102,6 +113,12 @@ class AnalysisManager {
   /// Drops every cached family `pa` does not preserve.
   void invalidate(const PreservedAnalyses& pa);
   void invalidate_all();
+  /// Drops every cache WITHOUT counting an invalidation.  Bookkeeping for
+  /// group boundaries under sharded execution: the parent manager's
+  /// caches (keyed on Statement pointers the unit shards just rewrote)
+  /// are discarded, but no pass "caused" it, so the accounting — which
+  /// must be identical to a sequential run — is untouched.
+  void clear_caches();
 
   // --- accounting ----------------------------------------------------------
   struct Stats {
@@ -111,6 +128,14 @@ class AnalysisManager {
     std::uint64_t invalidations = 0;
   };
   const Stats& stats() const { return stats_; }
+  /// Adds a finished unit shard's accounting into this manager (the
+  /// parent compile's aggregate under `-jobs=N`).
+  void absorb_stats(const Stats& shard) {
+    stats_.queries += shard.queries;
+    stats_.hits += shard.hits;
+    stats_.recomputes += shard.recomputes;
+    stats_.invalidations += shard.invalidations;
+  }
 
  private:
   enum StructureQuery { kMustDef = 0, kMayDef, kExposed, kUsed, kNumQueries };
@@ -127,6 +152,7 @@ class AnalysisManager {
   std::map<Statement*, FactContext> facts_;
   std::map<PairKey, FactContext> pair_facts_;
   Stats stats_;
+  CompileContext* ctx_ = nullptr;
 };
 
 }  // namespace polaris

@@ -5,6 +5,7 @@
 #include "analysis/structure.h"
 #include "dep/linear.h"
 #include "dep/rangetest.h"
+#include "support/context.h"
 #include "support/statistic.h"
 #include "support/trace.h"
 
@@ -82,7 +83,12 @@ LoopDepStats test_loop_arrays(DoStmt* loop, const Options& opts,
                               const std::string& context,
                               AnalysisManager& am) {
   LoopDepStats stats;
-  trace::TraceSpan batch_span("ddtest", "dep");
+  // The compile context rides on the analysis manager here: the tester's
+  // callers always pass the shard's manager, and a context-less manager
+  // (unit tests) simply runs untraced.
+  CompileContext* cc = am.context();
+  trace::TraceSpan batch_span(cc != nullptr ? &cc->trace() : nullptr,
+                              "ddtest", "dep");
   batch_span.arg("loop", context);
   auto accesses = collect_array_accesses(loop);
   for (auto& [array, refs] : accesses) {

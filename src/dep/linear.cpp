@@ -12,7 +12,7 @@ namespace {
 /// True if the atom's expression references `sym` anywhere (catches n*i
 /// composites hidden inside opaque atoms like z(i)).
 bool atom_references(AtomId a, const Symbol* sym) {
-  return AtomTable::instance().expr(a).references(sym);
+  return AtomTable::current().expr(a).references(sym);
 }
 
 }  // namespace
@@ -23,7 +23,7 @@ LinearForm extract_linear(const Polynomial& f,
   out.rest = f;
   for (const DoStmt* loop : nest) {
     Symbol* idx = loop->index();
-    AtomId a = AtomTable::instance().intern_symbol(idx);
+    AtomId a = AtomTable::current().intern_symbol(idx);
     // The index must occur only as the pure monomial idx^1.
     Rational c = f.coefficient(Monomial::atom(a));
     Polynomial linear_part =
@@ -34,7 +34,7 @@ LinearForm extract_linear(const Polynomial& f,
     // Opaque atoms referencing the index (z(i), i/2 kept opaque, ...) also
     // disqualify the form.
     for (AtomId atom : remainder.atoms())
-      if (AtomTable::instance().symbol(atom) == nullptr &&
+      if (AtomTable::current().symbol(atom) == nullptr &&
           atom_references(atom, idx))
         return {};
     if (!c.is_zero()) out.coeffs[loop] = c.as_integer();

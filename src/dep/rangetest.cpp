@@ -4,6 +4,7 @@
 
 #include "analysis/structure.h"
 #include "dep/regions.h"
+#include "support/context.h"
 #include "support/statistic.h"
 #include "support/trace.h"
 #include "symbolic/simplify.h"
@@ -36,7 +37,7 @@ std::optional<LoopBounds> oriented_bounds(DoStmt* loop) {
 }
 
 AtomId index_atom(const DoStmt* loop) {
-  return AtomTable::instance().intern_symbol(loop->index());
+  return AtomTable::current().intern_symbol(loop->index());
 }
 
 /// True if any atom of `p` is an opaque expression referencing `sym`
@@ -44,8 +45,8 @@ AtomId index_atom(const DoStmt* loop) {
 /// depend on the swept index.
 bool references_through_atoms(const Polynomial& p, const Symbol* sym) {
   for (AtomId a : p.atoms()) {
-    const Expression& e = AtomTable::instance().expr(a);
-    if (AtomTable::instance().symbol(a) == nullptr && e.references(sym))
+    const Expression& e = AtomTable::current().expr(a);
+    if (AtomTable::current().symbol(a) == nullptr && e.references(sym))
       return true;
   }
   return false;
@@ -141,7 +142,9 @@ bool RangeTest::independent(DoStmt* carrier, const ArrayAccess& a,
   p_assert(a.ref->symbol() == b.ref->symbol());
   p_assert(a.ref->rank() == b.ref->rank());
   ++pairs_queried;
-  trace::TraceSpan pair_span("rangetest", "dep");
+  CompileContext* cc = am_ != nullptr ? am_->context() : nullptr;
+  trace::TraceSpan pair_span(cc != nullptr ? &cc->trace() : nullptr,
+                             "rangetest", "dep");
   pair_span.arg("array", a.ref->symbol()->name());
 
   std::int64_t step = 0;

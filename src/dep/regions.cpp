@@ -25,8 +25,8 @@ std::optional<LoopBounds> oriented_bounds(DoStmt* loop) {
 
 bool references_through_atoms(const Polynomial& p, const Symbol* sym) {
   for (AtomId a : p.atoms()) {
-    const Expression& e = AtomTable::instance().expr(a);
-    if (AtomTable::instance().symbol(a) == nullptr && e.references(sym))
+    const Expression& e = AtomTable::current().expr(a);
+    if (AtomTable::current().symbol(a) == nullptr && e.references(sym))
       return true;
   }
   return false;
@@ -41,7 +41,7 @@ void add_loop_facts(FactContext& ctx, DoStmt* loop, int rank) {
     ctx.add_ge0(bounds->hi - Polynomial::symbol(loop->index()));
     ctx.add_ge0(bounds->hi - bounds->lo);
   }
-  ctx.set_rank(AtomTable::instance().intern_symbol(loop->index()), rank);
+  ctx.set_rank(AtomTable::current().intern_symbol(loop->index()), rank);
 }
 
 namespace {
@@ -152,7 +152,7 @@ std::optional<Interval> access_interval(const ArrayRef& ref, int dim,
   for (DoStmt* d : sweep) {
     auto bounds = oriented_bounds(d);
     if (!bounds) return std::nullopt;
-    AtomId a = AtomTable::instance().intern_symbol(d->index());
+    AtomId a = AtomTable::current().intern_symbol(d->index());
     Extremes lo_ext = eliminate_range(out.lo, a, bounds->lo, bounds->hi, ctx);
     Extremes hi_ext = eliminate_range(out.hi, a, bounds->lo, bounds->hi, ctx);
     if (!lo_ext.min || !hi_ext.max) return std::nullopt;

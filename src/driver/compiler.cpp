@@ -5,6 +5,7 @@
 #include "parser/parser.h"
 #include "parser/printer.h"
 #include "support/assert.h"
+#include "support/context.h"
 #include "support/statistic.h"
 #include "support/trace.h"
 #include "symbolic/poly.h"
@@ -14,46 +15,50 @@ namespace polaris {
 
 namespace {
 
-/// Arms deterministic fault injection for the duration of one transform
-/// when Options::fault_inject is set; disarms on every exit path.
+/// Arms deterministic fault injection on this compilation's injector for
+/// the duration of one transform when Options::fault_inject is set;
+/// disarms on every exit path.
 class FaultArmGuard {
  public:
-  explicit FaultArmGuard(const std::string& spec) {
+  FaultArmGuard(FaultInjector& injector, const std::string& spec)
+      : injector_(injector) {
     if (!spec.empty()) {
-      fault::arm(fault::parse_spec(spec));
+      injector_.arm(fault::parse_spec(spec));
       armed_ = true;
     }
   }
   ~FaultArmGuard() {
-    if (armed_) fault::disarm();
+    if (armed_) injector_.disarm();
   }
   FaultArmGuard(const FaultArmGuard&) = delete;
   FaultArmGuard& operator=(const FaultArmGuard&) = delete;
 
  private:
+  FaultInjector& injector_;
   bool armed_ = false;
 };
 
-/// Arms the trace collector for the duration of one compile when
-/// Options::trace_path is set and no outer scope already armed it
-/// (Compiler::compile arms before calling transform; transform must not
-/// re-arm).  On destruction the owning guard stops the collector and
-/// writes the Chrome trace file.
-class TraceArmGuard {
+/// Arms the compilation's trace collector when Options::trace_path is set
+/// and no outer scope already armed it (Compiler::compile arms before
+/// calling transform; transform must not re-arm).  On destruction the
+/// owning guard stops the collector and writes the Chrome trace file.
+class TraceOwnGuard {
  public:
-  explicit TraceArmGuard(const std::string& path) {
-    if (!path.empty() && !trace::on()) {
-      trace::start(path);
+  TraceOwnGuard(trace::TraceCollector& collector, const std::string& path)
+      : collector_(collector) {
+    if (!path.empty() && !collector_.collecting()) {
+      collector_.start(path);
       owner_ = true;
     }
   }
-  ~TraceArmGuard() {
-    if (owner_) trace::stop();
+  ~TraceOwnGuard() {
+    if (owner_) collector_.stop();
   }
-  TraceArmGuard(const TraceArmGuard&) = delete;
-  TraceArmGuard& operator=(const TraceArmGuard&) = delete;
+  TraceOwnGuard(const TraceOwnGuard&) = delete;
+  TraceOwnGuard& operator=(const TraceOwnGuard&) = delete;
 
  private:
+  trace::TraceCollector& collector_;
   bool owner_ = false;
 };
 
@@ -61,48 +66,64 @@ class TraceArmGuard {
 
 std::unique_ptr<Program> Compiler::compile(const std::string& source,
                                            CompileReport* report) {
-  TraceArmGuard tracing(opts_.trace_path);
-  trace::TraceSpan compile_span("compile", "driver");
-  std::unique_ptr<Program> program;
-  {
-    trace::TraceSpan parse_span("parse", "driver");
-    program = parse_program(source);
-    parse_span.arg("units",
-                   static_cast<std::uint64_t>(program->units().size()));
-  }
-  transform(*program, report);
+  CompileContext cc;
+  return compile(source, report, cc);
+}
+
+std::unique_ptr<Program> Compiler::compile(const std::string& source,
+                                           CompileReport* report,
+                                           CompileContext& cc) {
+  CompileContext::Scope ctx_scope(&cc);
+  TraceOwnGuard tracing(cc.trace(), opts_.trace_path);
+  trace::TraceSpan compile_span(&cc.trace(), "compile", "driver");
+  std::unique_ptr<Program> program = parse_program(source, &cc);
+  transform(*program, report, cc);
   return program;
 }
 
 void Compiler::transform(Program& program, CompileReport* report) {
+  CompileContext cc;
+  transform(program, report, cc);
+}
+
+void Compiler::transform(Program& program, CompileReport* report,
+                         CompileContext& cc) {
   CompileReport local;
   CompileReport& rep = report ? *report : local;
 
+  // Bind the context (and so its fault injector) to this thread for the
+  // `++statistic` / p_assert bridges, and route pass diagnostics straight
+  // into the report's sink.
+  CompileContext::Scope ctx_scope(&cc);
+  cc.bind_diagnostics(rep.diagnostics);
+
+  // Atom identity keys on Symbol pointers: give every compilation a fresh
+  // thread-bound table so a recycled heap address can never alias an atom
+  // from a previous compilation (which would skew canonical term order).
+  // Unit shards bind their own tables on their worker threads.
+  AtomTable atoms;
+  AtomTable::Scope atom_scope(&atoms);
+
   // Arms only when Compiler::compile (or a test) hasn't already; the
   // pipeline span then nests under the compile span when both exist.
-  TraceArmGuard tracing(opts_.trace_path);
-  trace::TraceSpan pipeline_span("pipeline", "driver");
-  StatisticSnapshot stats_base = StatisticRegistry::instance().snapshot();
-
-  // Atom identity keys on Symbol pointers: start every compilation with an
-  // empty table so a recycled heap address can never alias an atom from a
-  // previous compilation (which would skew canonical term order).
-  AtomTable::instance().reset();
+  TraceOwnGuard tracing(cc.trace(), opts_.trace_path);
+  trace::TraceSpan pipeline_span(&cc.trace(), "pipeline", "driver");
+  StatisticSnapshot stats_base = cc.stats().snapshot();
 
   // The battery (inline expansion, constant propagation, normalization,
   // induction substitution, forward substitution, DOALL recognition,
   // strength reduction — paper Sections 3.1-3.5) runs through the pass
   // manager; Options::pipeline_spec swaps in a custom `-passes=` battery.
-  AnalysisManager am;
-  PassContext ctx{program, opts_, rep};
-  FaultArmGuard inject(opts_.fault_inject);
+  AnalysisManager am(&cc);
+  PassContext ctx{program, opts_, rep, cc};
+  FaultArmGuard inject(cc.fault(), opts_.fault_inject);
   PassPipeline::from_options(opts_).run(program, am, ctx);
   rep.analysis = am.stats();
 
   // The structural verifier always runs once after the pipeline (not just
   // under -verify-each): corrupted IR must never escape into the printed
   // output or the execution engine.
-  std::vector<VerifierViolation> violations = verify_program(program);
+  std::vector<VerifierViolation> violations = verify_program(program, &cc);
   if (!violations.empty())
     throw InternalError("ir-verifier", "post-pipeline", 0,
                         format_violations(violations));
@@ -133,7 +154,7 @@ void Compiler::transform(Program& program, CompileReport* report) {
     }
   }
   rep.annotated_source = to_source(program);
-  rep.stats = StatisticRegistry::instance().delta_since(stats_base);
+  rep.stats = cc.stats().delta_since(stats_base);
 }
 
 ExecutionConfig backend_config(CompilerMode mode, const Program& program,

@@ -98,12 +98,18 @@ class Compiler {
   Options& options() { return opts_; }
 
   /// Parses and restructures `source`.  The returned program carries the
-  /// DOALL annotations the execution engine consumes.
+  /// DOALL annotations the execution engine consumes.  The two-argument
+  /// form owns a CompileContext for the duration of the call; pass `cc`
+  /// to keep the compilation's statistics, trace, and fault-injection
+  /// state alive afterwards (tests inspect it; embedders aggregate it).
   std::unique_ptr<Program> compile(const std::string& source,
                                    CompileReport* report = nullptr);
+  std::unique_ptr<Program> compile(const std::string& source,
+                                   CompileReport* report, CompileContext& cc);
 
   /// Restructures an already-parsed program in place.
   void transform(Program& program, CompileReport* report = nullptr);
+  void transform(Program& program, CompileReport* report, CompileContext& cc);
 
  private:
   Options opts_;

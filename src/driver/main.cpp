@@ -13,6 +13,12 @@
 //                                  -passes=constprop,normalize,doall
 //   polaris -timing file.f         per-pass wall time, IR deltas, and
 //                                  analysis-cache hit rates
+//   polaris -jobs=N file.f         restructure program units on N worker
+//                                  threads (default 1; also settable via
+//                                  the POLARIS_JOBS env var; capped at the
+//                                  machine's hardware concurrency).  Every
+//                                  report artifact is byte-identical to a
+//                                  -jobs=1 run.
 //
 // Observability layer:
 //   polaris -trace=FILE file.f         write a Chrome trace (chrome://tracing
@@ -41,10 +47,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "driver/compiler.h"
 #include "driver/report_json.h"
@@ -57,7 +65,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: polaris [-report] [-diag] [-baseline] [-omp] [-run] "
-               "[-seq] [-p N] [-passes=SPEC] [-timing] [-verify-each] "
+               "[-seq] [-p N] [-passes=SPEC] [-jobs=N] [-timing] [-verify-each] "
                "[-fault-inject=SPEC] [-pass-budget-ms=N] [-no-recover] "
                "[-trace=FILE] [-stats] [-remarks=FILE] [-report-json=FILE] "
                "file.f\n");
@@ -82,6 +90,26 @@ void write_crash_bundle(const polaris::CompileReport::CrashInfo& ci) {
   std::fprintf(stderr, "polaris: repro bundle written to %s\n", path.c_str());
 }
 
+/// Parses and validates a `-jobs=` / POLARIS_JOBS value.  Rejects
+/// anything but a positive decimal integer; values beyond the machine's
+/// hardware concurrency are capped (extra workers only add contention,
+/// and output is jobs-count independent anyway).
+int parse_jobs(const std::string& value) {
+  std::size_t pos = 0;
+  long n = 0;
+  try {
+    n = std::stol(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (value.empty() || pos != value.size() || n < 1)
+    throw polaris::UserError("invalid -jobs value '" + value +
+                             "' (expected a positive integer)");
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) n = std::min(n, static_cast<long>(hw));
+  return static_cast<int>(n);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,7 +122,7 @@ int main(int argc, char** argv) {
   bool stats_mode = false;
   double pass_budget_ms = 0.0;
   int processors = 8;
-  std::string path, passes_spec, fault_inject;
+  std::string path, passes_spec, fault_inject, jobs_arg;
   std::string trace_path, remarks_path, report_json_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -124,6 +152,8 @@ int main(int argc, char** argv) {
       passes_given = true;
       passes_spec = argv[i] + 8;
     }
+    else if (std::strncmp(argv[i], "-jobs=", 6) == 0)
+      jobs_arg = argv[i] + 6;
     else if (std::strcmp(argv[i], "-p") == 0 && i + 1 < argc) {
       processors = std::atoi(argv[++i]);
       if (processors < 1) return usage();
@@ -140,6 +170,9 @@ int main(int argc, char** argv) {
   }
   if (trace_path.empty()) {
     if (const char* env = std::getenv("POLARIS_TRACE")) trace_path = env;
+  }
+  if (jobs_arg.empty()) {
+    if (const char* env = std::getenv("POLARIS_JOBS")) jobs_arg = env;
   }
 
   std::ifstream in(path);
@@ -175,6 +208,7 @@ int main(int argc, char** argv) {
     compiler.options().pass_budget_ms = pass_budget_ms;
     compiler.options().fault_inject = fault_inject;
     compiler.options().trace_path = trace_path;
+    if (!jobs_arg.empty()) compiler.options().jobs = parse_jobs(jobs_arg);
     auto prog = compiler.compile(source, &report);
 
     if (!remarks_path.empty()) {

@@ -1,8 +1,11 @@
 #include "driver/pass_manager.h"
 
+#include <atomic>
 #include <chrono>
 #include <sstream>
+#include <thread>
 
+#include "analysis/purity.h"
 #include "driver/compiler.h"
 #include "ir/verifier.h"
 #include "parser/printer.h"
@@ -91,7 +94,7 @@ class DoallPass : public Pass {
   PreservedAnalyses run(ProgramUnit& unit, AnalysisManager& am,
                         PassContext& ctx) override {
     DoallSummary ds = mark_doall_loops(&ctx.program, unit, ctx.opts,
-                                       ctx.report.diagnostics, am);
+                                       ctx.report.diagnostics, am, ctx.pure);
     ctx.report.doall.loops += ds.loops;
     ctx.report.doall.parallel += ds.parallel;
     ctx.report.doall.speculative += ds.speculative;
@@ -261,6 +264,335 @@ const char* to_string(PassFailure::Kind kind) {
   return "?";
 }
 
+namespace {
+
+constexpr std::size_t kProgramScope = static_cast<std::size_t>(-1);
+
+/// One pass invocation under fault isolation, against the state of the
+/// given PassContext — the parent compile's for program-scope passes, a
+/// unit shard's inside unit-scope groups.  The unit is addressed by
+/// index, not reference: a rollback swaps the unit object under the
+/// program, and a reference captured before the pass ran would dangle.
+void run_one(Pass& pass, std::size_t unit_index, PassTiming& timing,
+             PassContext& ctx, AnalysisManager& am,
+             const std::string& repro_spec) {
+  Program& program = ctx.program;
+  CompileContext& cc = ctx.cc;
+  const bool whole_program = unit_index == kProgramScope;
+  auto unit_ptr = [&]() -> ProgramUnit* {
+    return whole_program ? program.main()
+                         : program.units()[unit_index].get();
+  };
+  ProgramUnit* unit = unit_ptr();
+  const std::string unit_name = unit->name();
+
+  // Pre-pass state: deep IR snapshot (all units for program scope) plus
+  // the report counters and diagnostics mark, so a failed pass leaves no
+  // trace beyond its PassFailure record.
+  std::vector<std::unique_ptr<ProgramUnit>> snapshot;
+  SymbolMap<Symbol*> snap_map;  // original -> snapshot symbols
+  {
+    trace::TraceSpan snap_span(&cc.trace(), "snapshot", "fault");
+    if (whole_program) {
+      for (const auto& u : program.units())
+        snapshot.push_back(u->clone(u->name(), &snap_map));
+    } else {
+      snapshot.push_back(unit->clone(unit_name, &snap_map));
+    }
+  }
+  const InlineResult inl_before = ctx.report.inlining;
+  const InductionResult ind_before = ctx.report.induction;
+  const DoallSummary doall_before = ctx.report.doall;
+  const std::size_t diags_before = ctx.report.diagnostics.all().size();
+  const AnalysisManager::Stats stats_before = am.stats();
+  const std::size_t atoms_before = AtomTable::current().size();
+  IrSize before =
+      whole_program ? program_ir_size(program) : unit_ir_size(*unit);
+
+  // The invocation's trace span plus the rollback marks: everything a
+  // failed pass emitted (child spans, instants) and every statistic it
+  // bumped is unwound along with the IR, so an injected fault leaves the
+  // observability record identical to a run that skipped the pass — save
+  // for the invocation span itself, tagged rolled_back, and one rollback
+  // instant event.
+  const std::size_t trace_mark = cc.trace().mark();
+  const StatisticSnapshot stats_mark = cc.stats().snapshot();
+  trace::TraceSpan pass_span(&cc.trace(), pass.name(), "pass");
+  pass_span.arg("unit", unit_name);
+
+  // Rollback (or, with recovery off, crash-bundle preparation) for one
+  // failed invocation.
+  auto fail = [&](PassFailure::Kind kind, const std::string& message,
+                  bool was_injected) {
+    ctx.report.diagnostics.truncate(diags_before);
+    ctx.report.inlining = inl_before;
+    ctx.report.induction = ind_before;
+    ctx.report.doall = doall_before;
+    PassFailure f;
+    f.pass = pass.name();
+    f.unit = unit_name;
+    f.kind = kind;
+    f.message = message;
+    f.injected = was_injected;
+    f.recovered = ctx.opts.fault_recovery;
+    if (!ctx.opts.fault_recovery) {
+      CompileReport::CrashInfo ci;
+      ci.pass = f.pass;
+      ci.unit = f.unit;
+      ci.passes_spec = repro_spec;
+      std::ostringstream os;
+      for (const auto& u : snapshot) print_unit(os, *u);
+      ci.unit_source = os.str();
+      ctx.report.crash = std::move(ci);
+      ctx.report.failures.push_back(std::move(f));
+      return;  // caller (re)throws
+    }
+    // Atoms the failed pass interned would shift canonical term ordering
+    // in every later polynomial round-trip; drop them, then transfer the
+    // surviving atoms' ids to the snapshot's symbols so later passes see
+    // the same atom order as a run that never attempted this pass.  Must
+    // happen before the snapshot is swapped in: remap reads the original
+    // symbols (snap_map keys), which the swap destroys.  The table is the
+    // thread-bound one — a unit shard's own, so a concurrent rollback
+    // never touches another worker's atoms.
+    AtomTable::current().truncate(atoms_before);
+    AtomTable::current().remap(snap_map);
+    if (whole_program)
+      program.reset_units(std::move(snapshot));
+    else
+      program.replace_unit_at(unit_index, std::move(snapshot.front()));
+    am.invalidate_all();
+    // Unwind the observability record too: drop trace events emitted
+    // inside the failed pass (its own span emits later, at scope exit,
+    // and survives), zero statistics back to the pre-pass snapshot, and
+    // leave one instant event marking the rollback itself.
+    cc.trace().truncate(trace_mark);
+    cc.stats().restore(stats_mark);
+    pass_span.arg("rolled_back", "true");
+    cc.trace().instant("rollback", "fault",
+                       {{"pass", pass.name()},
+                        {"unit", unit_name},
+                        {"kind", to_string(kind)}});
+    ctx.report.diagnostics.warning(
+        "fault-isolation", f.pass + "/" + f.unit,
+        std::string(to_string(kind)) +
+            (was_injected ? " (injected)" : "") +
+            " failure; pass rolled back, continuing without it: " +
+            message);
+    ++timing.failures;
+    ctx.report.failures.push_back(std::move(f));
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  bool failed = false;
+  PreservedAnalyses preserved = PreservedAnalyses::all();
+  cc.fault().set_scope(pass.name(), unit_name);
+  try {
+    preserved = pass.run(*unit, am, ctx);
+    // An armed injection that found fewer than N assertion sites in this
+    // pass/unit still fires, at the unit boundary — so the recovery path
+    // is exercisable for every pass regardless of its assertion density.
+    if (cc.fault().consume_boundary_fault())
+      throw InternalError(detail::kInjectedCond, "unit-boundary", 0,
+                          "deterministic fault injection at unit boundary");
+    cc.fault().clear_scope();
+  } catch (const InternalError& e) {
+    cc.fault().clear_scope();
+    failed = true;
+    fail(PassFailure::Kind::Assertion, e.what(), e.injected());
+    if (!ctx.opts.fault_recovery) throw;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  if (!failed) {
+    am.invalidate(preserved);
+    if (ctx.opts.pass_budget_ms > 0.0 && ms > ctx.opts.pass_budget_ms) {
+      failed = true;
+      std::ostringstream os;
+      os << "pass ran " << ms << " ms, budget "
+         << ctx.opts.pass_budget_ms << " ms";
+      fail(PassFailure::Kind::Budget, os.str(), false);
+      if (!ctx.opts.fault_recovery)
+        throw InternalError("pass-over-budget", pass.name(), 0, os.str());
+    }
+  }
+  if (!failed && ctx.opts.verify_each) {
+    std::vector<VerifierViolation> vs = whole_program
+                                            ? verify_program(program, &cc)
+                                            : verify_unit(*unit_ptr(), &cc);
+    if (!vs.empty()) {
+      failed = true;
+      fail(PassFailure::Kind::Verifier, format_violations(vs), false);
+      if (!ctx.opts.fault_recovery)
+        throw InternalError("verify-each", pass.name(), 0,
+                            format_violations(vs));
+    }
+  }
+
+  unit = unit_ptr();  // a rollback replaced the unit object
+  IrSize after =
+      whole_program ? program_ir_size(program) : unit_ir_size(*unit);
+  ++timing.runs;
+  timing.ms += ms;
+  timing.diags += static_cast<int>(ctx.report.diagnostics.all().size() -
+                                   diags_before);
+  timing.stmt_delta += after.stmts - before.stmts;
+  timing.expr_delta += after.exprs - before.exprs;
+  timing.analysis_queries += am.stats().queries - stats_before.queries;
+  timing.analysis_hits += am.stats().hits - stats_before.hits;
+  if (cc.trace().collecting()) {
+    const AnalysisManager::Stats s = am.stats();
+    cc.trace().counter("analysis-cache",
+                       {{"queries", static_cast<std::uint64_t>(s.queries)},
+                        {"hits", static_cast<std::uint64_t>(s.hits)}});
+  }
+}
+
+/// Per-unit compilation state.  Everything a worker thread touches while
+/// running one unit through a pass group lives here (or in the unit
+/// itself); nothing is shared with other workers.
+struct UnitShard {
+  CompileContext cc;
+  CompileReport report;          ///< fragment: counters, diags, failures
+  AnalysisManager am{&cc};
+  AtomTable atoms;               ///< per-shard so rollback stays isolated
+  std::vector<PassTiming> timings;  ///< one row per pass in the group
+  std::exception_ptr error;      ///< set only in no-recover mode
+};
+
+/// Sums a shard's report fragment into the parent report.  Called in unit
+/// index order, which fixes the order of diagnostics and failures.
+void merge_report_fragment(CompileReport& into, CompileReport& shard) {
+  into.inlining.expanded += shard.inlining.expanded;
+  into.inlining.skipped += shard.inlining.skipped;
+  into.induction.substituted += shard.induction.substituted;
+  into.induction.rejected += shard.induction.rejected;
+  into.doall.loops += shard.doall.loops;
+  into.doall.parallel += shard.doall.parallel;
+  into.doall.speculative += shard.doall.speculative;
+  into.diagnostics.append(shard.diagnostics);
+  for (PassFailure& f : shard.failures) into.failures.push_back(std::move(f));
+  if (shard.crash.has_value() && !into.crash.has_value())
+    into.crash = std::move(shard.crash);
+}
+
+}  // namespace
+
+void PassPipeline::run_unit_group(std::size_t group_begin,
+                                  std::size_t group_end,
+                                  std::size_t first_timing, Program& program,
+                                  AnalysisManager& am, PassContext& ctx) const {
+  const std::size_t n_units = program.units().size();
+  const std::size_t n_passes = group_end - group_begin;
+  const std::string repro_spec = ctx.opts.pipeline_spec.empty()
+                                     ? join(pass_names(), ",")
+                                     : ctx.opts.pipeline_spec;
+
+  // Purity is the one cross-unit read inside a unit-scope group (DOALL
+  // asks whether calls serialize a loop).  Snapshot it here, while the IR
+  // is quiescent — workers are about to start rewriting their units.
+  bool group_has_doall = false;
+  for (std::size_t j = group_begin; j < group_end; ++j)
+    if (passes_[j]->name() == "doall") group_has_doall = true;
+  std::set<std::string> pure_snapshot;
+  if (group_has_doall && ctx.opts.pure_functions)
+    pure_snapshot = pure_functions(program);
+
+  // Shard setup happens on this thread, in unit order, before any worker
+  // runs: collectors adopt the parent's trace epoch and injectors the
+  // parent's armed spec.
+  std::vector<std::unique_ptr<UnitShard>> shards;
+  shards.reserve(n_units);
+  for (std::size_t ui = 0; ui < n_units; ++ui) {
+    auto sh = std::make_unique<UnitShard>();
+    sh->cc.trace().start_shard_of(ctx.cc.trace());
+    if (ctx.cc.fault().armed()) sh->cc.fault().arm(ctx.cc.fault().spec());
+    sh->cc.bind_diagnostics(sh->report.diagnostics);
+    sh->timings.resize(n_passes);
+    for (std::size_t j = 0; j < n_passes; ++j)
+      sh->timings[j].pass = passes_[group_begin + j]->name();
+    shards.push_back(std::move(sh));
+  }
+
+  // Run every unit through the whole group.  The worker binds the shard's
+  // context and atom table to its thread, so `++statistic`, p_assert
+  // fault ticks, and polynomial interning all land in shard state.
+  auto run_unit = [&](std::size_t ui) {
+    UnitShard& sh = *shards[ui];
+    CompileContext::Scope cc_scope(&sh.cc);
+    AtomTable::Scope atom_scope(&sh.atoms);
+    PassContext shard_ctx{program,   ctx.opts,       sh.report,
+                          sh.cc,     &pure_snapshot};
+    try {
+      for (std::size_t j = group_begin; j < group_end; ++j)
+        run_one(*passes_[j], ui, sh.timings[j - group_begin], shard_ctx,
+                sh.am, repro_spec);
+    } catch (...) {
+      // Only reachable with fault recovery off; recovery handles failures
+      // inside run_one.  The shard is left as-is and judged at merge.
+      sh.error = std::current_exception();
+    }
+  };
+
+  const int jobs =
+      static_cast<int>(std::min<std::size_t>(
+          n_units, static_cast<std::size_t>(std::max(1, ctx.opts.jobs))));
+  if (jobs <= 1) {
+    for (std::size_t ui = 0; ui < n_units; ++ui) {
+      run_unit(ui);
+      // No-recover parity with the sequential driver: units after an
+      // aborting one are never attempted.
+      if (shards[ui]->error != nullptr) break;
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+      workers.emplace_back([&]() {
+        while (true) {
+          const std::size_t ui = next.fetch_add(1);
+          if (ui >= n_units) break;
+          run_unit(ui);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  // Deterministic merge, strictly in unit index order: report artifacts,
+  // timing rows, analysis accounting, then the shard's counters and trace
+  // events.  With recovery off the lowest failing unit index wins — its
+  // shard is merged (it carries the crash bundle), later shards are
+  // discarded, and the original exception resumes its flight.
+  for (std::size_t ui = 0; ui < n_units; ++ui) {
+    UnitShard& sh = *shards[ui];
+    for (std::size_t j = 0; j < n_passes; ++j) {
+      PassTiming& dst = ctx.report.pass_timings[first_timing + group_begin + j];
+      const PassTiming& src = sh.timings[j];
+      dst.runs += src.runs;
+      dst.ms += src.ms;
+      dst.diags += src.diags;
+      dst.stmt_delta += src.stmt_delta;
+      dst.expr_delta += src.expr_delta;
+      dst.analysis_queries += src.analysis_queries;
+      dst.analysis_hits += src.analysis_hits;
+      dst.failures += src.failures;
+    }
+    merge_report_fragment(ctx.report, sh.report);
+    am.absorb_stats(sh.am.stats());
+    ctx.cc.merge_shard(sh.cc);
+    if (sh.error != nullptr) std::rethrow_exception(sh.error);
+  }
+
+  // The parent manager's caches key on Statement pointers the shards just
+  // rewrote; drop them (without perturbing the accounting) so a later
+  // program-scope pass can never read a stale fact.
+  am.clear_caches();
+}
+
 void PassPipeline::run(Program& program, AnalysisManager& am,
                        PassContext& ctx) const {
   const std::size_t first_timing = ctx.report.pass_timings.size();
@@ -273,190 +605,16 @@ void PassPipeline::run(Program& program, AnalysisManager& am,
   const std::string repro_spec = ctx.opts.pipeline_spec.empty()
                                      ? join(pass_names(), ",")
                                      : ctx.opts.pipeline_spec;
-  constexpr std::size_t kProgramScope = static_cast<std::size_t>(-1);
 
-  // One pass invocation under fault isolation.  The unit is addressed by
-  // index, not reference: a rollback swaps the unit object under the
-  // program, and a reference captured before the pass ran would dangle.
-  auto run_one = [&](Pass& pass, std::size_t unit_index, PassTiming& timing) {
-    const bool whole_program = unit_index == kProgramScope;
-    auto unit_ptr = [&]() -> ProgramUnit* {
-      return whole_program ? program.main()
-                           : program.units()[unit_index].get();
-    };
-    ProgramUnit* unit = unit_ptr();
-    const std::string unit_name = unit->name();
-
-    // Pre-pass state: deep IR snapshot (all units for program scope) plus
-    // the report counters and diagnostics mark, so a failed pass leaves no
-    // trace beyond its PassFailure record.
-    std::vector<std::unique_ptr<ProgramUnit>> snapshot;
-    SymbolMap<Symbol*> snap_map;  // original -> snapshot symbols
-    {
-      trace::TraceSpan snap_span("snapshot", "fault");
-      if (whole_program) {
-        for (const auto& u : program.units())
-          snapshot.push_back(u->clone(u->name(), &snap_map));
-      } else {
-        snapshot.push_back(unit->clone(unit_name, &snap_map));
-      }
-    }
-    const InlineResult inl_before = ctx.report.inlining;
-    const InductionResult ind_before = ctx.report.induction;
-    const DoallSummary doall_before = ctx.report.doall;
-    const std::size_t diags_before = ctx.report.diagnostics.all().size();
-    const AnalysisManager::Stats stats_before = am.stats();
-    const std::size_t atoms_before = AtomTable::instance().size();
-    IrSize before =
-        whole_program ? program_ir_size(program) : unit_ir_size(*unit);
-
-    // The invocation's trace span plus the rollback marks: everything a
-    // failed pass emitted (child spans, instants) and every statistic it
-    // bumped is unwound along with the IR, so an injected fault leaves the
-    // observability record identical to a run that skipped the pass — save
-    // for the invocation span itself, tagged rolled_back, and one rollback
-    // instant event.
-    const std::size_t trace_mark = trace::mark();
-    const StatisticSnapshot stats_mark =
-        StatisticRegistry::instance().snapshot();
-    trace::TraceSpan pass_span(pass.name(), "pass");
-    pass_span.arg("unit", unit_name);
-
-    // Rollback (or, with recovery off, crash-bundle preparation) for one
-    // failed invocation.
-    auto fail = [&](PassFailure::Kind kind, const std::string& message,
-                    bool was_injected) {
-      ctx.report.diagnostics.truncate(diags_before);
-      ctx.report.inlining = inl_before;
-      ctx.report.induction = ind_before;
-      ctx.report.doall = doall_before;
-      PassFailure f;
-      f.pass = pass.name();
-      f.unit = unit_name;
-      f.kind = kind;
-      f.message = message;
-      f.injected = was_injected;
-      f.recovered = ctx.opts.fault_recovery;
-      if (!ctx.opts.fault_recovery) {
-        CompileReport::CrashInfo ci;
-        ci.pass = f.pass;
-        ci.unit = f.unit;
-        ci.passes_spec = repro_spec;
-        std::ostringstream os;
-        for (const auto& u : snapshot) print_unit(os, *u);
-        ci.unit_source = os.str();
-        ctx.report.crash = std::move(ci);
-        ctx.report.failures.push_back(std::move(f));
-        return;  // caller (re)throws
-      }
-      // Atoms the failed pass interned would shift canonical term ordering
-      // in every later polynomial round-trip; drop them, then transfer the
-      // surviving atoms' ids to the snapshot's symbols so later passes see
-      // the same atom order as a run that never attempted this pass.  Must
-      // happen before the snapshot is swapped in: remap reads the original
-      // symbols (snap_map keys), which the swap destroys.
-      AtomTable::instance().truncate(atoms_before);
-      AtomTable::instance().remap(snap_map);
-      if (whole_program)
-        program.reset_units(std::move(snapshot));
-      else
-        program.replace_unit(unit, std::move(snapshot.front()));
-      am.invalidate_all();
-      // Unwind the observability record too: drop trace events emitted
-      // inside the failed pass (its own span emits later, at scope exit,
-      // and survives), zero statistics back to the pre-pass snapshot, and
-      // leave one instant event marking the rollback itself.
-      trace::truncate(trace_mark);
-      StatisticRegistry::instance().restore(stats_mark);
-      pass_span.arg("rolled_back", "true");
-      trace::instant("rollback", "fault",
-                     {{"pass", pass.name()},
-                      {"unit", unit_name},
-                      {"kind", to_string(kind)}});
-      ctx.report.diagnostics.warning(
-          "fault-isolation", f.pass + "/" + f.unit,
-          std::string(to_string(kind)) +
-              (was_injected ? " (injected)" : "") +
-              " failure; pass rolled back, continuing without it: " +
-              message);
-      ++timing.failures;
-      ctx.report.failures.push_back(std::move(f));
-    };
-
-    const auto t0 = std::chrono::steady_clock::now();
-    bool failed = false;
-    PreservedAnalyses preserved = PreservedAnalyses::all();
-    fault::set_scope(pass.name(), unit_name);
-    try {
-      preserved = pass.run(*unit, am, ctx);
-      // An armed injection that found fewer than N assertion sites in this
-      // pass/unit still fires, at the unit boundary — so the recovery path
-      // is exercisable for every pass regardless of its assertion density.
-      if (fault::consume_boundary_fault())
-        throw InternalError(detail::kInjectedCond, "unit-boundary", 0,
-                            "deterministic fault injection at unit boundary");
-      fault::clear_scope();
-    } catch (const InternalError& e) {
-      fault::clear_scope();
-      failed = true;
-      fail(PassFailure::Kind::Assertion, e.what(), e.injected());
-      if (!ctx.opts.fault_recovery) throw;
-    }
-    const auto t1 = std::chrono::steady_clock::now();
-    const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-
-    if (!failed) {
-      am.invalidate(preserved);
-      if (ctx.opts.pass_budget_ms > 0.0 && ms > ctx.opts.pass_budget_ms) {
-        failed = true;
-        std::ostringstream os;
-        os << "pass ran " << ms << " ms, budget "
-           << ctx.opts.pass_budget_ms << " ms";
-        fail(PassFailure::Kind::Budget, os.str(), false);
-        if (!ctx.opts.fault_recovery)
-          throw InternalError("pass-over-budget", pass.name(), 0, os.str());
-      }
-    }
-    if (!failed && ctx.opts.verify_each) {
-      std::vector<VerifierViolation> vs =
-          whole_program ? verify_program(program) : verify_unit(*unit_ptr());
-      if (!vs.empty()) {
-        failed = true;
-        fail(PassFailure::Kind::Verifier, format_violations(vs), false);
-        if (!ctx.opts.fault_recovery)
-          throw InternalError("verify-each", pass.name(), 0,
-                              format_violations(vs));
-      }
-    }
-
-    unit = unit_ptr();  // a rollback replaced the unit object
-    IrSize after =
-        whole_program ? program_ir_size(program) : unit_ir_size(*unit);
-    ++timing.runs;
-    timing.ms += ms;
-    timing.diags += static_cast<int>(ctx.report.diagnostics.all().size() -
-                                     diags_before);
-    timing.stmt_delta += after.stmts - before.stmts;
-    timing.expr_delta += after.exprs - before.exprs;
-    timing.analysis_queries += am.stats().queries - stats_before.queries;
-    timing.analysis_hits += am.stats().hits - stats_before.hits;
-    if (trace::on()) {
-      const AnalysisManager::Stats s = am.stats();
-      trace::counter("analysis-cache",
-                     {{"queries", static_cast<std::uint64_t>(s.queries)},
-                      {"hits", static_cast<std::uint64_t>(s.hits)}});
-    }
-  };
-
-  // Group maximal runs of unit-scope passes so every unit sees the whole
-  // group in order before the next unit starts (the seed driver's order);
-  // program-scope passes run alone.
+  // Program-scope passes run alone, serially, against the parent context;
+  // maximal runs of unit-scope passes are grouped and fanned out over the
+  // units (every unit sees the whole group in order — the seed driver's
+  // order — and jobs=1 takes the identical shard path inline).
   std::size_t i = 0;
   while (i < passes_.size()) {
     if (passes_[i]->program_scope()) {
       run_one(*passes_[i], kProgramScope,
-              ctx.report.pass_timings[first_timing + i]);
+              ctx.report.pass_timings[first_timing + i], ctx, am, repro_spec);
       ++i;
       continue;
     }
@@ -464,10 +622,7 @@ void PassPipeline::run(Program& program, AnalysisManager& am,
     while (group_end < passes_.size() &&
            !passes_[group_end]->program_scope())
       ++group_end;
-    for (std::size_t ui = 0; ui < program.units().size(); ++ui)
-      for (std::size_t j = i; j < group_end; ++j)
-        run_one(*passes_[j], ui,
-                ctx.report.pass_timings[first_timing + j]);
+    run_unit_group(i, group_end, first_timing, program, am, ctx);
     i = group_end;
   }
 }

@@ -17,11 +17,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "analysis/analysis_manager.h"
 #include "ir/program.h"
+#include "support/context.h"
 #include "support/diagnostics.h"
 #include "support/options.h"
 
@@ -30,10 +32,19 @@ namespace polaris {
 struct CompileReport;  // driver/compiler.h; carries the pass result counters
 
 /// Everything a pass may read or update besides the unit it transforms.
+/// Under `-jobs=N` each unit shard gets its own PassContext whose report
+/// and cc are the shard's — a pass never shares mutable state with
+/// another worker.
 struct PassContext {
   Program& program;        ///< whole program (inliner, purity analysis)
   const Options& opts;     ///< transformation switches
   CompileReport& report;   ///< result counters + diagnostics sink
+  CompileContext& cc;      ///< stats/trace/fault state of this (shard's) compile
+  /// Pure-function names, snapshotted by the pass manager before a
+  /// unit-scope group fans out (purity reads every unit; workers are
+  /// rewriting theirs).  Null outside unit-scope groups — compute on
+  /// demand, the IR is quiescent.
+  const std::set<std::string>* pure = nullptr;
 };
 
 /// One restructuring pass.  Unit-scope passes run once per program unit;
@@ -122,6 +133,15 @@ class PassPipeline {
   /// per pipeline position to `ctx.report.pass_timings` and invalidates
   /// `am` per each pass's PreservedAnalyses.
   ///
+  /// Parallel execution: unit-scope groups ALWAYS run through per-unit
+  /// shards — each unit gets a fresh CompileContext (trace epoch shared
+  /// with the parent), CompileReport fragment, AnalysisManager, and
+  /// AtomTable, all bound to the worker thread while the unit's passes
+  /// run.  `ctx.opts.jobs` workers pull unit indices from a shared
+  /// counter (1 = inline on the calling thread, same code path).  Shards
+  /// merge into the parent in unit index order, so every report artifact
+  /// is byte-identical regardless of worker count or completion order.
+  ///
   /// Fault isolation: every pass invocation runs against a pre-pass deep
   /// snapshot of its unit (all units for program-scope passes).  An
   /// InternalError thrown by the pass, a `-verify-each` verifier
@@ -130,10 +150,16 @@ class PassPipeline {
   /// result counters, records a PassFailure in `ctx.report.failures`, and
   /// continues with the remaining passes.  With Options::fault_recovery
   /// off, the failure propagates instead after stashing a repro bundle in
-  /// `ctx.report.crash`.
+  /// `ctx.report.crash`.  With `-jobs=N` a failing unit unwinds only its
+  /// own shard; in no-recover mode the lowest-unit-index failure wins
+  /// deterministically and later shards are discarded unmerged.
   void run(Program& program, AnalysisManager& am, PassContext& ctx) const;
 
  private:
+  void run_unit_group(std::size_t group_begin, std::size_t group_end,
+                      std::size_t first_timing, Program& program,
+                      AnalysisManager& am, PassContext& ctx) const;
+
   std::vector<std::unique_ptr<Pass>> passes_;
 };
 

@@ -65,6 +65,16 @@ std::unique_ptr<ProgramUnit> ProgramUnit::clone(
   if (!stmts_.empty()) {
     std::vector<StmtPtr> frag =
         stmts_.clone_range(stmts_.first(), stmts_.last());
+    // Clones keep the originals' ids: the snapshot/rollback machinery must
+    // restore loop names ("do#<id>") bit-exactly, and under `-jobs=N` a
+    // fresh id would depend on what other workers allocated concurrently.
+    {
+      Statement* orig = stmts_.first();
+      for (StmtPtr& s : frag) {
+        s->set_id(orig->id());
+        orig = orig->next();
+      }
+    }
     auto remap_sym = [&map](Symbol*& sym) {
       auto it = map.find(sym);
       if (it != map.end()) sym = it->second;
@@ -137,6 +147,13 @@ ProgramUnit* Program::replace_unit(ProgramUnit* old_unit,
     return u.get();
   }
   p_unreachable("replace_unit: unit not owned by this program");
+}
+
+ProgramUnit* Program::replace_unit_at(std::size_t index,
+                                      std::unique_ptr<ProgramUnit> replacement) {
+  p_assert(index < units_.size() && replacement != nullptr);
+  units_[index] = std::move(replacement);
+  return units_[index].get();
 }
 
 void Program::reset_units(std::vector<std::unique_ptr<ProgramUnit>> units) {

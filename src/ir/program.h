@@ -89,6 +89,12 @@ class Program {
   ProgramUnit* replace_unit(ProgramUnit* old_unit,
                             std::unique_ptr<ProgramUnit> replacement);
 
+  /// Same, addressed by unit index.  Touches only that vector slot, so
+  /// concurrent per-unit workers rolling back *different* units never
+  /// scan (and race on) each other's entries.
+  ProgramUnit* replace_unit_at(std::size_t index,
+                               std::unique_ptr<ProgramUnit> replacement);
+
   /// Replaces the whole unit list (whole-program rollback for program-scope
   /// passes).  The new list must be non-empty.
   void reset_units(std::vector<std::unique_ptr<ProgramUnit>> units);

@@ -82,6 +82,12 @@ class Statement {
 
   StmtKind kind() const { return kind_; }
   int id() const { return id_; }
+  /// Overwrites the creation-order id.  Only for ProgramUnit::clone: a
+  /// fault-isolation snapshot must restore statement identities — loop
+  /// names are "do#<id>" — exactly, or a rolled-back unit would rename
+  /// its loops (nondeterministically so under `-jobs=N`, where clone ids
+  /// interleave with other workers' allocations).
+  void set_id(int id) { id_ = id; }
 
   int label() const { return label_; }
   void set_label(int l) { label_ = l; }

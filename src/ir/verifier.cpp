@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "support/context.h"
 #include "support/trace.h"
 
 namespace polaris {
@@ -360,7 +361,13 @@ class UnitVerifier {
 }  // namespace
 
 std::vector<VerifierViolation> verify_unit(const ProgramUnit& unit) {
-  trace::TraceSpan span("verify-unit", "verifier");
+  return verify_unit(unit, nullptr);
+}
+
+std::vector<VerifierViolation> verify_unit(const ProgramUnit& unit,
+                                           CompileContext* cc) {
+  trace::TraceSpan span(cc != nullptr ? &cc->trace() : nullptr,
+                        "verify-unit", "verifier");
   span.arg("unit", unit.name());
   std::vector<VerifierViolation> out;
   UnitVerifier(unit, out).run();
@@ -369,7 +376,13 @@ std::vector<VerifierViolation> verify_unit(const ProgramUnit& unit) {
 }
 
 std::vector<VerifierViolation> verify_program(const Program& program) {
-  trace::TraceSpan span("verify-program", "verifier");
+  return verify_program(program, nullptr);
+}
+
+std::vector<VerifierViolation> verify_program(const Program& program,
+                                              CompileContext* cc) {
+  trace::TraceSpan span(cc != nullptr ? &cc->trace() : nullptr,
+                        "verify-program", "verifier");
   std::vector<VerifierViolation> out;
   std::set<std::string> names;
   int mains = 0;

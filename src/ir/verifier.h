@@ -33,6 +33,8 @@
 
 namespace polaris {
 
+class CompileContext;  // support/context.h
+
 /// One invariant violation found by the verifier.
 struct VerifierViolation {
   std::string unit;     ///< program unit name
@@ -43,11 +45,17 @@ struct VerifierViolation {
 
 /// Audits one unit; returns every violation found (empty = consistent).
 /// Never throws on corrupted IR — all walks are cycle- and bound-guarded.
+/// The CompileContext overloads emit verify spans into the compile's
+/// trace; the short forms run untraced (tests, standalone tools).
 std::vector<VerifierViolation> verify_unit(const ProgramUnit& unit);
+std::vector<VerifierViolation> verify_unit(const ProgramUnit& unit,
+                                           CompileContext* cc);
 
 /// Audits every unit plus program-level invariants (exactly one main unit,
 /// unique unit names).
 std::vector<VerifierViolation> verify_program(const Program& program);
+std::vector<VerifierViolation> verify_program(const Program& program,
+                                              CompileContext* cc);
 
 /// "unit: [rule] where: message" lines joined with '\n' (diagnostics /
 /// exception payloads).

@@ -6,6 +6,8 @@
 
 #include "ir/build.h"
 #include "parser/lexer.h"
+#include "support/context.h"
+#include "support/trace.h"
 #include "support/string_util.h"
 
 namespace polaris {
@@ -1027,13 +1029,23 @@ std::string canonical_intrinsic(const std::string& name) {
 }
 
 std::unique_ptr<Program> parse_program(const std::string& source) {
+  return parse_program(source, nullptr);
+}
+
+std::unique_ptr<Program> parse_program(const std::string& source,
+                                       CompileContext* cc) {
+  trace::TraceSpan parse_span(cc != nullptr ? &cc->trace() : nullptr,
+                              "parse", "driver");
   // Robustness boundary: malformed input must always surface as UserError
   // (exit 1), never as InternalError (exit 3) — a p_assert tripped by a
   // degenerate source is a parser bug from the compiler's point of view,
   // but from the user's it is still just bad input.
   try {
     Parser p(source);
-    return p.parse();
+    std::unique_ptr<Program> program = p.parse();
+    parse_span.arg("units",
+                   static_cast<std::uint64_t>(program->units().size()));
+    return program;
   } catch (const InternalError& e) {
     throw UserError(std::string("malformed source (parser invariant '") +
                     e.condition() + "' failed at " + e.file() + ":" +

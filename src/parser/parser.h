@@ -23,12 +23,19 @@
 
 namespace polaris {
 
+class CompileContext;  // support/context.h
+
 /// Parses Fortran source text into a Program.  If the source does not begin
 /// with a unit header, the statements are wrapped in an implicit
 /// "program main".  Throws UserError on malformed input — including input
 /// degenerate enough to trip a parser invariant: InternalError never
 /// escapes this boundary.
 std::unique_ptr<Program> parse_program(const std::string& source);
+/// Same, attributed to a compilation: emits the "parse" trace span (with
+/// a unit-count arg) into `cc`'s collector.  Null behaves like the short
+/// form.
+std::unique_ptr<Program> parse_program(const std::string& source,
+                                       CompileContext* cc);
 
 /// Parses a single expression (test and tooling helper).  Symbols are
 /// resolved/created in `symtab` with implicit typing.

@@ -49,10 +49,19 @@ DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
 DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
                               const Options& opts, Diagnostics& diags,
                               AnalysisManager& am) {
+  return mark_doall_loops(program, unit, opts, diags, am, nullptr);
+}
+
+DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
+                              const Options& opts, Diagnostics& diags,
+                              AnalysisManager& am,
+                              const std::set<std::string>* pure_snapshot) {
   DoallSummary summary;
   // Pure functions are safe to call from concurrent iterations.
   std::set<std::string> pure;
-  if (program != nullptr && opts.pure_functions)
+  if (pure_snapshot != nullptr)
+    pure = *pure_snapshot;
+  else if (program != nullptr && opts.pure_functions)
     pure = pure_functions(*program);
   for (DoStmt* loop : unit.stmts().loops()) {
     ++summary.loops;

@@ -9,6 +9,9 @@
 // subscripts are marked for speculative (PD-test) execution instead.
 #pragma once
 
+#include <set>
+#include <string>
+
 #include "analysis/analysis_manager.h"
 #include "ir/program.h"
 #include "support/diagnostics.h"
@@ -28,6 +31,15 @@ struct DoallSummary {
 /// function as opaque.  The pass only annotates — it preserves all cached
 /// analyses — and its sub-analyses (reductions, privatization, dependence
 /// tests) share `am`'s cached flow facts.
+/// `pure` (may be null) is a precomputed pure-function set.  Under
+/// parallel per-unit execution the pass manager snapshots purity once per
+/// pass group, before units fan out to workers: pure_functions() reads
+/// every unit's IR, and other workers are concurrently rewriting theirs.
+/// Null computes the set here (sequential callers, tests).
+DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
+                              const Options& opts, Diagnostics& diags,
+                              AnalysisManager& am,
+                              const std::set<std::string>* pure);
 DoallSummary mark_doall_loops(Program* program, ProgramUnit& unit,
                               const Options& opts, Diagnostics& diags,
                               AnalysisManager& am);

@@ -73,7 +73,7 @@ bool under_if(DoStmt* nest, Statement* s) {
   return depth > 0;
 }
 
-AtomId atom_of(Symbol* s) { return AtomTable::instance().intern_symbol(s); }
+AtomId atom_of(Symbol* s) { return AtomTable::current().intern_symbol(s); }
 
 /// Evaluates an expression as a polynomial, substituting each candidate's
 /// current value from `env`.
@@ -224,8 +224,8 @@ bool NestSolver::collect(bool allow_cascaded, bool allow_triangular) {
         // atom (e.g. 2**i) cannot be summed and must be rejected.
         Polynomial p = Polynomial::from_expr(*site.inc);
         for (AtomId a : p.atoms()) {
-          if (AtomTable::instance().symbol(a) != nullptr) continue;
-          const Expression& ae = AtomTable::instance().expr(a);
+          if (AtomTable::current().symbol(a) != nullptr) continue;
+          const Expression& ae = AtomTable::current().expr(a);
           for (Symbol* idx : indices)
             if (ae.references(idx)) bad_ref = true;
           for (const auto& [cand, cand_sites] : incs)

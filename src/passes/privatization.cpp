@@ -119,7 +119,7 @@ std::optional<Interval> gather_read_range(DoStmt* outer, Statement* read_stmt,
       if (!p_zeroed) return std::nullopt;
       // The stored value's interval over the compress loop's sweep.
       Polynomial v = Polynomial::from_expr(store->rhs());
-      AtomId kx = AtomTable::instance().intern_symbol(k_loop->index());
+      AtomId kx = AtomTable::current().intern_symbol(k_loop->index());
       std::int64_t step = 0;
       if (!try_fold_int(k_loop->step(), &step) || step == 0)
         return std::nullopt;

@@ -29,7 +29,7 @@ std::optional<Candidate> analyze_subscript(const Expression& sub,
                                            AnalysisManager& am) {
   if (node_count(sub) < 6) return std::nullopt;  // not worth a temp
   Polynomial f = Polynomial::from_expr(sub);
-  AtomId k = AtomTable::instance().intern_symbol(loop->index());
+  AtomId k = AtomTable::current().intern_symbol(loop->index());
   if (f.degree_in(k) != 1) return std::nullopt;
   Rational c = f.coefficient(Monomial::atom(k));
   if (c.is_zero()) return std::nullopt;  // composite occurrence (n*k)
@@ -39,13 +39,13 @@ std::optional<Candidate> analyze_subscript(const Expression& sub,
   const SymbolSet& modified =
       am.may_defined_symbols(loop, loop->follow());
   for (AtomId a : f.atoms()) {
-    const Expression& ae = AtomTable::instance().expr(a);
-    if (AtomTable::instance().symbol(a) == nullptr) {
+    const Expression& ae = AtomTable::current().expr(a);
+    if (AtomTable::current().symbol(a) == nullptr) {
       for (Symbol* m : modified)
         if (ae.references(m)) return std::nullopt;
       if (ae.references(loop->index())) return std::nullopt;
-    } else if (AtomTable::instance().symbol(a) != loop->index() &&
-               modified.count(AtomTable::instance().symbol(a))) {
+    } else if (AtomTable::current().symbol(a) != loop->index() &&
+               modified.count(AtomTable::current().symbol(a))) {
       return std::nullopt;  // base varies inside the loop
     }
   }

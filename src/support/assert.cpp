@@ -18,21 +18,11 @@ std::string format_message(const std::string& cond, const std::string& file,
   return os.str();
 }
 
-/// Process-wide injection state.  Compilation is single-threaded today
-/// (parallel per-unit pipelines are a ROADMAP item; injection will need to
-/// become thread-local with them).
-struct FaultState {
-  fault::InjectionSpec spec;
-  bool scope_active = false;
-  bool scope_matches = false;
-  bool fired_in_scope = false;
-  long sites_in_scope = 0;
-};
-FaultState g_fault;
-
 bool spec_matches(const std::string& pattern, const std::string& value) {
   return pattern == "*" || pattern == value;
 }
+
+thread_local FaultInjector* tls_injector = nullptr;
 
 }  // namespace
 
@@ -87,58 +77,100 @@ InjectionSpec parse_spec(const std::string& spec) {
 }
 
 void arm(const InjectionSpec& spec) {
-  g_fault = FaultState{};
-  g_fault.spec = spec;
-  detail::fault_armed_flag = true;
+  if (FaultInjector* inj = FaultInjector::current()) inj->arm(spec);
 }
 
 void disarm() {
-  detail::fault_armed_flag = false;
-  g_fault = FaultState{};
+  if (FaultInjector* inj = FaultInjector::current()) inj->disarm();
 }
 
-bool armed() { return detail::fault_armed_flag; }
+bool armed() {
+  FaultInjector* inj = FaultInjector::current();
+  return inj != nullptr && inj->armed();
+}
 
 void set_scope(const std::string& pass, const std::string& unit) {
-  g_fault.scope_active = true;
-  g_fault.scope_matches = spec_matches(g_fault.spec.pass, pass) &&
-                          spec_matches(g_fault.spec.unit, unit);
-  g_fault.fired_in_scope = false;
-  g_fault.sites_in_scope = 0;
+  if (FaultInjector* inj = FaultInjector::current())
+    inj->set_scope(pass, unit);
 }
 
 void clear_scope() {
-  g_fault.scope_active = false;
-  g_fault.scope_matches = false;
-  g_fault.sites_in_scope = 0;
+  if (FaultInjector* inj = FaultInjector::current()) inj->clear_scope();
 }
 
 bool consume_boundary_fault() {
-  if (!detail::fault_armed_flag || !g_fault.scope_active ||
-      !g_fault.scope_matches || g_fault.fired_in_scope)
+  FaultInjector* inj = FaultInjector::current();
+  return inj != nullptr && inj->consume_boundary_fault();
+}
+
+long sites_in_scope() {
+  FaultInjector* inj = FaultInjector::current();
+  return inj != nullptr ? inj->sites_in_scope() : 0;
+}
+
+}  // namespace fault
+
+void FaultInjector::arm(const fault::InjectionSpec& spec) {
+  spec_ = spec;
+  armed_ = true;
+  scope_active_ = false;
+  scope_matches_ = false;
+  fired_in_scope_ = false;
+  sites_in_scope_ = 0;
+}
+
+void FaultInjector::disarm() {
+  spec_ = fault::InjectionSpec{};
+  armed_ = false;
+  scope_active_ = false;
+  scope_matches_ = false;
+  fired_in_scope_ = false;
+  sites_in_scope_ = 0;
+}
+
+void FaultInjector::set_scope(const std::string& pass,
+                              const std::string& unit) {
+  scope_active_ = true;
+  scope_matches_ =
+      spec_matches(spec_.pass, pass) && spec_matches(spec_.unit, unit);
+  fired_in_scope_ = false;
+  sites_in_scope_ = 0;
+}
+
+void FaultInjector::clear_scope() {
+  scope_active_ = false;
+  scope_matches_ = false;
+  sites_in_scope_ = 0;
+}
+
+bool FaultInjector::consume_boundary_fault() {
+  if (!armed_ || !scope_active_ || !scope_matches_ || fired_in_scope_)
     return false;
-  g_fault.fired_in_scope = true;
+  fired_in_scope_ = true;
   return true;
 }
 
-long sites_in_scope() { return g_fault.sites_in_scope; }
+bool FaultInjector::tick() {
+  if (!armed_ || !scope_active_ || !scope_matches_ || fired_in_scope_)
+    return false;
+  if (++sites_in_scope_ != spec_.site) return false;
+  fired_in_scope_ = true;
+  return true;
+}
 
-}  // namespace fault
+FaultInjector* FaultInjector::current() { return tls_injector; }
+
+FaultInjector::Scope::Scope(FaultInjector* injector) : prev_(tls_injector) {
+  tls_injector = injector;
+}
+
+FaultInjector::Scope::~Scope() { tls_injector = prev_; }
 
 namespace detail {
 
 const char* const kInjectedCond = "fault-injection";
 
-bool fault_armed_flag = false;
-
-bool fault_tick_slow() {
-  if (!g_fault.scope_active || !g_fault.scope_matches ||
-      g_fault.fired_in_scope)
-    return false;
-  if (++g_fault.sites_in_scope != g_fault.spec.site) return false;
-  g_fault.fired_in_scope = true;
-  return true;
-}
+bool fault_tick_slow() { return tls_injector->tick(); }
 
 void assert_failed(const char* cond, const char* file, int line,
                    const std::string& msg) {

@@ -9,15 +9,23 @@
 // exception carrying the source location so tests can observe them.
 //
 // Deterministic fault injection: every p_assert site doubles as an
-// injection point.  When injection is armed with a "PASS[:UNIT[:N]]" spec
-// (the `-fault-inject=` flag / POLARIS_FAULT_INJECT env var) and the pass
-// manager has declared the current (pass, unit) scope, the Nth assertion
-// executed inside each matching scope throws an InternalError even though
-// its condition holds — so the rollback/recovery path is exercisable in
-// tests and CI instead of only on real bugs.  If fewer than N sites execute
-// before the pass finishes, the pass manager forces the fault at the unit
-// boundary (fault::consume_boundary_fault), so an armed injection always
-// fires for every matching scope.
+// injection point.  When a FaultInjector is armed with a "PASS[:UNIT[:N]]"
+// spec (the `-fault-inject=` flag / POLARIS_FAULT_INJECT env var) and the
+// pass manager has declared the current (pass, unit) scope, the Nth
+// assertion executed inside each matching scope throws an InternalError
+// even though its condition holds — so the rollback/recovery path is
+// exercisable in tests and CI instead of only on real bugs.  If fewer than
+// N sites execute before the pass finishes, the pass manager forces the
+// fault at the unit boundary (consume_boundary_fault), so an armed
+// injection always fires for every matching scope.
+//
+// Ownership: each CompileContext owns a FaultInjector (arming state + per-
+// scope counters), so concurrent per-unit shards count injection sites
+// independently.  Because p_assert sites are macros with no context
+// parameter, the active injector is reached through a thread-local pointer
+// (FaultInjector::current / FaultInjector::Scope) bound by the pass
+// manager around each pass invocation; an unbound thread pays one
+// predictable branch per site.
 #pragma once
 
 #include <stdexcept>
@@ -66,25 +74,80 @@ struct InjectionSpec {
 /// non-numeric or non-positive N, trailing components).
 InjectionSpec parse_spec(const std::string& spec);
 
-/// Arms injection process-wide.  Each (pass, unit) scope entered via
-/// set_scope counts its own assertion sites from 1 and fires at most once.
+}  // namespace fault
+
+/// One compilation's (or one unit shard's) fault-injection state: the
+/// armed spec plus the per-scope site counter.  Owned by a CompileContext;
+/// only ever driven by the thread currently bound to it.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms injection for this injector.  Each (pass, unit) scope entered
+  /// via set_scope counts its own assertion sites from 1 and fires at most
+  /// once.
+  void arm(const fault::InjectionSpec& spec);
+  void disarm();
+  bool armed() const { return armed_; }
+
+  const fault::InjectionSpec& spec() const { return spec_; }
+
+  /// Declares the (pass, unit) the currently executing code is attributed
+  /// to; the pass manager brackets every pass invocation with these.  The
+  /// site counter restarts on every set_scope call.
+  void set_scope(const std::string& pass, const std::string& unit);
+  void clear_scope();
+
+  /// True when injection is armed for the current scope but has not fired
+  /// there yet; marks the scope as fired.  The pass manager calls this at
+  /// the unit boundary so a matching pass with fewer than N assertion
+  /// sites still faults deterministically.
+  bool consume_boundary_fault();
+
+  /// Assertion sites executed inside the current scope (diagnostics/tests).
+  long sites_in_scope() const { return sites_in_scope_; }
+
+  /// Counts one assertion site; true when the fault should fire here.
+  bool tick();
+
+  /// The injector bound to the calling thread (null when none) — the
+  /// bridge from p_assert macro sites, which cannot take a parameter, to
+  /// the per-compile state.  Bind with FaultInjector::Scope.
+  static FaultInjector* current();
+
+  /// RAII thread binding.  Nested scopes restore the previous binding.
+  class Scope {
+   public:
+    explicit Scope(FaultInjector* injector);
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope();
+
+   private:
+    FaultInjector* prev_;
+  };
+
+ private:
+  fault::InjectionSpec spec_;
+  bool armed_ = false;
+  bool scope_active_ = false;
+  bool scope_matches_ = false;
+  bool fired_in_scope_ = false;
+  long sites_in_scope_ = 0;
+};
+
+namespace fault {
+
+/// Back-compat shims over the thread-current injector (tests and simple
+/// single-compile tools).  No-ops / false / 0 when no injector is bound.
 void arm(const InjectionSpec& spec);
 void disarm();
 bool armed();
-
-/// Declares the (pass, unit) the currently executing code is attributed
-/// to; the pass manager brackets every pass invocation with these.  The
-/// site counter restarts on every set_scope call.
 void set_scope(const std::string& pass, const std::string& unit);
 void clear_scope();
-
-/// True when injection is armed for the current scope but has not fired
-/// there yet; marks the scope as fired.  The pass manager calls this at
-/// the unit boundary so a matching pass with fewer than N assertion sites
-/// still faults deterministically.
 bool consume_boundary_fault();
-
-/// Assertion sites executed inside the current scope (diagnostics/tests).
 long sites_in_scope();
 
 }  // namespace fault
@@ -96,12 +159,12 @@ namespace detail {
 /// keys off it.
 extern const char* const kInjectedCond;
 
-/// True only between fault::arm / fault::disarm — keeps the per-site
-/// overhead of fault_tick() to one predictable branch.
-extern bool fault_armed_flag;
 bool fault_tick_slow();
+/// Per-site injection hook: one thread-local load + branch when no armed
+/// injector is bound to the thread.
 inline bool fault_tick() {
-  return fault_armed_flag && fault_tick_slow();
+  FaultInjector* injector = FaultInjector::current();
+  return injector != nullptr && injector->armed() && fault_tick_slow();
 }
 }  // namespace detail
 

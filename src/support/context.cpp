@@ -1,0 +1,24 @@
+#include "support/context.h"
+
+namespace polaris {
+
+namespace {
+thread_local CompileContext* tls_context = nullptr;
+}  // namespace
+
+void CompileContext::merge_shard(CompileContext& shard) {
+  stats_.merge(shard.stats_);
+  trace_.append(std::move(shard.trace_));
+}
+
+CompileContext* CompileContext::current() { return tls_context; }
+
+CompileContext::Scope::Scope(CompileContext* ctx)
+    : prev_(tls_context),
+      fault_scope_(ctx != nullptr ? &ctx->fault() : nullptr) {
+  tls_context = ctx;
+}
+
+CompileContext::Scope::~Scope() { tls_context = prev_; }
+
+}  // namespace polaris

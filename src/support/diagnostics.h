@@ -78,6 +78,11 @@ class Diagnostics {
   /// True if any diagnostic's message contains `needle` (test helper).
   bool contains(const std::string& needle) const;
 
+  /// Appends every diagnostic of `other` in order (unit-shard merge).
+  void append(const Diagnostics& other) {
+    diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+  }
+
   void clear() { diags_.clear(); }
   /// Drops every diagnostic past the first `n` — the fault-isolation layer
   /// unwinds a rolled-back pass's messages so the report matches a run

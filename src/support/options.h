@@ -67,6 +67,14 @@ struct Options {
   /// armed by the driver for the duration of the pipeline.
   std::string fault_inject;
 
+  // --- parallel compilation -------------------------------------------------
+  /// Worker threads for unit-scope pass groups (`-jobs=N` / POLARIS_JOBS).
+  /// Units are independent after state isolation (CompileContext shards),
+  /// so groups fan out over them; 1 = run shards inline on the driver
+  /// thread.  Output is byte-identical for every N: shards merge in unit
+  /// order.  The CLI validates and caps at hardware_concurrency().
+  int jobs = 1;
+
   // --- observability --------------------------------------------------------
   /// When non-empty, the compiler collects a hierarchical span trace for
   /// the compilation and writes Chrome trace-event JSON here (`-trace=` /

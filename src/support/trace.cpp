@@ -1,6 +1,6 @@
 #include "support/trace.h"
 
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -9,94 +9,87 @@
 
 namespace polaris::trace {
 
-namespace detail {
-bool g_on = false;
-}  // namespace detail
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-struct Collector {
-  std::string path;
-  Clock::time_point t0;
-  std::vector<TraceEvent> events;
-};
-
-Collector& collector() {
-  static Collector c;
-  return c;
+void TraceCollector::start(const std::string& path) {
+  p_assert_msg(!on_, "trace collector already started");
+  path_ = path;
+  t0_ = Clock::now();
+  events_.clear();
+  open_spans_.clear();
+  on_ = true;
 }
 
-}  // namespace
-
-void start(const std::string& path) {
-  p_assert_msg(!detail::g_on, "trace already started");
-  Collector& c = collector();
-  c.path = path;
-  c.t0 = Clock::now();
-  c.events.clear();
-  detail::g_on = true;
+void TraceCollector::start_shard_of(const TraceCollector& parent) {
+  p_assert_msg(!on_, "trace collector already started");
+  if (!parent.on_) return;
+  path_.clear();  // shards never write files; the parent does at stop()
+  t0_ = parent.t0_;
+  events_.clear();
+  open_spans_.clear();
+  on_ = true;
 }
 
-std::string stop() {
-  if (!detail::g_on) return std::string();
-  detail::g_on = false;
-  Collector& c = collector();
-  std::string json = to_chrome_json(c.events);
-  if (!c.path.empty()) {
-    std::ofstream out(c.path);
+std::string TraceCollector::stop() {
+  if (!on_) return std::string();
+  close_dangling_spans();
+  on_ = false;
+  std::string json = to_chrome_json(events_);
+  if (!path_.empty()) {
+    std::ofstream out(path_);
     if (out)
       out << json;
     else
       std::fprintf(stderr, "polaris: cannot write trace to %s\n",
-                   c.path.c_str());
+                   path_.c_str());
   }
-  c.events.clear();
-  c.path.clear();
+  events_.clear();
+  path_.clear();
   return json;
 }
 
-const std::string& path() {
+void TraceCollector::close_dangling_spans() {
+  // Innermost spans first so nesting containment holds for the emitted
+  // events, matching the order their destructors would have run.
+  while (!open_spans_.empty()) {
+    TraceSpan* span = open_spans_.back();
+    span->emit(/*dangling=*/true);
+    span->collector_ = nullptr;  // emit() popped the registration
+  }
+}
+
+const std::string& TraceCollector::path() const {
   static const std::string empty;
-  return detail::g_on ? collector().path : empty;
+  return on_ ? path_ : empty;
 }
 
-std::size_t mark() { return detail::g_on ? collector().events.size() : 0; }
-
-void truncate(std::size_t mark) {
-  if (!detail::g_on) return;
-  std::vector<TraceEvent>& ev = collector().events;
-  if (mark < ev.size()) ev.resize(mark);
+void TraceCollector::truncate(std::size_t mark) {
+  if (!on_) return;
+  if (mark < events_.size()) events_.resize(mark);
 }
 
-std::size_t event_count() {
-  return detail::g_on ? collector().events.size() : 0;
-}
-
-std::uint64_t now_us() {
-  if (!detail::g_on) return 0;
+std::uint64_t TraceCollector::now_us() const {
+  if (!on_) return 0;
   return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          Clock::now() - collector().t0)
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0_)
           .count());
 }
 
-void instant(const std::string& name, const std::string& category,
-             std::vector<std::pair<std::string, std::string>> args) {
-  if (!detail::g_on) return;
+void TraceCollector::instant(
+    const std::string& name, const std::string& category,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!on_) return;
   TraceEvent e;
   e.phase = 'i';
   e.name = name;
   e.category = category;
   e.ts_us = now_us();
   e.args = std::move(args);
-  collector().events.push_back(std::move(e));
+  events_.push_back(std::move(e));
 }
 
-void counter(const std::string& name,
-             std::vector<std::pair<std::string, std::uint64_t>> series) {
-  if (!detail::g_on) return;
+void TraceCollector::counter(
+    const std::string& name,
+    std::vector<std::pair<std::string, std::uint64_t>> series) {
+  if (!on_) return;
   TraceEvent e;
   e.phase = 'C';
   e.name = name;
@@ -105,24 +98,61 @@ void counter(const std::string& name,
   e.numeric_args = true;
   for (auto& [key, value] : series)
     e.args.emplace_back(std::move(key), std::to_string(value));
-  collector().events.push_back(std::move(e));
+  events_.push_back(std::move(e));
+}
+
+void TraceCollector::append(TraceCollector&& shard) {
+  if (!shard.on_) return;
+  shard.close_dangling_spans();
+  shard.on_ = false;
+  if (on_) {
+    events_.insert(events_.end(),
+                   std::make_move_iterator(shard.events_.begin()),
+                   std::make_move_iterator(shard.events_.end()));
+  }
+  shard.events_.clear();
+}
+
+TraceSpan::TraceSpan(TraceCollector* c, const char* name, const char* category)
+    : collector_(c != nullptr && c->collecting() ? c : nullptr) {
+  if (collector_ == nullptr) return;
+  name_ = name;
+  category_ = category;
+  t0_ = collector_->now_us();
+  collector_->open_spans_.push_back(this);
+}
+
+TraceSpan::TraceSpan(TraceCollector* c, const std::string& name,
+                     const char* category)
+    : collector_(c != nullptr && c->collecting() ? c : nullptr) {
+  if (collector_ == nullptr) return;
+  name_ = name;
+  category_ = category;
+  t0_ = collector_->now_us();
+  collector_->open_spans_.push_back(this);
 }
 
 TraceSpan::~TraceSpan() {
-  // on() may have flipped off mid-span (a test calling stop()); drop the
-  // event then rather than record against a dead collector.
-  if (!active_ || !detail::g_on) return;
+  if (collector_ == nullptr) return;
+  emit(/*dangling=*/false);
+}
+
+void TraceSpan::emit(bool dangling) {
+  // Unregister first: truncate() cannot drop the registration (it only
+  // trims events), so the span is always present exactly once.
+  auto& open = collector_->open_spans_;
+  open.erase(std::find(open.begin(), open.end(), this));
   TraceEvent e;
   e.phase = 'X';
   e.name = std::move(name_);
   e.category = std::move(category_);
   e.ts_us = t0_;
-  e.dur_us = now_us() - t0_;
+  e.dur_us = collector_->now_us() - t0_;
   e.args = std::move(args_);
-  collector().events.push_back(std::move(e));
+  if (dangling) e.args.emplace_back("dangling", "true");
+  collector_->events_.push_back(std::move(e));
+  collector_ = nullptr;
 }
-
-const std::vector<TraceEvent>& events() { return collector().events; }
 
 std::string to_chrome_json(const std::vector<TraceEvent>& events) {
   std::string out;

@@ -10,10 +10,24 @@ namespace polaris {
 
 // --- AtomTable ------------------------------------------------------------------
 
-AtomTable& AtomTable::instance() {
-  static AtomTable table;
-  return table;
+namespace {
+thread_local AtomTable* tls_atom_table = nullptr;
+}  // namespace
+
+AtomTable& AtomTable::current() {
+  if (tls_atom_table != nullptr) return *tls_atom_table;
+  // Fallback for code running outside any compilation scope (standalone
+  // symbolic manipulation, tests).  Thread-local, so even unscoped use
+  // never shares mutable state across threads.
+  thread_local AtomTable fallback;
+  return fallback;
 }
+
+AtomTable::Scope::Scope(AtomTable* table) : prev_(tls_atom_table) {
+  tls_atom_table = table;
+}
+
+AtomTable::Scope::~Scope() { tls_atom_table = prev_; }
 
 AtomId AtomTable::intern(const Expression& e) {
   std::size_t h = e.hash();
@@ -132,7 +146,7 @@ Polynomial Polynomial::atom(AtomId id) {
 }
 
 Polynomial Polynomial::symbol(Symbol* s) {
-  return atom(AtomTable::instance().intern_symbol(s));
+  return atom(AtomTable::current().intern_symbol(s));
 }
 
 void Polynomial::add_term(const Monomial& m, const Rational& c) {
@@ -309,7 +323,7 @@ std::optional<Rational> rational_of_real(double v) {
 Polynomial convert(const Expression& e, bool exact_division);
 
 Polynomial opaque(const Expression& e) {
-  return Polynomial::atom(AtomTable::instance().intern(e));
+  return Polynomial::atom(AtomTable::current().intern(e));
 }
 
 Polynomial convert(const Expression& e, bool exact_division) {
@@ -411,7 +425,7 @@ ExprPtr Polynomial::to_expr() const {
     ExprPtr out;
     for (const auto& [a, p] : m.factors()) {
       for (int k = 0; k < p; ++k) {
-        ExprPtr factor = AtomTable::instance().expr(a).clone();
+        ExprPtr factor = AtomTable::current().expr(a).clone();
         out = out ? ib::mul(std::move(out), std::move(factor))
                   : std::move(factor);
       }

@@ -25,15 +25,46 @@ namespace polaris {
 
 using AtomId = int;
 
-/// Process-wide interning table of atoms.  Atoms are immutable; the table
-/// only grows — except that the fault-isolation layer truncates it back to
-/// its pre-pass size when a pass is rolled back, so atoms a failed pass
-/// interned (whose ids would otherwise perturb canonical term ordering in
-/// later passes, and whose symbols may die with the rolled-back unit)
-/// leave no trace.  (Single compilation thread by design, like Polaris.)
+/// Interning table of atoms.  Atoms are immutable; the table only grows —
+/// except that the fault-isolation layer truncates it back to its pre-pass
+/// size when a pass is rolled back, so atoms a failed pass interned (whose
+/// ids would otherwise perturb canonical term ordering in later passes,
+/// and whose symbols may die with the rolled-back unit) leave no trace.
+///
+/// Ownership: there is no process-wide table.  Each compilation — and,
+/// under `-jobs=N`, each per-unit shard — owns an AtomTable and binds it
+/// to the working thread with AtomTable::Scope; Polynomial construction
+/// reaches it via AtomTable::current().  Shards need separate tables so a
+/// rollback's truncate/remap touches only the failing unit, and because
+/// atom ids are only canonical relative to one table.  Per-unit ids are
+/// deterministic regardless of worker count: a unit's interning order
+/// depends only on that unit's own expressions.  A thread outside any
+/// Scope falls back to a thread-local table so standalone symbolic code
+/// (and the symbolic tests) need no setup.
 class AtomTable {
  public:
-  static AtomTable& instance();
+  AtomTable() = default;
+  AtomTable(const AtomTable&) = delete;
+  AtomTable& operator=(const AtomTable&) = delete;
+
+  /// The table bound to the calling thread, or the thread's fallback
+  /// table when no Scope is active.
+  static AtomTable& current();
+  /// Alias of current() kept for pre-CompileContext call sites (tests).
+  static AtomTable& instance() { return current(); }
+
+  /// RAII thread binding; nests, restoring the previous binding (pass
+  /// null to rebind the fallback table).
+  class Scope {
+   public:
+    explicit Scope(AtomTable* table);
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope();
+
+   private:
+    AtomTable* prev_;
+  };
 
   /// Interns a structural copy of `e`; equal expressions share one id.
   AtomId intern(const Expression& e);
@@ -65,7 +96,6 @@ class AtomTable {
   void remap(const SymbolMap<Symbol*>& map);
 
  private:
-  AtomTable() = default;
   std::vector<ExprPtr> atoms_;
   std::multimap<std::size_t, AtomId> buckets_;
 };

@@ -216,10 +216,12 @@ bool contained_in(const JsonValue& child, const JsonValue& parent) {
 // pass-timing table — all nested inside the compile span, with parse and
 // pipeline spans present.
 TEST(Trace, PassSpansMatchTimingRunsAndNestUnderCompile) {
-  trace::start("");
+  CompileContext cc;
+  cc.trace().start("");
   CompileReport rep;
-  Compiler(Options::polaris()).compile(suite_program("trfd").source, &rep);
-  ParsedTrace t = parse_trace(trace::stop());
+  Compiler(Options::polaris())
+      .compile(suite_program("trfd").source, &rep, cc);
+  ParsedTrace t = parse_trace(cc.trace().stop());
 
   const JsonValue* compile = find_event(t, "compile");
   ASSERT_NE(compile, nullptr);
@@ -246,9 +248,12 @@ TEST(Trace, PassSpansMatchTimingRunsAndNestUnderCompile) {
 
 // When a compile is not being traced, nothing accumulates.
 TEST(Trace, DisabledCompileLeavesNoEvents) {
-  ASSERT_FALSE(trace::on());
-  compile_report(Options::polaris(), suite_program("trfd").source);
-  EXPECT_EQ(trace::event_count(), 0u);
+  CompileContext cc;
+  ASSERT_FALSE(cc.trace().collecting());
+  CompileReport rep;
+  Compiler(Options::polaris())
+      .compile(suite_program("trfd").source, &rep, cc);
+  EXPECT_EQ(cc.trace().event_count(), 0u);
 }
 
 // Satellite (c): on a no-fault compile, the per-pass IR deltas in the
@@ -308,10 +313,11 @@ TEST(Rollback, UnwindsStatisticsAndTraceEvents) {
 
   Options faulted = Options::polaris();
   faulted.fault_inject = "doall";
-  trace::start("");
+  CompileContext cc;
+  cc.trace().start("");
   CompileReport faulted_rep;
-  Compiler(faulted).compile(src, &faulted_rep);
-  ParsedTrace t = parse_trace(trace::stop());
+  Compiler(faulted).compile(src, &faulted_rep, cc);
+  ParsedTrace t = parse_trace(cc.trace().stop());
   ASSERT_FALSE(faulted_rep.failures.empty());
 
   Options clean = Options::polaris();

@@ -47,13 +47,20 @@ TEST(AssertTest, UserErrorIsDistinctFromInternalError) {
   EXPECT_FALSE(caught_as_runtime);
 }
 
-/// Fixture guaranteeing injection state never leaks between tests.
+/// Fixture binding a FaultInjector to the test's thread — the `fault::`
+/// free functions and p_assert injection ticks are no-ops without one
+/// (in production the CompileContext::Scope of the compile binds it) —
+/// and guaranteeing injection state never leaks between tests.
 class FaultInjectionTest : public ::testing::Test {
  protected:
+  FaultInjectionTest() : scope_(&injector_) {}
   void TearDown() override {
     fault::clear_scope();
     fault::disarm();
   }
+
+  FaultInjector injector_;
+  FaultInjector::Scope scope_;
 };
 
 TEST_F(FaultInjectionTest, ParseSpecDefaults) {

@@ -1,0 +1,94 @@
+// support/context: the per-compilation CompileContext and its thread
+// binding — the home of everything that used to be process-global state.
+//
+// Covers the Scope bridge (CompileContext::current + the nested
+// FaultInjector binding p_assert injection reaches through), diagnostics
+// rebinding, and the shard-merge protocol the parallel pass manager runs:
+// statistics summed, trace events appended on one timeline with dangling
+// shard spans closed.
+#include "support/context.h"
+
+#include <gtest/gtest.h>
+
+namespace polaris {
+namespace {
+
+POLARIS_STATISTIC("test-context", context_ticks, "ticks counted by the test");
+
+TEST(CompileContext, ScopeBindsAndNestsAndRestores) {
+  EXPECT_EQ(CompileContext::current(), nullptr);
+  CompileContext outer_cc, inner_cc;
+  {
+    CompileContext::Scope outer(&outer_cc);
+    EXPECT_EQ(CompileContext::current(), &outer_cc);
+    {
+      CompileContext::Scope inner(&inner_cc);
+      EXPECT_EQ(CompileContext::current(), &inner_cc);
+    }
+    EXPECT_EQ(CompileContext::current(), &outer_cc);
+  }
+  EXPECT_EQ(CompileContext::current(), nullptr);
+}
+
+TEST(CompileContext, ScopeBindsTheFaultInjectorToo) {
+  CompileContext cc;
+  cc.fault().arm(fault::parse_spec("p:*:1"));
+  {
+    CompileContext::Scope scope(&cc);
+    EXPECT_EQ(FaultInjector::current(), &cc.fault());
+    fault::set_scope("p", "u");
+    // The context's injector is armed for site 1: the next tick fires.
+    EXPECT_THROW(p_assert(true), InternalError);
+    fault::clear_scope();
+  }
+  EXPECT_EQ(FaultInjector::current(), nullptr);
+  // Outside any scope, injection ticks are inert even while armed.
+  EXPECT_NO_THROW(p_assert(true));
+}
+
+TEST(CompileContext, DiagnosticsBindToTheReportSink) {
+  CompileContext cc;
+  cc.diags().note("test", "ctx", "to the owned sink");
+  EXPECT_EQ(cc.diags().all().size(), 1u);
+
+  Diagnostics report_sink;
+  cc.bind_diagnostics(report_sink);
+  cc.diags().note("test", "ctx", "to the report");
+  EXPECT_EQ(report_sink.all().size(), 1u);
+  EXPECT_TRUE(report_sink.contains("to the report"));
+}
+
+TEST(CompileContext, MergeShardSumsStatsAndAppendsTrace) {
+  CompileContext parent;
+  parent.trace().start("");
+  {
+    CompileContext::Scope scope(&parent);
+    ++context_ticks;
+  }
+  parent.trace().instant("parent-event", "test");
+
+  CompileContext shard;
+  shard.trace().start_shard_of(parent.trace());
+  {
+    CompileContext::Scope scope(&shard);
+    context_ticks += 2;
+  }
+  shard.trace().instant("shard-event", "test");
+  {
+    // A span still open when the shard merges — the faulted-worker case —
+    // is closed by the merge, tagged dangling, not lost.
+    trace::TraceSpan open(&shard.trace(), "shard-open", "test");
+    parent.merge_shard(shard);
+  }
+
+  EXPECT_EQ(parent.stats().value(context_ticks), 3u);
+  ASSERT_EQ(parent.trace().event_count(), 3u);
+  EXPECT_EQ(parent.trace().events()[0].name, "parent-event");
+  EXPECT_EQ(parent.trace().events()[1].name, "shard-event");
+  EXPECT_EQ(parent.trace().events()[2].name, "shard-open");
+  ASSERT_EQ(parent.trace().events()[2].args.size(), 1u);
+  EXPECT_EQ(parent.trace().events()[2].args[0].first, "dangling");
+}
+
+}  // namespace
+}  // namespace polaris

@@ -1,10 +1,12 @@
-// support/trace: the scoped-span tracer behind `-trace=FILE`.
+// support/trace: the per-context scoped-span tracer behind `-trace=FILE`.
 //
-// Covers the collection lifecycle (start/stop, disabled-by-default), span
-// nesting via ts/dur containment, instant and counter events, the
-// mark/truncate unwinding hook the fault-isolation layer uses, and that
-// the emitted document is valid Chrome trace JSON (validated with the
-// in-tree parser).
+// Covers the collection lifecycle (start/stop, off-by-default, null
+// collector no-ops), span nesting via ts/dur containment, instant and
+// counter events, the mark/truncate unwinding hook the fault-isolation
+// layer uses, in-flight spans at stop() (closed and tagged dangling, not
+// dropped), the shard append path the parallel pass manager merges
+// through, and that the emitted document is valid Chrome trace JSON
+// (validated with the in-tree parser).
 #include "support/trace.h"
 
 #include <gtest/gtest.h>
@@ -14,41 +16,41 @@
 namespace polaris {
 namespace {
 
-/// RAII trace session writing nowhere; stop() returns the JSON.
-class TraceSession {
- public:
-  TraceSession() { trace::start(""); }
-  ~TraceSession() {
-    if (trace::on()) trace::stop();
-  }
-  std::string finish() { return trace::stop(); }
-};
+using trace::TraceCollector;
+using trace::TraceSpan;
 
 TEST(Trace, OffByDefaultAndSpansAreNoOps) {
-  ASSERT_FALSE(trace::on());
+  TraceCollector c;
+  ASSERT_FALSE(c.collecting());
   {
-    trace::TraceSpan span("ghost", "test");
+    TraceSpan span(&c, "ghost", "test");
     span.arg("k", "v");
   }
-  trace::instant("ghost", "test");
-  trace::counter("ghost", {{"x", 1}});
-  EXPECT_EQ(trace::event_count(), 0u);
-  EXPECT_EQ(trace::mark(), 0u);
+  c.instant("ghost", "test");
+  c.counter("ghost", {{"x", 1}});
+  EXPECT_EQ(c.event_count(), 0u);
+  EXPECT_EQ(c.mark(), 0u);
+}
+
+TEST(Trace, NullCollectorSpansAreNoOps) {
+  TraceSpan span(nullptr, "ghost", "test");
+  span.arg("k", "v");  // must not touch anything
 }
 
 TEST(Trace, CollectsSpansInstantsAndCounters) {
-  TraceSession session;
+  TraceCollector c;
+  c.start("");
   {
-    trace::TraceSpan outer("outer", "test");
+    TraceSpan outer(&c, "outer", "test");
     {
-      trace::TraceSpan inner("inner", "test");
+      TraceSpan inner(&c, "inner", "test");
       inner.arg("key", "value");
       inner.arg("n", std::uint64_t{7});
     }
-    trace::instant("ping", "test", {{"why", "because"}});
-    trace::counter("track", {{"hits", 3}, {"misses", 1}});
+    c.instant("ping", "test", {{"why", "because"}});
+    c.counter("track", {{"hits", 3}, {"misses", 1}});
   }
-  const auto& evs = trace::events();
+  const auto& evs = c.events();
   ASSERT_EQ(evs.size(), 4u);
   // Spans emit at destruction: inner closes before outer.
   EXPECT_EQ(evs[0].name, "inner");
@@ -67,56 +69,107 @@ TEST(Trace, CollectsSpansInstantsAndCounters) {
 }
 
 TEST(Trace, StopDisablesAndClears) {
-  {
-    TraceSession session;
-    trace::instant("one", "test");
-    EXPECT_EQ(trace::event_count(), 1u);
-    session.finish();
-  }
-  EXPECT_FALSE(trace::on());
-  EXPECT_EQ(trace::event_count(), 0u);
+  TraceCollector c;
+  c.start("");
+  c.instant("one", "test");
+  EXPECT_EQ(c.event_count(), 1u);
+  c.stop();
+  EXPECT_FALSE(c.collecting());
+  EXPECT_EQ(c.event_count(), 0u);
 }
 
 TEST(Trace, TruncateUnwindsEventsAfterMark) {
-  TraceSession session;
-  trace::instant("kept", "test");
-  const std::size_t mark = trace::mark();
-  trace::instant("dropped-1", "test");
-  trace::instant("dropped-2", "test");
-  EXPECT_EQ(trace::event_count(), 3u);
-  trace::truncate(mark);
-  ASSERT_EQ(trace::event_count(), 1u);
-  EXPECT_EQ(trace::events()[0].name, "kept");
+  TraceCollector c;
+  c.start("");
+  c.instant("kept", "test");
+  const std::size_t mark = c.mark();
+  c.instant("dropped-1", "test");
+  c.instant("dropped-2", "test");
+  EXPECT_EQ(c.event_count(), 3u);
+  c.truncate(mark);
+  ASSERT_EQ(c.event_count(), 1u);
+  EXPECT_EQ(c.events()[0].name, "kept");
   // A span open across the truncation still emits afterwards.
   {
-    trace::TraceSpan late("late", "test");
+    TraceSpan late(&c, "late", "test");
   }
-  EXPECT_EQ(trace::event_count(), 2u);
+  EXPECT_EQ(c.event_count(), 2u);
 }
 
-TEST(Trace, SpanOpenAcrossStopIsDropped) {
+// The satellite regression: spans still in flight when the collector is
+// finalized must be closed — emitted as complete events tagged dangling —
+// not silently dropped, and their destructors must then be inert.
+TEST(Trace, StopClosesInFlightSpansAsDangling) {
+  TraceCollector c;
+  c.start("");
   std::string json;
   {
-    trace::start("");
-    trace::TraceSpan span("cut-off", "test");
-    json = trace::stop();
-    // Span destructs after stop: must not crash or resurrect the buffer.
+    TraceSpan outer(&c, "outer", "test");
+    {
+      TraceSpan inner(&c, "inner", "test");
+      json = c.stop();
+      // Both spans were open at stop: both must be in the document,
+      // innermost closed first, each tagged dangling.
+      EXPECT_NE(json.find("\"inner\""), std::string::npos);
+      EXPECT_NE(json.find("\"outer\""), std::string::npos);
+      EXPECT_NE(json.find("\"dangling\""), std::string::npos);
+      // Destructors run after stop: must not crash or resurrect events.
+    }
   }
-  EXPECT_EQ(trace::event_count(), 0u);
-  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_EQ(c.event_count(), 0u);
+  JsonValue doc = parse_json(json);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items.size(), 2u);
+  EXPECT_EQ(events->items[0].find("name")->string_value, "inner");
+  EXPECT_EQ(events->items[0].find("args")->find("dangling")->string_value,
+            "true");
+  EXPECT_EQ(events->items[1].find("name")->string_value, "outer");
+}
+
+TEST(Trace, ShardSharesEpochAndAppendsInOrder) {
+  TraceCollector parent;
+  parent.start("");
+  parent.instant("parent-before", "test");
+
+  TraceCollector shard;
+  shard.start_shard_of(parent);
+  ASSERT_TRUE(shard.collecting());
+  shard.instant("shard-event", "test");
+  {
+    TraceSpan open(&shard, "shard-dangling", "test");
+    parent.append(std::move(shard));
+    // The shard's open span was closed by the merge; its destructor runs
+    // after the append and must be a no-op.
+  }
+  EXPECT_FALSE(shard.collecting());
+  ASSERT_EQ(parent.event_count(), 3u);
+  EXPECT_EQ(parent.events()[0].name, "parent-before");
+  EXPECT_EQ(parent.events()[1].name, "shard-event");
+  EXPECT_EQ(parent.events()[2].name, "shard-dangling");
+  // One shared timeline: shard timestamps are on the parent's epoch.
+  EXPECT_GE(parent.events()[1].ts_us, parent.events()[0].ts_us);
+}
+
+TEST(Trace, ShardOfStoppedParentStaysOff) {
+  TraceCollector parent;  // never started
+  TraceCollector shard;
+  shard.start_shard_of(parent);
+  EXPECT_FALSE(shard.collecting());
+  shard.instant("dropped", "test");
+  parent.append(std::move(shard));
+  EXPECT_EQ(parent.event_count(), 0u);
 }
 
 TEST(Trace, EmitsValidChromeTraceJson) {
-  std::string json;
+  TraceCollector c;
+  c.start("");
   {
-    TraceSession session;
-    {
-      trace::TraceSpan span("work", "cat");
-      span.arg("detail", "quoted \"text\"\n");
-    }
-    trace::counter("cache", {{"hits", 5}});
-    json = session.finish();
+    TraceSpan span(&c, "work", "cat");
+    span.arg("detail", "quoted \"text\"\n");
   }
+  c.counter("cache", {{"hits", 5}});
+  std::string json = c.stop();
   JsonValue doc = parse_json(json);
   ASSERT_TRUE(doc.is_object());
   ASSERT_NE(doc.find("displayTimeUnit"), nullptr);
