@@ -46,7 +46,7 @@ int main() {
   Polynomial sub = Polynomial::from_expr(
       *static_cast<const ArrayRef&>(store->lhs()).subscripts()[0]);
   auto atom = [&](const char* name) {
-    return AtomTable::instance().intern_symbol(
+    return AtomTable::current().intern_symbol(
         prog->main()->symtab().lookup(name));
   };
   long long k1 = 0, k2 = 0;

@@ -39,6 +39,93 @@ void BM_PolynomialCanonicalization(benchmark::State& state) {
 }
 BENCHMARK(BM_PolynomialCanonicalization);
 
+// --- symbolic kernel (hash-consed atoms + flat-term polynomials) -----------
+
+void BM_AtomIntern(benchmark::State& state) {
+  // Hash-consed interning fast path: every iteration re-interns the same
+  // expressions, so this measures the hash + bucket-probe hit path.
+  SymbolTable symtab;
+  ExprPtr a = parse_expression("i*(n + 1)", symtab);
+  ExprPtr b = parse_expression("j**2 - j", symtab);
+  ExprPtr c = parse_expression("mod(k, 5)", symtab);
+  AtomTable table;
+  AtomTable::Scope scope(&table);
+  for (auto _ : state) {
+    AtomId x = table.intern(*a);
+    AtomId y = table.intern(*b);
+    AtomId z = table.intern(*c);
+    benchmark::DoNotOptimize(x + y + z);
+  }
+}
+BENCHMARK(BM_AtomIntern);
+
+void BM_FromExprCached(benchmark::State& state) {
+  // Memoized canonicalization: after the first conversion, every interior
+  // node is a cache hit.
+  SymbolTable symtab;
+  ExprPtr e = parse_expression(
+      "(i*(n**2 + n) + j**2 - j)/2 + k + 1 - ((i+1)*(n**2+n))/2", symtab);
+  AtomTable table;
+  AtomTable::Scope scope(&table);
+  for (auto _ : state) {
+    Polynomial p = Polynomial::from_expr(*e);
+    benchmark::DoNotOptimize(&p);
+  }
+}
+BENCHMARK(BM_FromExprCached);
+
+void BM_FromExprUncached(benchmark::State& state) {
+  // The same conversion with the cache disabled: the full recursive
+  // convert() every iteration, i.e. the pre-cache cost.
+  SymbolTable symtab;
+  ExprPtr e = parse_expression(
+      "(i*(n**2 + n) + j**2 - j)/2 + k + 1 - ((i+1)*(n**2+n))/2", symtab);
+  AtomTable table;
+  table.set_canon_cache_enabled(false);
+  AtomTable::Scope scope(&table);
+  for (auto _ : state) {
+    Polynomial p = Polynomial::from_expr(*e);
+    benchmark::DoNotOptimize(&p);
+  }
+}
+BENCHMARK(BM_FromExprUncached);
+
+void BM_PolynomialMultiply(benchmark::State& state) {
+  // Flat-term merge multiply on Figure 2-sized operands.
+  SymbolTable symtab;
+  ExprPtr ea = parse_expression("i*n + j*j - j + 2*k + 1", symtab);
+  ExprPtr eb = parse_expression("n**2 + n - 2*j + 3", symtab);
+  Polynomial a = Polynomial::from_expr(*ea);
+  Polynomial b = Polynomial::from_expr(*eb);
+  for (auto _ : state) {
+    Polynomial p = a * b;
+    benchmark::DoNotOptimize(&p);
+  }
+}
+BENCHMARK(BM_PolynomialMultiply);
+
+void BM_SumOverFaulhaber(benchmark::State& state) {
+  // Faulhaber closed form of the cascaded Figure 1/2 induction sum.
+  SymbolTable symtab;
+  Symbol* j = symtab.declare("j", Type::integer(), SymbolKind::Variable);
+  Symbol* k = symtab.declare("k", Type::integer(), SymbolKind::Variable);
+  AtomId aj = AtomTable::current().intern_symbol(j);
+  AtomId ak = AtomTable::current().intern_symbol(k);
+  ExprPtr lo = parse_expression("0", symtab);
+  ExprPtr hi_k = parse_expression("j - 1", symtab);
+  ExprPtr hi_j = parse_expression("n - 1", symtab);
+  Polynomial one = Polynomial::from_expr(*parse_expression("1", symtab));
+  Polynomial plo = Polynomial::from_expr(*lo);
+  Polynomial phik = Polynomial::from_expr(*hi_k);
+  Polynomial phij = Polynomial::from_expr(*hi_j);
+  for (auto _ : state) {
+    Polynomial inner = one.sum_over(ak, plo, phik);
+    Polynomial outer = inner.sum_over(aj, plo, phij);
+    benchmark::DoNotOptimize(&outer);
+  }
+}
+BENCHMARK(BM_SumOverFaulhaber);
+
 void BM_RangeTestTrfdNest(benchmark::State& state) {
   auto prog = parse_program(
       "      program t\n"

@@ -37,10 +37,14 @@ std::string combined_suite_source() {
   return src;
 }
 
-/// Best-of-3 wall-clock of one full compile at the given worker count.
-double compile_wall_ms(const std::string& source, int jobs) {
+/// Best-of-3 wall-clock of one full compile at the given worker count,
+/// optionally with the symbolic canonicalization cache disabled (the
+/// pre-memoization engine, for the before/after row).
+double compile_wall_ms(const std::string& source, int jobs,
+                       bool canon_cache = true) {
   Options opts = Options::polaris();
   opts.jobs = jobs;
+  opts.symbolic_canon_cache = canon_cache;
   double best = 0.0;
   for (int round = 0; round < 3; ++round) {
     Compiler compiler(opts);
@@ -122,5 +126,40 @@ int main() {
       "\nper-unit pass groups fan the 16 program units out over worker\n"
       "threads; parse, whole-program inlining and report assembly stay\n"
       "sequential, so the curve bends to that serial fraction.\n\n");
+
+  bench::heading("Symbolic engine: canonicalization cache off vs on (-jobs=1)");
+
+  // Interleaved A/B at a single worker count isolates the symbolic-kernel
+  // memoization from threading effects: `off` is the engine doing every
+  // Expression->Polynomial conversion from scratch, `on` the shipping
+  // configuration.  Both produce byte-identical artifacts.
+  double best_off = 0.0, best_on = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    double off = compile_wall_ms(combined, 1, /*canon_cache=*/false);
+    double on = compile_wall_ms(combined, 1, /*canon_cache=*/true);
+    if (round == 0 || off < best_off) best_off = off;
+    if (round == 0 || on < best_on) best_on = on;
+  }
+  double cache_speedup = best_on == 0.0 ? 1.0 : best_off / best_on;
+  std::printf("%-12s %12s %9s\n", "canon cache", "wall ms", "speedup");
+  std::printf("%s\n", std::string(35, '-').c_str());
+  std::printf("%-12s %12.3f %9s\n", "off", best_off, "1.00");
+  std::printf("%-12s %12.3f %9.2f\n", "on", best_on, cache_speedup);
+
+  if (const char* path = std::getenv("POLARIS_BENCH_JSON");
+      path != nullptr && *path != '\0') {
+    if (std::FILE* f = std::fopen(path, "a")) {
+      JsonValue line = JsonValue::object();
+      line.set("bench", JsonValue::str("compile-canon-cache"));
+      line.set("codes", JsonValue::num(
+                            static_cast<double>(benchmark_suite().size())));
+      line.set("jobs", JsonValue::num(1));
+      line.set("wall_ms_cache_off", JsonValue::num(best_off));
+      line.set("wall_ms_cache_on", JsonValue::num(best_on));
+      line.set("speedup", JsonValue::num(cache_speedup));
+      std::fprintf(f, "%s\n", line.serialize().c_str());
+      std::fclose(f);
+    }
+  }
   return 0;
 }

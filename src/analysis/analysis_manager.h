@@ -14,6 +14,7 @@
 // statements or expressions preserves nothing.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -37,6 +38,7 @@ enum class AnalysisID : unsigned {
   StructureFacts = 0,  ///< region def/use sets, loop lists, invariance
   GsaFacts = 1,        ///< demand-driven GSA query engines
   FactContexts = 2,    ///< loop/guard FactContexts for symbolic proofs
+  CanonForms = 3,      ///< the AtomTable's Expression->Polynomial cache
 };
 
 /// A pass's declaration of which cached analyses survived it.
@@ -109,6 +111,21 @@ class AnalysisManager {
       Statement* carrier, Statement* a, Statement* b,
       const std::function<FactContext()>& compute);
 
+  // --- range-test search guidance ------------------------------------------
+  /// Histogram of range-test proofs by the popcount of the winning
+  /// fixed-subset mask.  Counter-guided candidate ordering
+  /// (`-rangetest-max-permutations=N`) ranks popcount buckets by these
+  /// observed successes.  The histogram is shard-local — one manager sees
+  /// exactly one unit's queries in pass order regardless of `-jobs`, so
+  /// guided ordering is deterministic at any worker count.  It survives
+  /// invalidation on purpose: it records search outcomes, not IR facts.
+  void note_range_success(unsigned popcount) {
+    if (popcount < range_success_.size()) ++range_success_[popcount];
+  }
+  const std::array<std::uint64_t, 16>& range_success_by_popcount() const {
+    return range_success_;
+  }
+
   // --- invalidation --------------------------------------------------------
   /// Drops every cached family `pa` does not preserve.
   void invalidate(const PreservedAnalyses& pa);
@@ -151,6 +168,7 @@ class AnalysisManager {
 
   std::map<Statement*, FactContext> facts_;
   std::map<PairKey, FactContext> pair_facts_;
+  std::array<std::uint64_t, 16> range_success_{};
   Stats stats_;
   CompileContext* ctx_ = nullptr;
 };

@@ -1,6 +1,9 @@
 #include "dep/rangetest.h"
 
 #include <algorithm>
+#include <array>
+#include <optional>
+#include <utility>
 
 #include "analysis/structure.h"
 #include "dep/regions.h"
@@ -38,6 +41,12 @@ std::optional<LoopBounds> oriented_bounds(DoStmt* loop) {
 
 AtomId index_atom(const DoStmt* loop) {
   return AtomTable::current().intern_symbol(loop->index());
+}
+
+unsigned popcount(std::size_t m) {
+  unsigned n = 0;
+  for (; m != 0; m &= m - 1) ++n;
+  return n;
 }
 
 /// True if any atom of `p` is an opaque expression referencing `sym`
@@ -225,7 +234,22 @@ bool RangeTest::independent(DoStmt* carrier, const ArrayAccess& a,
     return v;
   };
 
-  for (size_t mask = 0; mask < subsets && mask < budget * 2; ++mask) {
+  // The subscript polynomials are mask-invariant; memoize them across the
+  // enumeration (every mask used to re-canonicalize every dimension).
+  // Conversion stays lazy and in the legacy dimension order, so the
+  // atom-interning sequence — and with it canonical term order — is the
+  // same as converting inside the loop.
+  std::vector<std::optional<std::pair<Polynomial, Polynomial>>> dim_polys(
+      static_cast<size_t>(a.ref->rank()));
+  auto dim = [&](int d) -> const std::pair<Polynomial, Polynomial>& {
+    auto& slot = dim_polys[static_cast<size_t>(d)];
+    if (!slot)
+      slot.emplace(Polynomial::from_expr(*a.ref->subscripts()[d]),
+                   Polynomial::from_expr(*b.ref->subscripts()[d]));
+    return *slot;
+  };
+
+  auto try_mask = [&](size_t mask) -> bool {
     ++permutations_tried;
     std::vector<DoStmt*> fixed;
     for (size_t bit = 0; bit < n_common; ++bit)
@@ -244,14 +268,49 @@ bool RangeTest::independent(DoStmt* carrier, const ArrayAccess& a,
     // Per-dimension: any provably disjoint dimension kills the pair.
     bool ok = false;
     for (int d = 0; d < a.ref->rank() && !ok; ++d) {
-      Polynomial f = Polynomial::from_expr(*a.ref->subscripts()[d]);
-      Polynomial g = Polynomial::from_expr(*b.ref->subscripts()[d]);
+      const auto& [f, g] = dim(d);
       ok = test_dimension(carrier, f, g, elim_f, elim_g, step, ctx);
     }
     if (ok) {
       ++pairs_proven;
+      if (am_ != nullptr) am_->note_range_success(popcount(mask));
       pair_span.arg("proven", "true");
-      return true;
+    }
+    return ok;
+  };
+
+  if (opts_.rangetest_max_permutations <= 0) {
+    // Legacy enumeration: ascending masks, bounded by twice the
+    // permutation budget.  The default — byte-identical results.
+    for (size_t mask = 0; mask < subsets && mask < budget * 2; ++mask)
+      if (try_mask(mask)) return true;
+    return false;
+  }
+
+  // Counter-guided enumeration under a hard cap: spend the budget on
+  // popcount buckets where this unit's proofs have landed so far.  Bucket
+  // priority is (observed successes desc, popcount asc — fixing fewer
+  // loops keeps ranges wider and proofs cheaper); masks ascend within a
+  // bucket.  The histogram is read once per query, so the order is fixed
+  // before any of this query's own successes are recorded.
+  const size_t cap = static_cast<size_t>(opts_.rangetest_max_permutations);
+  const unsigned max_pop = static_cast<unsigned>(n_common >= 10 ? 10 : n_common);
+  std::array<std::uint64_t, 16> successes{};
+  if (am_ != nullptr) successes = am_->range_success_by_popcount();
+  std::vector<unsigned> bucket_order;
+  for (unsigned p = 0; p <= max_pop; ++p) bucket_order.push_back(p);
+  std::stable_sort(bucket_order.begin(), bucket_order.end(),
+                   [&](unsigned p, unsigned q) {
+                     if (successes[p] != successes[q])
+                       return successes[p] > successes[q];
+                     return p < q;
+                   });
+  size_t tried = 0;
+  for (unsigned p : bucket_order) {
+    for (size_t mask = 0; mask < subsets; ++mask) {
+      if (popcount(mask) != p) continue;
+      if (tried++ >= cap) return false;
+      if (try_mask(mask)) return true;
     }
   }
   return false;

@@ -102,6 +102,7 @@ void Compiler::transform(Program& program, CompileReport* report,
   // from a previous compilation (which would skew canonical term order).
   // Unit shards bind their own tables on their worker threads.
   AtomTable atoms;
+  atoms.set_canon_cache_enabled(opts_.symbolic_canon_cache);
   AtomTable::Scope atom_scope(&atoms);
 
   // Arms only when Compiler::compile (or a test) hasn't already; the

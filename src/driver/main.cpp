@@ -19,6 +19,15 @@
 //                                  machine's hardware concurrency).  Every
 //                                  report artifact is byte-identical to a
 //                                  -jobs=1 run.
+//   polaris -rangetest-max-permutations=N file.f
+//                                  cap the range test at N fixed-subset
+//                                  masks per query, tried in counter-guided
+//                                  order (popcount buckets ranked by the
+//                                  unit's observed proof successes).  The
+//                                  default keeps the legacy enumeration.
+//   polaris -no-canon-cache file.f disable the symbolic canonicalization
+//                                  cache (debug/bench mode; results are
+//                                  byte-identical either way)
 //
 // Observability layer:
 //   polaris -trace=FILE file.f         write a Chrome trace (chrome://tracing
@@ -67,6 +76,7 @@ int usage() {
                "usage: polaris [-report] [-diag] [-baseline] [-omp] [-run] "
                "[-seq] [-p N] [-passes=SPEC] [-jobs=N] [-timing] [-verify-each] "
                "[-fault-inject=SPEC] [-pass-budget-ms=N] [-no-recover] "
+               "[-rangetest-max-permutations=N] [-no-canon-cache] "
                "[-trace=FILE] [-stats] [-remarks=FILE] [-report-json=FILE] "
                "file.f\n");
   return 2;
@@ -110,6 +120,24 @@ int parse_jobs(const std::string& value) {
   return static_cast<int>(n);
 }
 
+/// Parses and validates a `-rangetest-max-permutations=` value: a positive
+/// decimal integer (the legacy enumeration has no flag spelling — omit the
+/// switch to keep it).
+int parse_rangetest_cap(const std::string& value) {
+  std::size_t pos = 0;
+  long n = 0;
+  try {
+    n = std::stol(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (value.empty() || pos != value.size() || n < 1)
+    throw polaris::UserError(
+        "invalid -rangetest-max-permutations value '" + value +
+        "' (expected a positive integer)");
+  return static_cast<int>(n);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,10 +147,10 @@ int main(int argc, char** argv) {
   bool run_mode = false, seq_mode = false, omp = false, timing = false;
   bool passes_given = false;
   bool verify_each = false, no_recover = false;
-  bool stats_mode = false;
+  bool stats_mode = false, no_canon_cache = false;
   double pass_budget_ms = 0.0;
   int processors = 8;
-  std::string path, passes_spec, fault_inject, jobs_arg;
+  std::string path, passes_spec, fault_inject, jobs_arg, rangetest_cap_arg;
   std::string trace_path, remarks_path, report_json_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -154,6 +182,10 @@ int main(int argc, char** argv) {
     }
     else if (std::strncmp(argv[i], "-jobs=", 6) == 0)
       jobs_arg = argv[i] + 6;
+    else if (std::strncmp(argv[i], "-rangetest-max-permutations=", 28) == 0)
+      rangetest_cap_arg = argv[i] + 28;
+    else if (std::strcmp(argv[i], "-no-canon-cache") == 0)
+      no_canon_cache = true;
     else if (std::strcmp(argv[i], "-p") == 0 && i + 1 < argc) {
       processors = std::atoi(argv[++i]);
       if (processors < 1) return usage();
@@ -209,6 +241,10 @@ int main(int argc, char** argv) {
     compiler.options().fault_inject = fault_inject;
     compiler.options().trace_path = trace_path;
     if (!jobs_arg.empty()) compiler.options().jobs = parse_jobs(jobs_arg);
+    if (!rangetest_cap_arg.empty())
+      compiler.options().rangetest_max_permutations =
+          parse_rangetest_cap(rangetest_cap_arg);
+    if (no_canon_cache) compiler.options().symbolic_canon_cache = false;
     auto prog = compiler.compile(source, &report);
 
     if (!remarks_path.empty()) {

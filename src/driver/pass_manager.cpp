@@ -507,6 +507,7 @@ void PassPipeline::run_unit_group(std::size_t group_begin,
   shards.reserve(n_units);
   for (std::size_t ui = 0; ui < n_units; ++ui) {
     auto sh = std::make_unique<UnitShard>();
+    sh->atoms.set_canon_cache_enabled(ctx.opts.symbolic_canon_cache);
     sh->cc.trace().start_shard_of(ctx.cc.trace());
     if (ctx.cc.fault().armed()) sh->cc.fault().arm(ctx.cc.fault().spec());
     sh->cc.bind_diagnostics(sh->report.diagnostics);

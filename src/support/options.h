@@ -38,6 +38,20 @@ struct Options {
   int max_inline_depth = 8;        ///< recursion guard for the inliner driver
   int max_gsa_subst_depth = 16;    ///< demand-driven substitution budget
   int max_loop_permutations = 24;  ///< range-test visitation orders tried
+  /// Hard cap on fixed-subset masks tried per range-test query
+  /// (`-rangetest-max-permutations=N`).  0 keeps the legacy enumeration
+  /// (ascending masks bounded by 2 * max_loop_permutations).  N > 0 tries
+  /// at most N masks in counter-guided order: popcount buckets ranked by
+  /// the shard's observed proof successes (AnalysisManager histogram),
+  /// ties broken toward fewer fixed loops, masks ascending within a
+  /// bucket — so the budget is spent where proofs actually landed.
+  int rangetest_max_permutations = 0;
+
+  // --- symbolic engine ------------------------------------------------------
+  /// Memoize Expression->Polynomial canonicalization in the (per-shard)
+  /// AtomTable, invalidated through PreservedAnalyses.  Off is a
+  /// debugging/benchmark mode; results are byte-identical either way.
+  bool symbolic_canon_cache = true;
 
   // --- code generation ------------------------------------------------------
   enum class ReductionScheme { Blocked, Private, Expanded };

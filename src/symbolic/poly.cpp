@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <sstream>
 
 #include "ir/build.h"
@@ -31,17 +32,30 @@ AtomTable::Scope::~Scope() { tls_atom_table = prev_; }
 
 AtomId AtomTable::intern(const Expression& e) {
   std::size_t h = e.hash();
-  auto [lo, hi] = buckets_.equal_range(h);
+  auto [lo, hi] = index_.equal_range(h);
+  // Scan the whole bucket for the lowest matching id: remap collisions can
+  // leave structurally equal atoms under distinct ids, and the multimap's
+  // order among equal hashes is unspecified — the lowest id is the answer
+  // the pre-collision table gave, so lookups stay deterministic.
+  AtomId found = -1;
   for (auto it = lo; it != hi; ++it) {
-    if (atoms_[static_cast<size_t>(it->second)]->equals(e)) return it->second;
+    if (atoms_[static_cast<size_t>(it->second)]->equals(e) &&
+        (found < 0 || it->second < found))
+      found = it->second;
   }
+  if (found >= 0) return found;
   AtomId id = static_cast<AtomId>(atoms_.size());
   atoms_.push_back(e.clone());
-  buckets_.emplace(h, id);
+  hashes_.push_back(h);
+  index_.emplace(h, id);
+  if (e.kind() == ExprKind::VarRef)
+    symbol_ids_.emplace(static_cast<const VarRef&>(e).symbol(), id);
   return id;
 }
 
 AtomId AtomTable::intern_symbol(Symbol* s) {
+  auto it = symbol_ids_.find(s);
+  if (it != symbol_ids_.end()) return it->second;
   VarRef ref(s);
   return intern(ref);
 }
@@ -60,21 +74,87 @@ Symbol* AtomTable::symbol(AtomId id) const {
 
 void AtomTable::remap(const SymbolMap<Symbol*>& map) {
   for (ExprPtr& a : atoms_) remap_symbols(*a, map);
-  buckets_.clear();
-  for (std::size_t i = 0; i < atoms_.size(); ++i)
-    buckets_.emplace(atoms_[i]->hash(), static_cast<AtomId>(i));
+  index_.clear();
+  symbol_ids_.clear();
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    std::size_t h = atoms_[i]->hash();
+    hashes_[i] = h;
+    index_.emplace(h, static_cast<AtomId>(i));
+    if (atoms_[i]->kind() == ExprKind::VarRef)
+      symbol_ids_.emplace(static_cast<const VarRef&>(*atoms_[i]).symbol(),
+                          static_cast<AtomId>(i));
+  }
+  // Cache keys hold pre-remap symbol pointers; cached polynomials are only
+  // valid against the remapped unit if re-derived.
+  clear_canon_cache();
 }
 
 void AtomTable::truncate(std::size_t n) {
   if (n >= atoms_.size()) return;
-  for (auto it = buckets_.begin(); it != buckets_.end();) {
-    if (static_cast<std::size_t>(it->second) >= n)
-      it = buckets_.erase(it);
-    else
-      ++it;
+  for (std::size_t i = n; i < atoms_.size(); ++i) {
+    // The stored hash pins the dropped id to one index bucket — no scan of
+    // the whole multimap as the old representation needed.
+    auto [lo, hi] = index_.equal_range(hashes_[i]);
+    for (auto it = lo; it != hi; ++it) {
+      if (static_cast<std::size_t>(it->second) == i) {
+        index_.erase(it);
+        break;
+      }
+    }
+    if (Symbol* s = symbol(static_cast<AtomId>(i))) {
+      auto sit = symbol_ids_.find(s);
+      if (sit != symbol_ids_.end() &&
+          static_cast<std::size_t>(sit->second) == i)
+        symbol_ids_.erase(sit);
+    }
   }
   atoms_.resize(n);
+  hashes_.resize(n);
+  // Cached polynomials may reference the dropped ids.
+  clear_canon_cache();
 }
+
+void AtomTable::reset() {
+  atoms_.clear();
+  hashes_.clear();
+  index_.clear();
+  symbol_ids_.clear();
+  clear_canon_cache();
+}
+
+// --- canonicalization cache -----------------------------------------------------
+
+AtomTable::CanonEntry::~CanonEntry() { delete poly; }
+
+void AtomTable::set_canon_cache_enabled(bool on) {
+  canon_enabled_ = on;
+  if (!on) clear_canon_cache();
+}
+
+const Polynomial* AtomTable::canon_lookup(std::size_t hash,
+                                          const Expression& e,
+                                          bool exact_division) {
+  if (!canon_enabled_) return nullptr;
+  auto [lo, hi] = canon_.equal_range(hash);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second.exact_division == exact_division &&
+        it->second.key->equals(e)) {
+      ++canon_hits_;
+      return it->second.poly;
+    }
+  }
+  ++canon_misses_;
+  return nullptr;
+}
+
+void AtomTable::canon_insert(std::size_t hash, const Expression& e,
+                             bool exact_division, const Polynomial& p) {
+  if (!canon_enabled_) return;
+  canon_.emplace(hash,
+                 CanonEntry(e.clone(), new Polynomial(p), exact_division));
+}
+
+void AtomTable::clear_canon_cache() { canon_.clear(); }
 
 // --- Monomial ------------------------------------------------------------------
 
@@ -151,28 +231,48 @@ Polynomial Polynomial::symbol(Symbol* s) {
 
 void Polynomial::add_term(const Monomial& m, const Rational& c) {
   if (c.is_zero()) return;
-  auto it = terms_.find(m);
-  if (it == terms_.end()) {
-    terms_.emplace(m, c);
-  } else {
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), m,
+      [](const Term& t, const Monomial& key) { return t.first < key; });
+  if (it != terms_.end() && it->first == m) {
     it->second += c;
     if (it->second.is_zero()) terms_.erase(it);
+  } else {
+    terms_.emplace(it, m, c);
   }
+}
+
+Polynomial Polynomial::normalized(TermList raw) {
+  std::sort(raw.begin(), raw.end(),
+            [](const Term& x, const Term& y) { return x.first < y.first; });
+  Polynomial out;
+  out.terms_.reserve(raw.size());
+  for (Term& t : raw) {
+    if (!out.terms_.empty() && out.terms_.back().first == t.first) {
+      out.terms_.back().second += t.second;
+      if (out.terms_.back().second.is_zero()) out.terms_.pop_back();
+    } else if (!t.second.is_zero()) {
+      out.terms_.push_back(std::move(t));
+    }
+  }
+  return out;
 }
 
 bool Polynomial::is_constant() const {
   return terms_.empty() ||
-         (terms_.size() == 1 && terms_.begin()->first.is_unit());
+         (terms_.size() == 1 && terms_.front().first.is_unit());
 }
 
 Rational Polynomial::constant_value() const {
   p_assert_msg(is_constant(), "polynomial is not constant");
-  return terms_.empty() ? Rational(0) : terms_.begin()->second;
+  return terms_.empty() ? Rational(0) : terms_.front().second;
 }
 
 Rational Polynomial::coefficient(const Monomial& m) const {
-  auto it = terms_.find(m);
-  return it == terms_.end() ? Rational(0) : it->second;
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), m,
+      [](const Term& t, const Monomial& key) { return t.first < key; });
+  return it == terms_.end() || !(it->first == m) ? Rational(0) : it->second;
 }
 
 int Polynomial::degree_in(AtomId id) const {
@@ -193,27 +293,63 @@ std::vector<AtomId> Polynomial::atoms() const {
 
 Polynomial Polynomial::operator-() const {
   Polynomial out;
-  for (const auto& [m, c] : terms_) out.terms_.emplace(m, -c);
+  out.terms_.reserve(terms_.size());
+  for (const auto& [m, c] : terms_) out.terms_.emplace_back(m, -c);
   return out;
 }
 
 Polynomial Polynomial::operator+(const Polynomial& o) const {
-  Polynomial out = *this;
-  for (const auto& [m, c] : o.terms_) out.add_term(m, c);
+  Polynomial out;
+  out.terms_.reserve(terms_.size() + o.terms_.size());
+  auto a = terms_.begin();
+  auto b = o.terms_.begin();
+  while (a != terms_.end() && b != o.terms_.end()) {
+    if (a->first < b->first) {
+      out.terms_.push_back(*a++);
+    } else if (b->first < a->first) {
+      out.terms_.push_back(*b++);
+    } else {
+      Rational c = a->second + b->second;
+      if (!c.is_zero()) out.terms_.emplace_back(a->first, c);
+      ++a;
+      ++b;
+    }
+  }
+  out.terms_.insert(out.terms_.end(), a, terms_.end());
+  out.terms_.insert(out.terms_.end(), b, o.terms_.end());
   return out;
 }
 
 Polynomial Polynomial::operator-(const Polynomial& o) const {
-  Polynomial out = *this;
-  for (const auto& [m, c] : o.terms_) out.add_term(m, -c);
+  Polynomial out;
+  out.terms_.reserve(terms_.size() + o.terms_.size());
+  auto a = terms_.begin();
+  auto b = o.terms_.begin();
+  while (a != terms_.end() && b != o.terms_.end()) {
+    if (a->first < b->first) {
+      out.terms_.push_back(*a++);
+    } else if (b->first < a->first) {
+      out.terms_.emplace_back(b->first, -b->second);
+      ++b;
+    } else {
+      Rational c = a->second - b->second;
+      if (!c.is_zero()) out.terms_.emplace_back(a->first, c);
+      ++a;
+      ++b;
+    }
+  }
+  out.terms_.insert(out.terms_.end(), a, terms_.end());
+  for (; b != o.terms_.end(); ++b)
+    out.terms_.emplace_back(b->first, -b->second);
   return out;
 }
 
 Polynomial Polynomial::operator*(const Polynomial& o) const {
-  Polynomial out;
+  TermList raw;
+  raw.reserve(terms_.size() * o.terms_.size());
   for (const auto& [m1, c1] : terms_)
-    for (const auto& [m2, c2] : o.terms_) out.add_term(m1 * m2, c1 * c2);
-  return out;
+    for (const auto& [m2, c2] : o.terms_) raw.emplace_back(m1 * m2, c1 * c2);
+  return normalized(std::move(raw));
 }
 
 Polynomial Polynomial::pow(int k) const {
@@ -224,19 +360,26 @@ Polynomial Polynomial::pow(int k) const {
 }
 
 Polynomial Polynomial::substitute(AtomId id, const Polynomial& value) const {
-  Polynomial out;
+  TermList raw;
+  raw.reserve(terms_.size());
+  // value.pow(d) is shared across every term of degree d (the dominant
+  // cost of the old term-at-a-time rebuild).
+  std::vector<std::optional<Polynomial>> powers;
   for (const auto& [m, c] : terms_) {
     int d = m.degree_in(id);
     if (d == 0) {
-      out.add_term(m, c);
+      raw.emplace_back(m, c);
       continue;
     }
-    Polynomial rest;
-    rest.add_term(m.without(id, d), c);
-    Polynomial expanded = rest * value.pow(d);
-    out = out + expanded;
+    if (powers.size() <= static_cast<std::size_t>(d))
+      powers.resize(static_cast<std::size_t>(d) + 1);
+    std::optional<Polynomial>& vp = powers[static_cast<std::size_t>(d)];
+    if (!vp) vp = value.pow(d);
+    Monomial rest = m.without(id, d);
+    for (const auto& [vm, vc] : vp->terms_)
+      raw.emplace_back(rest * vm, c * vc);
   }
-  return out;
+  return normalized(std::move(raw));
 }
 
 Polynomial Polynomial::forward_difference(AtomId id) const {
@@ -285,12 +428,9 @@ Polynomial Polynomial::sum_over(AtomId id, const Polynomial& lo,
   p_assert_msg(maxdeg <= 6, "sum_over: degree too high");
   // Collect g_k.
   std::vector<Polynomial> g(static_cast<size_t>(maxdeg) + 1);
-  for (const auto& [m, c] : terms_) {
-    int d = m.degree_in(id);
-    Polynomial rest;
-    rest.add_term(d > 0 ? m.without(id, d) : m, c);
-    g[static_cast<size_t>(d)] = g[static_cast<size_t>(d)] + rest;
-  }
+  for (const auto& [m, c] : terms_)
+    g[static_cast<size_t>(m.degree_in(id))].add_term(
+        m.degree_in(id) > 0 ? m.without(id, m.degree_in(id)) : m, c);
   Polynomial lo_minus_1 = lo - constant(Rational(1));
   Polynomial out;
   for (int k = 0; k <= maxdeg; ++k) {
@@ -326,6 +466,49 @@ Polynomial opaque(const Expression& e) {
   return Polynomial::atom(AtomTable::current().intern(e));
 }
 
+/// Conversion of the interior (UnOp/BinOp) node kinds — the only recursive
+/// cases, factored out so convert() can memoize them.
+Polynomial convert_interior(const Expression& e, bool exact_division) {
+  if (e.kind() == ExprKind::UnOp) {
+    const auto& u = static_cast<const UnOp&>(e);
+    if (u.op() == UnOpKind::Neg) return -convert(u.operand(), exact_division);
+    return opaque(e);
+  }
+  const auto& b = static_cast<const BinOp&>(e);
+  switch (b.op()) {
+    case BinOpKind::Add:
+      return convert(b.left(), exact_division) +
+             convert(b.right(), exact_division);
+    case BinOpKind::Sub:
+      return convert(b.left(), exact_division) -
+             convert(b.right(), exact_division);
+    case BinOpKind::Mul:
+      return convert(b.left(), exact_division) *
+             convert(b.right(), exact_division);
+    case BinOpKind::Div: {
+      Polynomial den = convert(b.right(), exact_division);
+      if (den.is_constant() && !den.constant_value().is_zero()) {
+        Polynomial num = convert(b.left(), exact_division);
+        Rational scale = Rational(1) / den.constant_value();
+        if (exact_division || b.type().is_floating() || num.is_constant())
+          return num * Polynomial::constant(scale);
+      }
+      return opaque(e);
+    }
+    case BinOpKind::Pow: {
+      Polynomial ex = convert(b.right(), exact_division);
+      if (ex.is_constant() && ex.constant_value().is_integer()) {
+        std::int64_t k = ex.constant_value().as_integer();
+        if (k >= 0 && k <= 8)
+          return convert(b.left(), exact_division).pow(static_cast<int>(k));
+      }
+      return opaque(e);
+    }
+    default:
+      return opaque(e);  // comparisons/logicals are not polynomial
+  }
+}
+
 Polynomial convert(const Expression& e, bool exact_division) {
   switch (e.kind()) {
     case ExprKind::IntConst:
@@ -341,48 +524,22 @@ Polynomial convert(const Expression& e, bool exact_division) {
         return convert(*s->param_value(), exact_division);
       return Polynomial::symbol(s);
     }
-    case ExprKind::UnOp: {
-      const auto& u = static_cast<const UnOp&>(e);
-      if (u.op() == UnOpKind::Neg)
-        return -convert(u.operand(), exact_division);
-      return opaque(e);
-    }
+    case ExprKind::UnOp:
     case ExprKind::BinOp: {
-      const auto& b = static_cast<const BinOp&>(e);
-      switch (b.op()) {
-        case BinOpKind::Add:
-          return convert(b.left(), exact_division) +
-                 convert(b.right(), exact_division);
-        case BinOpKind::Sub:
-          return convert(b.left(), exact_division) -
-                 convert(b.right(), exact_division);
-        case BinOpKind::Mul:
-          return convert(b.left(), exact_division) *
-                 convert(b.right(), exact_division);
-        case BinOpKind::Div: {
-          Polynomial den = convert(b.right(), exact_division);
-          if (den.is_constant() && !den.constant_value().is_zero()) {
-            Polynomial num = convert(b.left(), exact_division);
-            Rational scale = Rational(1) / den.constant_value();
-            if (exact_division || b.type().is_floating() ||
-                num.is_constant())
-              return num * Polynomial::constant(scale);
-          }
-          return opaque(e);
-        }
-        case BinOpKind::Pow: {
-          Polynomial ex = convert(b.right(), exact_division);
-          if (ex.is_constant() && ex.constant_value().is_integer()) {
-            std::int64_t k = ex.constant_value().as_integer();
-            if (k >= 0 && k <= 8)
-              return convert(b.left(), exact_division)
-                  .pow(static_cast<int>(k));
-          }
-          return opaque(e);
-        }
-        default:
-          return opaque(e);  // comparisons/logicals are not polynomial
-      }
+      // Memoize interior conversions in the thread-bound table's cache.
+      // Order-safety: a hit implies a prior full conversion of a
+      // structurally equal subtree in the same mode, which already
+      // interned every atom the result references — so caching never
+      // changes atom-interning order (and thus never perturbs canonical
+      // term order in printed artifacts).
+      AtomTable& tab = AtomTable::current();
+      if (!tab.canon_cache_enabled()) return convert_interior(e, exact_division);
+      std::size_t h = e.hash();
+      if (const Polynomial* hit = tab.canon_lookup(h, e, exact_division))
+        return *hit;
+      Polynomial p = convert_interior(e, exact_division);
+      tab.canon_insert(h, e, exact_division, p);
+      return p;
     }
     default:
       return opaque(e);  // ArrayRef, FuncCall, String, Logical, Wildcard
@@ -394,6 +551,8 @@ Polynomial convert(const Expression& e, bool exact_division) {
 Polynomial Polynomial::from_expr(const Expression& e, bool exact_division) {
   // Constant integer division of constants must still truncate: handled in
   // convert() by only folding when numerator is constant too in that mode.
+  // The truncation fix-up below stays outside the memoization: the cache
+  // stores raw convert() results only.
   Polynomial p = convert(e, exact_division);
   if (!exact_division && p.is_constant()) {
     // Fortran integer constant folding truncates; leave rationals alone
@@ -434,7 +593,7 @@ ExprPtr Polynomial::to_expr() const {
   };
 
   ExprPtr sum;
-  // Emit higher-degree terms first for readability (map iterates in
+  // Emit higher-degree terms first for readability (terms_ is sorted in
   // monomial order; collect and reverse by degree, stable).
   std::vector<std::pair<const Monomial*, Rational>> ordered;
   for (const auto& [m, c] : terms_) ordered.emplace_back(&m, c);

@@ -11,11 +11,23 @@
 // calls, inexact divisions) are interned as opaque *atoms* and treated as
 // indeterminates.  Two structurally equal subexpressions intern to the same
 // atom, so cancellation works across them.
+//
+// Representation (hot path — every dependence query funnels through here):
+// a Polynomial is a flat vector of (Monomial, Rational) terms sorted by
+// monomial, and a Monomial keeps its (atom, power) factors in a small
+// inline buffer that spills to the heap only beyond four factors.  Sums
+// and differences are linear merges; products accumulate into a scratch
+// vector normalized once.  The orderings are identical to the previous
+// std::map representation, so canonical term order — and with it every
+// printed artifact — is unchanged.
 #pragma once
 
-#include <map>
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ir/expr.h"
@@ -25,11 +37,20 @@ namespace polaris {
 
 using AtomId = int;
 
+class Polynomial;
+
 /// Interning table of atoms.  Atoms are immutable; the table only grows —
 /// except that the fault-isolation layer truncates it back to its pre-pass
 /// size when a pass is rolled back, so atoms a failed pass interned (whose
 /// ids would otherwise perturb canonical term ordering in later passes,
 /// and whose symbols may die with the rolled-back unit) leave no trace.
+///
+/// Interning is hash-consed: every atom's structural hash is computed once
+/// at intern time and kept in `hashes_`, the hash->id index is an
+/// unordered_multimap (O(1) amortized lookup), and plain scalar VarRef
+/// atoms — the overwhelmingly common case (loop indices, bounds symbols) —
+/// additionally sit in a Symbol*->id map so intern_symbol() never builds
+/// or hashes a temporary expression.
 ///
 /// Ownership: there is no process-wide table.  Each compilation — and,
 /// under `-jobs=N`, each per-unit shard — owns an AtomTable and binds it
@@ -41,6 +62,13 @@ using AtomId = int;
 /// depends only on that unit's own expressions.  A thread outside any
 /// Scope falls back to a thread-local table so standalone symbolic code
 /// (and the symbolic tests) need no setup.
+///
+/// The table also owns the Expression->Polynomial canonicalization cache
+/// (see Polynomial::from_expr): cached polynomials reference atom ids and
+/// key on Symbol identity, so their lifetime is exactly the table's —
+/// truncate()/remap()/reset() drop the cache along with the ids it
+/// references, and the pass manager clears it through the
+/// PreservedAnalyses machinery whenever a pass rewrites the IR.
 class AtomTable {
  public:
   AtomTable() = default;
@@ -50,8 +78,6 @@ class AtomTable {
   /// The table bound to the calling thread, or the thread's fallback
   /// table when no Scope is active.
   static AtomTable& current();
-  /// Alias of current() kept for pre-CompileContext call sites (tests).
-  static AtomTable& instance() { return current(); }
 
   /// RAII thread binding; nests, restoring the previous binding (pass
   /// null to rebind the fallback table).
@@ -68,7 +94,7 @@ class AtomTable {
 
   /// Interns a structural copy of `e`; equal expressions share one id.
   AtomId intern(const Expression& e);
-  /// Interns the VarRef atom of a scalar symbol.
+  /// Interns the VarRef atom of a scalar symbol (O(1) via the symbol map).
   AtomId intern_symbol(Symbol* s);
 
   const Expression& expr(AtomId id) const;
@@ -77,9 +103,11 @@ class AtomTable {
 
   /// Number of interned atoms; pairs with truncate() for rollback.
   std::size_t size() const { return atoms_.size(); }
-  /// Drops every atom with id >= n.  Only valid when no live Polynomial or
-  /// cached analysis references the dropped ids (the pass manager discards
-  /// both when it rolls a pass back).
+  /// Drops every atom with id >= n (and, when anything is dropped, the
+  /// canonicalization cache — cached polynomials may reference the dropped
+  /// ids).  Only valid when no live Polynomial or cached analysis
+  /// references the dropped ids (the pass manager discards both when it
+  /// rolls a pass back).
   void truncate(std::size_t n);
   /// Clears the table.  The driver calls this at the start of every
   /// compilation: atom identity keys on Symbol pointers, so atoms left by
@@ -87,17 +115,119 @@ class AtomTable {
   /// hands a new Symbol an old address — skewing canonical term order.
   /// Atom ids (and thus printed polynomial order) are canonical *per
   /// compilation*, never across compilations.
-  void reset() { truncate(0); }
+  void reset();
   /// Rewrites interned atoms through an original-to-clone symbol map and
-  /// rebuilds the hash index.  After a rollback swaps a cloned unit in, the
-  /// clone's symbols inherit the original symbols' atom ids — so canonical
-  /// term ordering (and with it the printed output) is bit-identical to a
-  /// run that never attempted the failed pass.
+  /// rebuilds the hash index (and drops the canonicalization cache, whose
+  /// keys hold the pre-rollback symbol pointers).  After a rollback swaps
+  /// a cloned unit in, the clone's symbols inherit the original symbols'
+  /// atom ids — so canonical term ordering (and with it the printed
+  /// output) is bit-identical to a run that never attempted the failed
+  /// pass.
   void remap(const SymbolMap<Symbol*>& map);
 
+  // --- canonicalization cache ----------------------------------------------
+  /// Memoized Expression->Polynomial conversions, keyed on structural hash
+  /// + exact_division mode with full structural-equality confirmation.
+  /// Consulted per interior (BinOp/UnOp) node by Polynomial::from_expr, so
+  /// repeated canonicalization of the same subscripts — the range test
+  /// re-queries each pair per loop permutation, and rangetest/ddtest/GSA/
+  /// induction all re-convert the same bounds — collapses to hash lookups.
+  void set_canon_cache_enabled(bool on);
+  bool canon_cache_enabled() const { return canon_enabled_; }
+  /// Cached polynomial for a structurally-equal expression in the given
+  /// mode, or null on a miss.  `hash` must be e.hash().
+  const Polynomial* canon_lookup(std::size_t hash, const Expression& e,
+                                 bool exact_division);
+  /// Records a conversion (clones `e` as the collision-proof key).
+  void canon_insert(std::size_t hash, const Expression& e,
+                    bool exact_division, const Polynomial& p);
+  void clear_canon_cache();
+  std::uint64_t canon_hits() const { return canon_hits_; }
+  std::uint64_t canon_misses() const { return canon_misses_; }
+  std::size_t canon_entries() const { return canon_.size(); }
+
  private:
+  struct CanonEntry {
+    ExprPtr key;        ///< structural clone guarding against collisions
+    Polynomial* poly;   ///< owned; raw to keep Polynomial incomplete here
+    bool exact_division;
+    CanonEntry(ExprPtr k, Polynomial* p, bool m)
+        : key(std::move(k)), poly(p), exact_division(m) {}
+    CanonEntry(CanonEntry&& o) noexcept
+        : key(std::move(o.key)), poly(o.poly), exact_division(o.exact_division) {
+      o.poly = nullptr;
+    }
+    CanonEntry& operator=(CanonEntry&&) = delete;
+    CanonEntry(const CanonEntry&) = delete;
+    ~CanonEntry();
+  };
+
   std::vector<ExprPtr> atoms_;
-  std::multimap<std::size_t, AtomId> buckets_;
+  std::vector<std::size_t> hashes_;  ///< atom id -> structural hash
+  std::unordered_multimap<std::size_t, AtomId> index_;
+  std::unordered_map<const Symbol*, AtomId> symbol_ids_;  ///< VarRef fast path
+  std::unordered_multimap<std::size_t, CanonEntry> canon_;
+  bool canon_enabled_ = true;
+  std::uint64_t canon_hits_ = 0;
+  std::uint64_t canon_misses_ = 0;
+};
+
+/// Sorted (AtomId, power) factor list with a four-entry inline buffer.
+/// Nearly every monomial the suite produces has <= 3 factors (the TRFD
+/// subscript peaks at two), so products and comparisons run entirely out
+/// of the inline storage; longer factor lists spill to a heap vector.
+class FactorVec {
+ public:
+  using value_type = std::pair<AtomId, int>;
+
+  FactorVec() = default;
+
+  const value_type* begin() const { return data(); }
+  const value_type* end() const { return data() + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const value_type& operator[](std::size_t i) const { return data()[i]; }
+
+  void emplace_back(AtomId id, int power) {
+    if (size_ < kInline) {
+      inline_[size_] = value_type(id, power);
+    } else {
+      if (size_ == kInline)
+        heap_.assign(inline_.begin(), inline_.end());
+      heap_.emplace_back(id, power);
+    }
+    ++size_;
+  }
+  void push_back(const value_type& v) { emplace_back(v.first, v.second); }
+
+  bool operator==(const FactorVec& o) const {
+    if (size_ != o.size_) return false;
+    const value_type* a = data();
+    const value_type* b = o.data();
+    for (std::size_t i = 0; i < size_; ++i)
+      if (a[i] != b[i]) return false;
+    return true;
+  }
+  bool operator<(const FactorVec& o) const {
+    const value_type* a = data();
+    const value_type* b = o.data();
+    const std::size_t n = size_ < o.size_ ? size_ : o.size_;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a[i] < b[i]) return true;
+      if (b[i] < a[i]) return false;
+    }
+    return size_ < o.size_;
+  }
+
+ private:
+  static constexpr std::size_t kInline = 4;
+  std::array<value_type, kInline> inline_{};
+  std::vector<value_type> heap_;
+  std::uint32_t size_ = 0;
+
+  const value_type* data() const {
+    return size_ <= kInline ? inline_.data() : heap_.data();
+  }
 };
 
 /// A product of atom powers, e.g. n^2 * i.  Factors sorted by AtomId.
@@ -106,9 +236,7 @@ class Monomial {
   Monomial() = default;  // the empty product == 1
   static Monomial atom(AtomId id, int power = 1);
 
-  const std::vector<std::pair<AtomId, int>>& factors() const {
-    return factors_;
-  }
+  const FactorVec& factors() const { return factors_; }
   bool is_unit() const { return factors_.empty(); }
   int degree() const;
   int degree_in(AtomId id) const;
@@ -122,12 +250,18 @@ class Monomial {
   bool operator==(const Monomial& o) const { return factors_ == o.factors_; }
 
  private:
-  std::vector<std::pair<AtomId, int>> factors_;
+  FactorVec factors_;
 };
 
-/// Canonical polynomial: map monomial -> nonzero rational coefficient.
+/// Canonical polynomial: flat list of (monomial, nonzero rational
+/// coefficient) terms, sorted by monomial — the same order the previous
+/// std::map representation iterated in, so term order in printed output
+/// is unchanged.
 class Polynomial {
  public:
+  using Term = std::pair<Monomial, Rational>;
+  using TermList = std::vector<Term>;
+
   Polynomial() = default;  // zero
   static Polynomial constant(const Rational& r);
   static Polynomial atom(AtomId id);
@@ -138,6 +272,10 @@ class Polynomial {
   /// Polaris assumption for compiler-generated subscripts) folds e/c into a
   /// rational scaling; false keeps e/c as an opaque atom (sound for
   /// arbitrary Fortran integer division, which truncates).
+  ///
+  /// Conversions of interior nodes are memoized in the thread-bound
+  /// AtomTable's canonicalization cache (see AtomTable::canon_lookup);
+  /// a hit returns the cached polynomial without re-walking the subtree.
   static Polynomial from_expr(const Expression& e,
                               bool exact_division = true);
 
@@ -146,7 +284,7 @@ class Polynomial {
   /// Requires is_constant().
   Rational constant_value() const;
 
-  const std::map<Monomial, Rational>& terms() const { return terms_; }
+  const TermList& terms() const { return terms_; }
   Rational coefficient(const Monomial& m) const;
   int degree_in(AtomId id) const;
   bool contains(AtomId id) const { return degree_in(id) > 0; }
@@ -183,7 +321,10 @@ class Polynomial {
 
  private:
   void add_term(const Monomial& m, const Rational& c);
-  std::map<Monomial, Rational> terms_;
+  /// Sorts `raw` by monomial, sums equal monomials, drops zeros, and
+  /// installs the result (product/substitution accumulation path).
+  static Polynomial normalized(TermList raw);
+  TermList terms_;
 };
 
 /// Faulhaber polynomial S_k(n) = sum_{i=1}^{n} i^k, as a Polynomial in the

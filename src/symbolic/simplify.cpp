@@ -29,12 +29,29 @@ bool is_arith_kind(const Expression& e) {
   return false;
 }
 
-ExprPtr simplify_rec(const Expression& e);
+/// A simplified expression with its node count threaded alongside, so the
+/// canonical-vs-structural size race at every integer subtree compares
+/// counts accumulated during the rewrite instead of re-walking both
+/// results at every level (which made simplification quadratic in depth).
+struct SimpRes {
+  ExprPtr e;
+  int n;
+};
 
-ExprPtr simplify_children(const Expression& e) {
+SimpRes simplify_rec(const Expression& e);
+
+/// Structural rewrite: the node itself with each child simplified.
+/// Count identity: walk() visits a node then its children, so the total
+/// is one plus the simplified children's counts.
+SimpRes simplify_children(const Expression& e) {
   ExprPtr copy = e.clone();
-  for (ExprPtr* slot : copy->children()) *slot = simplify_rec(**slot);
-  return copy;
+  int n = 1;
+  for (ExprPtr* slot : copy->children()) {
+    SimpRes child = simplify_rec(**slot);
+    n += child.n;
+    *slot = std::move(child.e);
+  }
+  return {std::move(copy), n};
 }
 
 std::optional<double> fold_real(const Expression& e) {
@@ -48,52 +65,70 @@ std::optional<double> fold_real(const Expression& e) {
   }
 }
 
-ExprPtr simplify_float_binop(const BinOp& b, ExprPtr l, ExprPtr r) {
-  auto lv = fold_real(*l);
-  auto rv = fold_real(*r);
+SimpRes simplify_float_binop(const BinOp& b, SimpRes l, SimpRes r) {
+  auto lv = fold_real(*l.e);
+  auto rv = fold_real(*r.e);
   bool dbl = b.type().kind() == TypeKind::DoublePrecision;
   if (lv && rv) {
     switch (b.op()) {
-      case BinOpKind::Add: return ib::rc(*lv + *rv, dbl);
-      case BinOpKind::Sub: return ib::rc(*lv - *rv, dbl);
-      case BinOpKind::Mul: return ib::rc(*lv * *rv, dbl);
+      case BinOpKind::Add: return {ib::rc(*lv + *rv, dbl), 1};
+      case BinOpKind::Sub: return {ib::rc(*lv - *rv, dbl), 1};
+      case BinOpKind::Mul: return {ib::rc(*lv * *rv, dbl), 1};
       case BinOpKind::Div:
-        if (*rv != 0.0) return ib::rc(*lv / *rv, dbl);
+        if (*rv != 0.0) return {ib::rc(*lv / *rv, dbl), 1};
         break;
       default:
         break;
     }
   }
   // Identities (exact in IEEE arithmetic for these operand positions).
+  // A floating operand must already have the BinOp's floating kind: in
+  // mixed-precision expressions like `real_x - 0.0d0` the operation's
+  // double type is part of the semantics, and returning the bare REAL
+  // operand would silently demote the subtree (and vice versa for a
+  // DOUBLE operand in a REAL-typed operation).  Integer operands stay
+  // foldable — the value is exact and the context converts.
+  auto keeps_type = [&](const SimpRes& kept) {
+    return !kept.e->type().is_floating() ||
+           kept.e->type().kind() == b.type().kind();
+  };
   if (rv && *rv == 0.0 &&
-      (b.op() == BinOpKind::Add || b.op() == BinOpKind::Sub))
+      (b.op() == BinOpKind::Add || b.op() == BinOpKind::Sub) &&
+      keeps_type(l))
     return l;
-  if (lv && *lv == 0.0 && b.op() == BinOpKind::Add) return r;
+  if (lv && *lv == 0.0 && b.op() == BinOpKind::Add && keeps_type(r)) return r;
   if (rv && *rv == 1.0 &&
-      (b.op() == BinOpKind::Mul || b.op() == BinOpKind::Div))
+      (b.op() == BinOpKind::Mul || b.op() == BinOpKind::Div) &&
+      keeps_type(l))
     return l;
-  if (lv && *lv == 1.0 && b.op() == BinOpKind::Mul) return r;
-  return ib::bin(b.op(), std::move(l), std::move(r));
+  if (lv && *lv == 1.0 && b.op() == BinOpKind::Mul && keeps_type(r)) return r;
+  int n = 1 + l.n + r.n;
+  return {ib::bin(b.op(), std::move(l.e), std::move(r.e)), n};
 }
 
-ExprPtr simplify_rec(const Expression& e) {
+SimpRes simplify_rec(const Expression& e) {
   // Integer arithmetic: canonical polynomial round trip, kept only when it
-  // does not grow the tree.
+  // does not grow the tree.  The structural rewrite must still be built —
+  // its size decides the race, and its nested subtrees run their own races
+  // (whose statistics are part of the deterministic compile record) — but
+  // from_expr is memoized in the AtomTable's canonicalization cache, so
+  // the nested conversions the structural recursion triggers are hits.
   if (is_arith_kind(e) && e.type().is_integer()) {
     Polynomial p = Polynomial::from_expr(e, /*exact_division=*/false);
     ExprPtr canon = p.to_expr();
-    ExprPtr structural = simplify_children(e);
-    if (node_count(*canon) <= node_count(*structural)) {
+    int canon_n = node_count(*canon);
+    SimpRes structural = simplify_children(e);
+    if (canon_n <= structural.n) {
       ++canonical_roundtrips;
-      return canon;
+      return {std::move(canon), canon_n};
     }
     return structural;
   }
   switch (e.kind()) {
     case ExprKind::BinOp: {
       const auto& b = static_cast<const BinOp&>(e);
-      ExprPtr l = simplify_rec(b.left());
-      ExprPtr r = simplify_rec(b.right());
+      SimpRes l = simplify_rec(b.left());
+      SimpRes r = simplify_rec(b.right());
       if (is_arithmetic(b.op()) && b.type().is_floating())
         return simplify_float_binop(b, std::move(l), std::move(r));
       if (b.op() == BinOpKind::And || b.op() == BinOpKind::Or) {
@@ -103,53 +138,57 @@ ExprPtr simplify_rec(const Expression& e) {
             return static_cast<const LogicalConst&>(x).value();
           return std::nullopt;
         };
-        auto lb = as_bool(*l), rb = as_bool(*r);
+        auto lb = as_bool(*l.e), rb = as_bool(*r.e);
         if (b.op() == BinOpKind::And) {
-          if (lb && !*lb) return ib::lc(false);
-          if (rb && !*rb) return ib::lc(false);
+          if (lb && !*lb) return {ib::lc(false), 1};
+          if (rb && !*rb) return {ib::lc(false), 1};
           if (lb && *lb) return r;
           if (rb && *rb) return l;
         } else {
-          if (lb && *lb) return ib::lc(true);
-          if (rb && *rb) return ib::lc(true);
+          if (lb && *lb) return {ib::lc(true), 1};
+          if (rb && *rb) return {ib::lc(true), 1};
           if (lb && !*lb) return r;
           if (rb && !*rb) return l;
         }
       }
       if (is_comparison(b.op())) {
         // Fold comparisons of constants via the polynomial difference.
-        Polynomial d = Polynomial::from_expr(*l, false) -
-                       Polynomial::from_expr(*r, false);
+        Polynomial d = Polynomial::from_expr(*l.e, false) -
+                       Polynomial::from_expr(*r.e, false);
         if (d.is_constant()) {
           ++comparisons_folded;
           int s = d.constant_value().sign();
           switch (b.op()) {
-            case BinOpKind::Lt: return ib::lc(s < 0);
-            case BinOpKind::Le: return ib::lc(s <= 0);
-            case BinOpKind::Gt: return ib::lc(s > 0);
-            case BinOpKind::Ge: return ib::lc(s >= 0);
-            case BinOpKind::Eq: return ib::lc(s == 0);
-            case BinOpKind::Ne: return ib::lc(s != 0);
+            case BinOpKind::Lt: return {ib::lc(s < 0), 1};
+            case BinOpKind::Le: return {ib::lc(s <= 0), 1};
+            case BinOpKind::Gt: return {ib::lc(s > 0), 1};
+            case BinOpKind::Ge: return {ib::lc(s >= 0), 1};
+            case BinOpKind::Eq: return {ib::lc(s == 0), 1};
+            case BinOpKind::Ne: return {ib::lc(s != 0), 1};
             default: break;
           }
         }
       }
-      return ib::bin(b.op(), std::move(l), std::move(r));
+      int n = 1 + l.n + r.n;
+      return {ib::bin(b.op(), std::move(l.e), std::move(r.e)), n};
     }
     case ExprKind::UnOp: {
       const auto& u = static_cast<const UnOp&>(e);
-      ExprPtr op = simplify_rec(u.operand());
+      SimpRes op = simplify_rec(u.operand());
       if (u.op() == UnOpKind::Not &&
-          op->kind() == ExprKind::LogicalConst)
-        return ib::lc(!static_cast<const LogicalConst&>(*op).value());
+          op.e->kind() == ExprKind::LogicalConst)
+        return {ib::lc(!static_cast<const LogicalConst&>(*op.e).value()), 1};
       if (u.op() == UnOpKind::Neg) {
-        if (auto v = fold_real(*op)) {
-          if (op->kind() == ExprKind::IntConst)
-            return ib::ic(-static_cast<const IntConst&>(*op).value());
-          return ib::rc(-*v, op->type().kind() == TypeKind::DoublePrecision);
+        if (auto v = fold_real(*op.e)) {
+          if (op.e->kind() == ExprKind::IntConst)
+            return {ib::ic(-static_cast<const IntConst&>(*op.e).value()), 1};
+          return {ib::rc(-*v,
+                         op.e->type().kind() == TypeKind::DoublePrecision),
+                  1};
         }
       }
-      return std::make_unique<UnOp>(u.op(), std::move(op));
+      int n = 1 + op.n;
+      return {std::make_unique<UnOp>(u.op(), std::move(op.e)), n};
     }
     default:
       return simplify_children(e);
@@ -158,11 +197,11 @@ ExprPtr simplify_rec(const Expression& e) {
 
 }  // namespace
 
-ExprPtr simplify(const Expression& e) { return simplify_rec(e); }
+ExprPtr simplify(const Expression& e) { return simplify_rec(e).e; }
 
 void simplify_in_place(ExprPtr& e) {
   p_assert(e != nullptr);
-  e = simplify_rec(*e);
+  e = simplify_rec(*e).e;
 }
 
 bool try_fold_int(const Expression& e, std::int64_t* out) {

@@ -1,0 +1,108 @@
+// Symbolic-kernel statistics baseline (the `bench-smoke` battery).
+//
+// The hot-path rework (hash-consed atoms, flat polynomial terms, memoized
+// canonicalization, counter-guided range-test search) must change *speed*
+// and nothing else.  The statistic deltas of a whole-suite compile are the
+// cheapest observable proxy for "nothing else": every extra or missing
+// `simplify.canonical_roundtrips` or `rangetest.permutations_tried` tick
+// means the engine took a different decision path somewhere.  This test
+// compiles all 16 suite codes as one program at -jobs=1 and asserts the
+// per-compile deltas against the checked-in baseline
+// (tests/data/stats_baseline.json, the values the `-report-json` stats
+// section carries).  An intentional algorithm change updates the baseline
+// file in the same commit; an accidental one fails here.
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.h"
+#include "suite/suite.h"
+#include "support/json.h"
+
+namespace polaris {
+namespace {
+
+/// All 16 suite codes as units of one program (the bench_scaling shape):
+/// each mini's `program <name>` card demoted to `subroutine <name>` under
+/// a trivial driver.
+std::string combined_suite_source() {
+  std::string src = "      program driver\n      end\n";
+  for (const BenchProgram& bp : benchmark_suite()) {
+    std::string body = bp.source;
+    const std::string card = "program " + bp.name;
+    std::size_t at = body.find(card);
+    if (at != std::string::npos)
+      body.replace(at, card.size(), "subroutine " + bp.name);
+    src += body;
+    if (!body.empty() && body.back() != '\n') src += '\n';
+  }
+  return src;
+}
+
+std::map<std::string, std::int64_t> load_baseline() {
+  std::ifstream in(POLARIS_STATS_BASELINE);
+  std::ostringstream text;
+  text << in.rdbuf();
+  JsonValue doc = parse_json(text.str());
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [key, value] : doc.members)
+    out[key] = static_cast<std::int64_t>(value.number);
+  return out;
+}
+
+TEST(StatsBaseline, SuiteCompileDeltasMatchCheckedInBaseline) {
+  ASSERT_TRUE(std::ifstream(POLARIS_STATS_BASELINE).good())
+      << "baseline file missing: " << POLARIS_STATS_BASELINE;
+  std::map<std::string, std::int64_t> baseline = load_baseline();
+  ASSERT_FALSE(baseline.empty());
+
+  Options opts = Options::polaris();
+  opts.jobs = 1;
+  Compiler compiler(opts);
+  CompileReport rep;
+  compiler.compile(combined_suite_source(), &rep);
+
+  std::map<std::string, std::int64_t> got;
+  for (const StatisticValue& s : rep.stats)
+    got[s.component + "." + s.name] = s.value;
+
+  // Every baselined counter must be present with exactly its recorded
+  // value — and no counter may appear that the baseline does not know
+  // (a new statistic that fires during suite compiles belongs in the
+  // baseline file, in the same commit that introduces it).
+  for (const auto& [key, expected] : baseline) {
+    auto it = got.find(key);
+    ASSERT_NE(it, got.end()) << "counter disappeared: " << key;
+    EXPECT_EQ(it->second, expected) << key;
+  }
+  for (const auto& [key, value] : got)
+    EXPECT_TRUE(baseline.count(key))
+        << "unbaselined counter fired during the suite compile: " << key
+        << " = " << value;
+}
+
+// The cache-off compile takes the slow path through every conversion yet
+// must land on the identical decision record.
+TEST(StatsBaseline, CacheOffCompileMatchesSameBaseline) {
+  std::map<std::string, std::int64_t> baseline = load_baseline();
+  Options opts = Options::polaris();
+  opts.jobs = 1;
+  opts.symbolic_canon_cache = false;
+  Compiler compiler(opts);
+  CompileReport rep;
+  compiler.compile(combined_suite_source(), &rep);
+  std::map<std::string, std::int64_t> got;
+  for (const StatisticValue& s : rep.stats)
+    got[s.component + "." + s.name] = s.value;
+  for (const auto& [key, expected] : baseline) {
+    auto it = got.find(key);
+    ASSERT_NE(it, got.end()) << key;
+    EXPECT_EQ(it->second, expected) << key;
+  }
+}
+
+}  // namespace
+}  // namespace polaris

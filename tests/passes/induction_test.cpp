@@ -121,7 +121,7 @@ TEST(InductionTest, TriangularCascadedFigure1) {
   Polynomial sub = Polynomial::from_expr(
       *static_cast<const ArrayRef&>(lhs).subscripts()[0]);
   auto atom = [&](const char* name) {
-    return AtomTable::instance().intern_symbol(
+    return AtomTable::current().intern_symbol(
         f.unit->symtab().lookup(name));
   };
   std::int64_t k1 = 0, k2 = 0;
@@ -296,11 +296,11 @@ TEST(InductionTest, SemanticsPreservedNumerically) {
   ASSERT_EQ(lhs.kind(), ExprKind::ArrayRef);
   Polynomial sub = Polynomial::from_expr(
       *static_cast<const ArrayRef&>(lhs).subscripts()[0]);
-  AtomId ai = AtomTable::instance().intern_symbol(
+  AtomId ai = AtomTable::current().intern_symbol(
       f.unit->symtab().lookup("i"));
-  AtomId aj = AtomTable::instance().intern_symbol(
+  AtomId aj = AtomTable::current().intern_symbol(
       f.unit->symtab().lookup("j"));
-  AtomId ak = AtomTable::instance().intern_symbol(
+  AtomId ak = AtomTable::current().intern_symbol(
       f.unit->symtab().lookup("k"));
   std::int64_t expect = 0;
   for (std::int64_t i = 1; i <= 10; ++i) {

@@ -17,9 +17,9 @@ class CompareTest : public ::testing::Test {
   Symbol* k = symtab.declare("k", Type::integer(), SymbolKind::Variable);
   Symbol* n = symtab.declare("n", Type::integer(), SymbolKind::Variable);
   Symbol* m = symtab.declare("m", Type::integer(), SymbolKind::Variable);
-  AtomId ai = AtomTable::instance().intern_symbol(i);
-  AtomId aj = AtomTable::instance().intern_symbol(j);
-  AtomId an = AtomTable::instance().intern_symbol(n);
+  AtomId ai = AtomTable::current().intern_symbol(i);
+  AtomId aj = AtomTable::current().intern_symbol(j);
+  AtomId an = AtomTable::current().intern_symbol(n);
 
   ExprPtr E(const std::string& text) { return parse_expression(text, symtab); }
   Polynomial P(const std::string& text) {
@@ -119,7 +119,7 @@ TEST_F(CompareTest, EliminateRangeEndpoints) {
   FactContext ctx;
   ctx.add_loop(j, *E("1"), *E("n"));
   Extremes ex = eliminate_range(P("k + 1"),
-                                AtomTable::instance().intern_symbol(k),
+                                AtomTable::current().intern_symbol(k),
                                 P("0"), P("j - 1"), ctx);
   ASSERT_TRUE(ex.min.has_value());
   ASSERT_TRUE(ex.max.has_value());
@@ -179,7 +179,7 @@ TEST_F(CompareTest, EliminationRankOrdersInnerFirst) {
   FactContext ctx;
   ctx.add_loop(j, *E("1"), *E("n"));
   ctx.add_loop(k, *E("1"), *E("j"));
-  ctx.set_rank(AtomTable::instance().intern_symbol(k), 2);
+  ctx.set_rank(AtomTable::current().intern_symbol(k), 2);
   ctx.set_rank(aj, 1);
   EXPECT_TRUE(prove_le(*E("k"), *E("n"), ctx));
 }

@@ -12,8 +12,8 @@ class ContextTest : public ::testing::Test {
   SymbolTable symtab;
   Symbol* i = symtab.declare("i", Type::integer(), SymbolKind::Variable);
   Symbol* n = symtab.declare("n", Type::integer(), SymbolKind::Variable);
-  AtomId ai = AtomTable::instance().intern_symbol(i);
-  AtomId an = AtomTable::instance().intern_symbol(n);
+  AtomId ai = AtomTable::current().intern_symbol(i);
+  AtomId an = AtomTable::current().intern_symbol(n);
 
   Polynomial P(const std::string& text) {
     ExprPtr e = parse_expression(text, symtab);

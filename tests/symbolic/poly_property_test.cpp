@@ -90,7 +90,7 @@ TEST_P(PolySemantics, CanonicalFormMatchesDirectEvaluation) {
       std::int64_t value = gen.pick(9) - 4;
       env[v] = value;
       substituted = substituted.substitute(
-          AtomTable::instance().intern_symbol(v),
+          AtomTable::current().intern_symbol(v),
           Polynomial::constant(Rational(value)));
     }
     ASSERT_TRUE(substituted.is_constant()) << e->to_string();

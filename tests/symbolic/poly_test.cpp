@@ -15,10 +15,10 @@ class PolyTest : public ::testing::Test {
   Symbol* j = symtab.declare("j", Type::integer(), SymbolKind::Variable);
   Symbol* k = symtab.declare("k", Type::integer(), SymbolKind::Variable);
   Symbol* n = symtab.declare("n", Type::integer(), SymbolKind::Variable);
-  AtomId ai = AtomTable::instance().intern_symbol(i);
-  AtomId aj = AtomTable::instance().intern_symbol(j);
-  AtomId ak = AtomTable::instance().intern_symbol(k);
-  AtomId an = AtomTable::instance().intern_symbol(n);
+  AtomId ai = AtomTable::current().intern_symbol(i);
+  AtomId aj = AtomTable::current().intern_symbol(j);
+  AtomId ak = AtomTable::current().intern_symbol(k);
+  AtomId an = AtomTable::current().intern_symbol(n);
 
   Polynomial P(const std::string& text) {
     ExprPtr e = parse_expression(text, symtab);
@@ -29,9 +29,9 @@ class PolyTest : public ::testing::Test {
 TEST_F(PolyTest, InterningSharesEqualAtoms) {
   ExprPtr e1 = ib::var(n);
   ExprPtr e2 = ib::var(n);
-  EXPECT_EQ(AtomTable::instance().intern(*e1),
-            AtomTable::instance().intern(*e2));
-  EXPECT_EQ(AtomTable::instance().symbol(an), n);
+  EXPECT_EQ(AtomTable::current().intern(*e1),
+            AtomTable::current().intern(*e2));
+  EXPECT_EQ(AtomTable::current().symbol(an), n);
 }
 
 TEST_F(PolyTest, CanonicalizationCancels) {
@@ -122,7 +122,7 @@ TEST_F(PolyTest, ForwardDifferenceTrfdMiddle) {
 
 TEST_F(PolyTest, FaulhaberIdentities) {
   // S_k(m) - S_k(m-1) == m^k must hold identically for every k.
-  AtomId m = AtomTable::instance().intern_symbol(
+  AtomId m = AtomTable::current().intern_symbol(
       symtab.declare("mfaul", Type::integer(), SymbolKind::Variable));
   for (int kdeg = 0; kdeg <= 6; ++kdeg) {
     Polynomial sk = faulhaber(kdeg, m);
@@ -134,7 +134,7 @@ TEST_F(PolyTest, FaulhaberIdentities) {
 }
 
 TEST_F(PolyTest, FaulhaberNumeric) {
-  AtomId m = AtomTable::instance().intern_symbol(
+  AtomId m = AtomTable::current().intern_symbol(
       symtab.declare("mnum", Type::integer(), SymbolKind::Variable));
   // S_2(5) = 1+4+9+16+25 = 55, S_3(4) = 100, S_6(3) = 1 + 64 + 729 = 794.
   auto eval = [&](int kdeg, std::int64_t v) {
@@ -192,6 +192,140 @@ TEST_F(PolyTest, AtomsListsAllIndeterminates) {
   Polynomial p = P("i*n + j");
   auto atoms = p.atoms();
   EXPECT_EQ(atoms.size(), 3u);
+}
+
+// --- hash-consing index: rollback and remap --------------------------------
+
+TEST_F(PolyTest, TruncateRollsBackHashIndex) {
+  AtomTable table;
+  AtomTable::Scope scope(&table);
+  AtomId a = table.intern_symbol(i);
+  AtomId b = table.intern_symbol(j);
+  EXPECT_EQ(table.size(), 2u);
+  ExprPtr sum = ib::add(ib::var(i), ib::var(j));
+  AtomId s = table.intern(*sum);
+  EXPECT_EQ(table.size(), 3u);
+
+  table.truncate(2);
+  EXPECT_EQ(table.size(), 2u);
+  // Retained ids answer through the index unchanged...
+  EXPECT_EQ(table.intern_symbol(i), a);
+  EXPECT_EQ(table.intern_symbol(j), b);
+  // ...and the dropped expression re-interns into the freed id, exactly
+  // as in a run that never interned it before the rollback.
+  EXPECT_EQ(table.intern(*sum), s);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST_F(PolyTest, TruncateDropsSymbolFastPath) {
+  AtomTable table;
+  AtomTable::Scope scope(&table);
+  table.intern_symbol(i);
+  AtomId b = table.intern_symbol(j);
+  table.truncate(static_cast<std::size_t>(b));
+  // j's dropped fast-path entry must not resurrect the stale id: an
+  // unrelated intern takes the freed slot first.
+  ExprPtr other = ib::add(ib::var(k), ib::ic(1));
+  AtomId o = table.intern(*other);
+  EXPECT_EQ(o, b);  // freed id reused by the next intern, whatever it is
+  AtomId j2 = table.intern_symbol(j);
+  EXPECT_NE(j2, o);
+  EXPECT_EQ(table.symbol(j2), j);
+}
+
+TEST_F(PolyTest, RemapRewritesAtomsAndRebuildsIndex) {
+  SymbolTable clone_tab;
+  Symbol* ic2 = clone_tab.declare("i", Type::integer(), SymbolKind::Variable);
+  AtomTable table;
+  AtomTable::Scope scope(&table);
+  AtomId a = table.intern_symbol(i);
+  ExprPtr prod = ib::mul(ib::var(i), ib::var(n));
+  AtomId p = table.intern(*prod);
+
+  SymbolMap<Symbol*> map;
+  map[i] = ic2;
+  table.remap(map);
+
+  // The clone inherits the original's atom id through the rebuilt index,
+  // for both the VarRef fast path and structural interning.
+  EXPECT_EQ(table.intern_symbol(ic2), a);
+  EXPECT_EQ(table.symbol(a), ic2);
+  ExprPtr prod2 = ib::mul(ib::var(ic2), ib::var(n));
+  EXPECT_EQ(table.intern(*prod2), p);
+  EXPECT_EQ(table.size(), 2u);  // i and i*n — nothing new interned
+}
+
+TEST_F(PolyTest, RemapCollisionKeepsLowestId) {
+  // Two distinct symbols remapped onto the same target: both old atoms
+  // become structurally equal, and interning resolves to the lowest id
+  // (the same answer the pre-remap table would give for the first one).
+  AtomTable table;
+  AtomTable::Scope scope(&table);
+  AtomId a = table.intern_symbol(i);
+  AtomId b = table.intern_symbol(j);
+  ASSERT_LT(a, b);
+  SymbolMap<Symbol*> map;
+  map[i] = k;
+  map[j] = k;
+  table.remap(map);
+  EXPECT_EQ(table.intern_symbol(k), a);
+  VarRef kref(k);
+  EXPECT_EQ(table.intern(kref), a);
+}
+
+// --- canonicalization cache -------------------------------------------------
+
+TEST_F(PolyTest, CanonCacheHitsOnRepeatedConversion) {
+  AtomTable table;
+  AtomTable::Scope scope(&table);
+  ExprPtr e = parse_expression("i*(n**2 + n) + j**2 - j", symtab);
+  Polynomial first = Polynomial::from_expr(*e);
+  std::uint64_t hits_before = table.canon_hits();
+  Polynomial second = Polynomial::from_expr(*e);
+  EXPECT_GT(table.canon_hits(), hits_before);
+  EXPECT_TRUE((first - second).is_zero());
+  EXPECT_GT(table.canon_entries(), 0u);
+}
+
+TEST_F(PolyTest, CanonCacheKeyedByDivisionMode) {
+  AtomTable table;
+  AtomTable::Scope scope(&table);
+  ExprPtr e = parse_expression("(j*j - j)/2 + i", symtab);
+  Polynomial exact = Polynomial::from_expr(*e, /*exact_division=*/true);
+  Polynomial trunc = Polynomial::from_expr(*e, /*exact_division=*/false);
+  // The trunc-mode conversion must not be served from the exact-mode
+  // entry: in exact mode the division folds to rational coefficients, in
+  // trunc mode it stays opaque.
+  AtomId aj2 = table.intern_symbol(j);
+  EXPECT_EQ(exact.coefficient(Monomial::atom(aj2, 2)), Rational(1, 2));
+  EXPECT_EQ(trunc.degree_in(aj2), 0);
+}
+
+TEST_F(PolyTest, CanonCacheClearedByTruncateAndRemap) {
+  AtomTable table;
+  AtomTable::Scope scope(&table);
+  ExprPtr e = parse_expression("i + n*2", symtab);
+  Polynomial::from_expr(*e);
+  EXPECT_GT(table.canon_entries(), 0u);
+  table.truncate(0);
+  EXPECT_EQ(table.canon_entries(), 0u);
+
+  Polynomial::from_expr(*e);
+  EXPECT_GT(table.canon_entries(), 0u);
+  table.remap(SymbolMap<Symbol*>{});
+  EXPECT_EQ(table.canon_entries(), 0u);
+}
+
+TEST_F(PolyTest, CanonCacheDisabledStillConverts) {
+  AtomTable table;
+  table.set_canon_cache_enabled(false);
+  AtomTable::Scope scope(&table);
+  ExprPtr e = parse_expression("i*(n+1) + j", symtab);
+  Polynomial p1 = Polynomial::from_expr(*e);
+  Polynomial p2 = Polynomial::from_expr(*e);
+  EXPECT_TRUE((p1 - p2).is_zero());
+  EXPECT_EQ(table.canon_entries(), 0u);
+  EXPECT_EQ(table.canon_hits(), 0u);
 }
 
 }  // namespace

@@ -44,6 +44,26 @@ TEST_F(SimplifyTest, FloatIdentities) {
   EXPECT_EQ(S("x/1.0"), "x");
 }
 
+TEST_F(SimplifyTest, FloatIdentityKeepsDoubleType) {
+  // Mixed precision: x is REAL (implicit typing) but 0.0d0 makes the
+  // operation DOUBLE PRECISION, so returning the bare operand would
+  // silently demote the subtree.  The identity must not fire.
+  EXPECT_NE(S("x - 0.0d0"), "x");
+  EXPECT_NE(S("x*1.0d0"), "x");
+  EXPECT_NE(S("1.0d0*x"), "x");
+  EXPECT_NE(S("x/1.0d0"), "x");
+  // Matching precision folds as before.
+  symtab.declare("d", Type::double_precision(), SymbolKind::Variable);
+  EXPECT_EQ(S("d - 0.0d0"), "d");
+  EXPECT_EQ(S("d*1.0d0"), "d");
+  EXPECT_EQ(S("1.0d0*d"), "d");
+  EXPECT_EQ(S("d/1.0d0"), "d");
+  // Integer operands stay foldable under a floating operation: the value
+  // is exact and the surrounding context converts it either way.
+  EXPECT_EQ(S("i*1.0"), "i");
+  EXPECT_EQ(S("i + 0.0d0"), "i");
+}
+
 TEST_F(SimplifyTest, FloatConstantFolding) {
   EXPECT_EQ(S("1.5 + 2.5"), "4.0");
   EXPECT_EQ(S("3.0*2.0"), "6.0");
