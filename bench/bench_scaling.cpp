@@ -37,14 +37,12 @@ std::string combined_suite_source() {
   return src;
 }
 
-/// Best-of-3 wall-clock of one full compile at the given worker count,
-/// optionally with the symbolic canonicalization cache disabled (the
-/// pre-memoization engine, for the before/after row).
-double compile_wall_ms(const std::string& source, int jobs,
-                       bool canon_cache = true) {
-  Options opts = Options::polaris();
-  opts.jobs = jobs;
-  opts.symbolic_canon_cache = canon_cache;
+/// Best-of-3 wall-clock of one full compile with the given options
+/// (worker count, canonicalization cache, governor ceilings all ride on
+/// `opts`).  `degradations` receives the last round's event count when
+/// non-null.
+double compile_wall_ms_opts(const std::string& source, const Options& opts,
+                            std::size_t* degradations = nullptr) {
   double best = 0.0;
   for (int round = 0; round < 3; ++round) {
     Compiler compiler(opts);
@@ -54,8 +52,18 @@ double compile_wall_ms(const std::string& source, int jobs,
     auto t1 = std::chrono::steady_clock::now();
     double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (round == 0 || ms < best) best = ms;
+    if (degradations != nullptr) *degradations = rep.degradations.size();
   }
   return best;
+}
+
+/// Legacy shape used by the jobs sweep and the canon-cache A/B.
+double compile_wall_ms(const std::string& source, int jobs,
+                       bool canon_cache = true) {
+  Options opts = Options::polaris();
+  opts.jobs = jobs;
+  opts.symbolic_canon_cache = canon_cache;
+  return compile_wall_ms_opts(source, opts);
 }
 
 /// POLARIS_BENCH_JSON=<path> appends one row per jobs value.
@@ -157,6 +165,60 @@ int main() {
       line.set("wall_ms_cache_off", JsonValue::num(best_off));
       line.set("wall_ms_cache_on", JsonValue::num(best_on));
       line.set("speedup", JsonValue::num(cache_speedup));
+      std::fprintf(f, "%s\n", line.serialize().c_str());
+      std::fclose(f);
+    }
+  }
+
+  bench::heading("Resource governor: governed vs ungoverned suite compile");
+
+  // The governed column runs the whole 16-unit program under moderately
+  // hostile ceilings (enough to trip conservative bail-outs and some
+  // ladder rungs); the overhead column is the governed check sites with
+  // ceilings that never trip — the cost of the metering itself.
+  Options ungoverned = Options::polaris();
+  double free_ms = compile_wall_ms_opts(combined, ungoverned);
+
+  Options headroom = ungoverned;
+  headroom.compile_budget_ms = 60000.0;  // armed, never trips
+  headroom.max_poly_terms = 1 << 20;
+  headroom.max_atoms_per_unit = 1 << 20;
+  double headroom_ms = compile_wall_ms_opts(combined, headroom);
+
+  Options hostile = ungoverned;
+  hostile.compile_budget_ms = 0.05;
+  hostile.max_poly_terms = 8;
+  std::size_t hostile_events = 0;
+  double hostile_ms =
+      compile_wall_ms_opts(combined, hostile, &hostile_events);
+
+  std::printf("%-22s %12s %13s\n", "configuration", "wall ms",
+              "degradations");
+  std::printf("%s\n", std::string(49, '-').c_str());
+  std::printf("%-22s %12.3f %13d\n", "ungoverned", free_ms, 0);
+  std::printf("%-22s %12.3f %13d\n", "governed (headroom)", headroom_ms, 0);
+  std::printf("%-22s %12.3f %13zu\n", "governed (hostile)", hostile_ms,
+              hostile_events);
+  std::printf(
+      "\nheadroom vs ungoverned prices the *armed* meter: a thread-local\n"
+      "governor lookup plus a saturating add per symbolic work site (the\n"
+      "ungoverned default pays only an inactive-governor branch).  The\n"
+      "hostile row stays at or below headroom despite ladder retries --\n"
+      "bailed-out analyses do strictly less symbolic work.\n");
+
+  if (const char* path = std::getenv("POLARIS_BENCH_JSON");
+      path != nullptr && *path != '\0') {
+    if (std::FILE* f = std::fopen(path, "a")) {
+      JsonValue line = JsonValue::object();
+      line.set("bench", JsonValue::str("compile-governed"));
+      line.set("codes", JsonValue::num(
+                            static_cast<double>(benchmark_suite().size())));
+      line.set("jobs", JsonValue::num(1));
+      line.set("wall_ms_ungoverned", JsonValue::num(free_ms));
+      line.set("wall_ms_governed_headroom", JsonValue::num(headroom_ms));
+      line.set("wall_ms_governed_hostile", JsonValue::num(hostile_ms));
+      line.set("hostile_degradations",
+               JsonValue::num(static_cast<double>(hostile_events)));
       std::fprintf(f, "%s\n", line.serialize().c_str());
       std::fclose(f);
     }

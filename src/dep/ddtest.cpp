@@ -6,6 +6,7 @@
 #include "dep/linear.h"
 #include "dep/rangetest.h"
 #include "support/context.h"
+#include "support/governor.h"
 #include "support/statistic.h"
 #include "support/trace.h"
 
@@ -25,9 +26,9 @@ std::vector<DoStmt*> common_nest(Statement* s1, Statement* s2) {
 
 enum class PairVerdict { Gcd, Banerjee, RangeTest, Dependent };
 
-PairVerdict test_pair(DoStmt* loop, const ArrayAccess& a,
-                      const ArrayAccess& b, const Options& opts,
-                      AnalysisManager& am) {
+PairVerdict test_pair_impl(DoStmt* loop, const ArrayAccess& a,
+                           const ArrayAccess& b, const Options& opts,
+                           AnalysisManager& am) {
   std::vector<DoStmt*> nest = common_nest(a.stmt, b.stmt);
   p_assert_msg(std::find(nest.begin(), nest.end(), loop) != nest.end(),
                "carrier loop must enclose both accesses");
@@ -56,6 +57,22 @@ PairVerdict test_pair(DoStmt* loop, const ArrayAccess& a,
     }
   }
   return PairVerdict::Dependent;
+}
+
+/// Conservative bail-out boundary around the whole linear battery: a
+/// resource ceiling tripping inside subscript canonicalization or the
+/// linear tests yields "Dependent" — assuming a dependence serializes the
+/// loop, which is always correct.  (The range test has its own inner
+/// boundary; this one covers the gcd/Banerjee path.)
+PairVerdict test_pair(DoStmt* loop, const ArrayAccess& a,
+                      const ArrayAccess& b, const Options& opts,
+                      AnalysisManager& am) {
+  try {
+    return test_pair_impl(loop, a, b, opts, am);
+  } catch (const ResourceBlowup& blow) {
+    note_conservative_bailout("ddtest", blow);
+    return PairVerdict::Dependent;
+  }
 }
 
 POLARIS_STATISTIC("ddtest", pairs_tested,

@@ -8,6 +8,7 @@
 #include "analysis/structure.h"
 #include "dep/regions.h"
 #include "support/context.h"
+#include "support/governor.h"
 #include "support/statistic.h"
 #include "support/trace.h"
 #include "symbolic/simplify.h"
@@ -148,6 +149,21 @@ bool RangeTest::test_dimension(DoStmt* carrier, const Polynomial& f,
 
 bool RangeTest::independent(DoStmt* carrier, const ArrayAccess& a,
                             const ArrayAccess& b) const {
+  try {
+    return independent_impl(carrier, a, b);
+  } catch (const ResourceBlowup& blow) {
+    // Conservative bail-out: the query's symbolic work hit a governor
+    // ceiling.  "Could not prove independence" is always correct; the
+    // partially-built fact context was not cached (pair_fact_context only
+    // caches a compute() that returns), so a later un-governed query
+    // starts clean.
+    note_conservative_bailout("rangetest", blow);
+    return false;
+  }
+}
+
+bool RangeTest::independent_impl(DoStmt* carrier, const ArrayAccess& a,
+                                 const ArrayAccess& b) const {
   p_assert(a.ref->symbol() == b.ref->symbol());
   p_assert(a.ref->rank() == b.ref->rank());
   ++pairs_queried;
@@ -251,6 +267,10 @@ bool RangeTest::independent(DoStmt* carrier, const ArrayAccess& a,
 
   auto try_mask = [&](size_t mask) -> bool {
     ++permutations_tried;
+    // Each visitation order is a unit of symbolic search work; charging
+    // it keeps hostile compile budgets from degenerating into exhaustive
+    // permutation sweeps.
+    if (ResourceGovernor* gov = ResourceGovernor::current()) gov->charge(16);
     std::vector<DoStmt*> fixed;
     for (size_t bit = 0; bit < n_common; ++bit)
       if (mask & (size_t{1} << bit)) fixed.push_back(common[bit]);

@@ -34,10 +34,17 @@ class RangeTest {
   /// True if `carrier` provably carries no dependence between accesses
   /// `a` and `b` (to the same array; at least one a write).  False means
   /// "could not prove", never "dependence proven".
+  ///
+  /// Conservative bail-out boundary: a ResourceBlowup tripping anywhere in
+  /// the query (polynomial term ceiling, atom ceiling, compile fuel)
+  /// yields false — "could not prove" is always a correct answer — and is
+  /// recorded as a governor degradation event, never propagated.
   bool independent(DoStmt* carrier, const ArrayAccess& a,
                    const ArrayAccess& b) const;
 
  private:
+  bool independent_impl(DoStmt* carrier, const ArrayAccess& a,
+                        const ArrayAccess& b) const;
   struct RefRanges {
     std::optional<Polynomial> min;
     std::optional<Polynomial> max;

@@ -118,8 +118,15 @@ void Compiler::transform(Program& program, CompileReport* report,
   AnalysisManager am(&cc);
   PassContext ctx{program, opts_, rep, cc};
   FaultArmGuard inject(cc.fault(), opts_.fault_inject);
+  // Degradation events recorded before this transform (an embedder
+  // reusing one context for several compiles) belong to earlier reports.
+  const std::size_t degradations_base = cc.governor().event_mark();
   PassPipeline::from_options(opts_).run(program, am, ctx);
   rep.analysis = am.stats();
+  rep.degradations.assign(
+      cc.governor().events().begin() +
+          static_cast<std::ptrdiff_t>(degradations_base),
+      cc.governor().events().end());
 
   // The structural verifier always runs once after the pipeline (not just
   // under -verify-each): corrupted IR must never escape into the printed

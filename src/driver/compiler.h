@@ -75,6 +75,11 @@ struct CompileReport {
   /// was rolled back and the compile continued; the driver reports them as
   /// warnings and still exits 0.
   std::vector<PassFailure> failures;
+  /// Resource-governed degradation steps, in deterministic (unit-order)
+  /// sequence: ladder retries, final pass drops, and aggregated
+  /// conservative query bail-outs (see support/governor.h).  Empty for an
+  /// ungoverned compile.
+  std::vector<DegradationEvent> degradations;
 
   /// Repro context stashed just before an InternalError escapes recovery;
   /// the CLI writes it to polaris-crash-<unit>.f for offline debugging.

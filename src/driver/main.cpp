@@ -51,6 +51,22 @@
 //                                      fault aborts (exit 3) and writes a
 //                                      repro bundle to polaris-crash-<unit>.f
 //
+// Resource governor (see support/governor.h):
+//   polaris -compile-budget-ms=N       whole-compile budget as deterministic
+//                                      fuel (N x 50000 logical work ticks);
+//                                      exhaustion degrades, never aborts
+//   polaris -max-poly-terms=N          ceiling on any one symbolic
+//                                      polynomial's term count
+//   polaris -max-atoms-per-unit=N      ceiling on the per-unit atom table
+//   polaris -no-degrade                disable the degradation ladder: a
+//                                      resource trip at a pass boundary
+//                                      drops the pass immediately instead
+//                                      of retrying on cheaper switches
+// Each governor flag (and -pass-budget-ms) also reads a POLARIS_* env var
+// of the same spelling (POLARIS_COMPILE_BUDGET_MS, POLARIS_MAX_POLY_TERMS,
+// POLARIS_MAX_ATOMS_PER_UNIT, POLARIS_PASS_BUDGET_MS) when the flag is
+// absent.
+//
 // A recovered fault still exits 0: the program compiles without the failed
 // pass's transformation on that unit, and a warning goes to stderr.
 #include <cstdio>
@@ -76,6 +92,8 @@ int usage() {
                "usage: polaris [-report] [-diag] [-baseline] [-omp] [-run] "
                "[-seq] [-p N] [-passes=SPEC] [-jobs=N] [-timing] [-verify-each] "
                "[-fault-inject=SPEC] [-pass-budget-ms=N] [-no-recover] "
+               "[-compile-budget-ms=N] [-max-poly-terms=N] "
+               "[-max-atoms-per-unit=N] [-no-degrade] "
                "[-rangetest-max-permutations=N] [-no-canon-cache] "
                "[-trace=FILE] [-stats] [-remarks=FILE] [-report-json=FILE] "
                "file.f\n");
@@ -138,6 +156,52 @@ int parse_rangetest_cap(const std::string& value) {
   return static_cast<int>(n);
 }
 
+/// Parses and validates a governor ceiling (`-max-poly-terms=`,
+/// `-max-atoms-per-unit=`, or its POLARIS_* env spelling).  Accepted
+/// range: a decimal integer >= 1 (omit the switch for unlimited; 0 is
+/// rejected rather than silently meaning "off").
+int parse_ceiling(const char* flag, const std::string& value) {
+  std::size_t pos = 0;
+  long n = 0;
+  try {
+    n = std::stol(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (value.empty() || pos != value.size() || n < 1)
+    throw polaris::UserError("invalid " + std::string(flag) + " value '" +
+                             value +
+                             "' (expected an integer in range [1, 2^31))");
+  return static_cast<int>(std::min<long>(n, 2147483647));
+}
+
+/// Parses and validates a budget (`-compile-budget-ms=` or the
+/// POLARIS_COMPILE_BUDGET_MS / POLARIS_PASS_BUDGET_MS env spelling).
+/// Accepted range: a decimal number > 0 (fractional ms allowed; omit the
+/// switch for unlimited).
+double parse_budget_ms(const char* flag, const std::string& value) {
+  std::size_t pos = 0;
+  double ms = 0.0;
+  try {
+    ms = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (value.empty() || pos != value.size() || !(ms > 0.0))
+    throw polaris::UserError("invalid " + std::string(flag) + " value '" +
+                             value +
+                             "' (expected a number greater than 0)");
+  return ms;
+}
+
+/// Env-var fallback: returns the flag value when given, else the env var's
+/// value when set, else "".
+std::string flag_or_env(const std::string& flag_value, const char* env_name) {
+  if (!flag_value.empty()) return flag_value;
+  if (const char* env = std::getenv(env_name)) return env;
+  return std::string();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,11 +211,13 @@ int main(int argc, char** argv) {
   bool run_mode = false, seq_mode = false, omp = false, timing = false;
   bool passes_given = false;
   bool verify_each = false, no_recover = false;
-  bool stats_mode = false, no_canon_cache = false;
+  bool stats_mode = false, no_canon_cache = false, no_degrade = false;
   double pass_budget_ms = 0.0;
   int processors = 8;
   std::string path, passes_spec, fault_inject, jobs_arg, rangetest_cap_arg;
   std::string trace_path, remarks_path, report_json_path;
+  std::string compile_budget_arg, max_poly_arg, max_atoms_arg;
+  std::string pass_budget_env;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-report") == 0) report_mode = true;
@@ -184,6 +250,14 @@ int main(int argc, char** argv) {
       jobs_arg = argv[i] + 6;
     else if (std::strncmp(argv[i], "-rangetest-max-permutations=", 28) == 0)
       rangetest_cap_arg = argv[i] + 28;
+    else if (std::strncmp(argv[i], "-compile-budget-ms=", 19) == 0)
+      compile_budget_arg = argv[i] + 19;
+    else if (std::strncmp(argv[i], "-max-poly-terms=", 16) == 0)
+      max_poly_arg = argv[i] + 16;
+    else if (std::strncmp(argv[i], "-max-atoms-per-unit=", 20) == 0)
+      max_atoms_arg = argv[i] + 20;
+    else if (std::strcmp(argv[i], "-no-degrade") == 0)
+      no_degrade = true;
     else if (std::strcmp(argv[i], "-no-canon-cache") == 0)
       no_canon_cache = true;
     else if (std::strcmp(argv[i], "-p") == 0 && i + 1 < argc) {
@@ -206,6 +280,15 @@ int main(int argc, char** argv) {
   if (jobs_arg.empty()) {
     if (const char* env = std::getenv("POLARIS_JOBS")) jobs_arg = env;
   }
+  // Governor flags fall back to POLARIS_* env vars; validation happens
+  // below inside the try block so a bad env value gets the same UserError
+  // (with the accepted range) as a bad flag.
+  compile_budget_arg =
+      flag_or_env(compile_budget_arg, "POLARIS_COMPILE_BUDGET_MS");
+  max_poly_arg = flag_or_env(max_poly_arg, "POLARIS_MAX_POLY_TERMS");
+  max_atoms_arg = flag_or_env(max_atoms_arg, "POLARIS_MAX_ATOMS_PER_UNIT");
+  if (pass_budget_ms <= 0.0)
+    pass_budget_env = flag_or_env("", "POLARIS_PASS_BUDGET_MS");
 
   std::ifstream in(path);
   if (!in) {
@@ -245,6 +328,19 @@ int main(int argc, char** argv) {
       compiler.options().rangetest_max_permutations =
           parse_rangetest_cap(rangetest_cap_arg);
     if (no_canon_cache) compiler.options().symbolic_canon_cache = false;
+    if (!compile_budget_arg.empty())
+      compiler.options().compile_budget_ms =
+          parse_budget_ms("-compile-budget-ms", compile_budget_arg);
+    if (!max_poly_arg.empty())
+      compiler.options().max_poly_terms =
+          parse_ceiling("-max-poly-terms", max_poly_arg);
+    if (!max_atoms_arg.empty())
+      compiler.options().max_atoms_per_unit =
+          parse_ceiling("-max-atoms-per-unit", max_atoms_arg);
+    if (!pass_budget_env.empty())
+      compiler.options().pass_budget_ms =
+          parse_budget_ms("-pass-budget-ms", pass_budget_env);
+    if (no_degrade) compiler.options().degradation_ladder = false;
     auto prog = compiler.compile(source, &report);
 
     if (!remarks_path.empty()) {

@@ -260,6 +260,7 @@ const char* to_string(PassFailure::Kind kind) {
     case PassFailure::Kind::Assertion: return "assertion";
     case PassFailure::Kind::Verifier: return "verifier";
     case PassFailure::Kind::Budget: return "budget";
+    case PassFailure::Kind::Resource: return "resource";
   }
   return "?";
 }
@@ -268,14 +269,35 @@ namespace {
 
 constexpr std::size_t kProgramScope = static_cast<std::size_t>(-1);
 
+/// Outcome of one pass attempt (one ladder rung).
+struct AttemptResult {
+  bool failed = false;
+  bool will_retry = false;  ///< rolled back without a PassFailure; ladder retries
+  PassFailure::Kind kind = PassFailure::Kind::Assertion;
+  GovernorTrigger trigger = GovernorTrigger::PassBudget;
+  std::string message;
+  bool injected = false;
+};
+
 /// One pass invocation under fault isolation, against the state of the
 /// given PassContext — the parent compile's for program-scope passes, a
 /// unit shard's inside unit-scope groups.  The unit is addressed by
 /// index, not reference: a rollback swaps the unit object under the
 /// program, and a reference captured before the pass ran would dangle.
-void run_one(Pass& pass, std::size_t unit_index, PassTiming& timing,
-             PassContext& ctx, AnalysisManager& am,
-             const std::string& repro_spec) {
+///
+/// `attempt_opts` are the (possibly ladder-degraded) switches the pass
+/// runs with; everything else — fault recovery, budgets, verify-each —
+/// is read from `ctx.opts`, the user's options.  On failure: a retryable
+/// kind (Budget, Resource — never assertions, verifier violations, or
+/// injected faults) with `allow_retry` rolls all state back and returns
+/// will_retry for the caller's ladder; any other failure takes the full
+/// fault-isolation path (PassFailure record, warning, crash bundle /
+/// rethrow in no-recover mode).
+AttemptResult run_attempt(Pass& pass, std::size_t unit_index,
+                          PassTiming& timing, PassContext& ctx,
+                          const Options& attempt_opts, bool allow_retry,
+                          AnalysisManager& am,
+                          const std::string& repro_spec) {
   Program& program = ctx.program;
   CompileContext& cc = ctx.cc;
   const bool whole_program = unit_index == kProgramScope;
@@ -306,6 +328,7 @@ void run_one(Pass& pass, std::size_t unit_index, PassTiming& timing,
   const std::size_t diags_before = ctx.report.diagnostics.all().size();
   const AnalysisManager::Stats stats_before = am.stats();
   const std::size_t atoms_before = AtomTable::current().size();
+  const std::size_t gov_mark = cc.governor().event_mark();
   IrSize before =
       whole_program ? program_ir_size(program) : unit_ir_size(*unit);
 
@@ -320,33 +343,14 @@ void run_one(Pass& pass, std::size_t unit_index, PassTiming& timing,
   trace::TraceSpan pass_span(&cc.trace(), pass.name(), "pass");
   pass_span.arg("unit", unit_name);
 
-  // Rollback (or, with recovery off, crash-bundle preparation) for one
-  // failed invocation.
-  auto fail = [&](PassFailure::Kind kind, const std::string& message,
-                  bool was_injected) {
+  // Shared unwind for retries and recovered failures: IR, atoms, report
+  // counters, diagnostics, trace, statistics, and the governor's
+  // degradation events all return to the attempt's start.
+  auto rollback_state = [&]() {
     ctx.report.diagnostics.truncate(diags_before);
     ctx.report.inlining = inl_before;
     ctx.report.induction = ind_before;
     ctx.report.doall = doall_before;
-    PassFailure f;
-    f.pass = pass.name();
-    f.unit = unit_name;
-    f.kind = kind;
-    f.message = message;
-    f.injected = was_injected;
-    f.recovered = ctx.opts.fault_recovery;
-    if (!ctx.opts.fault_recovery) {
-      CompileReport::CrashInfo ci;
-      ci.pass = f.pass;
-      ci.unit = f.unit;
-      ci.passes_spec = repro_spec;
-      std::ostringstream os;
-      for (const auto& u : snapshot) print_unit(os, *u);
-      ci.unit_source = os.str();
-      ctx.report.crash = std::move(ci);
-      ctx.report.failures.push_back(std::move(f));
-      return;  // caller (re)throws
-    }
     // Atoms the failed pass interned would shift canonical term ordering
     // in every later polynomial round-trip; drop them, then transfer the
     // surviving atoms' ids to the snapshot's symbols so later passes see
@@ -365,10 +369,41 @@ void run_one(Pass& pass, std::size_t unit_index, PassTiming& timing,
     // Unwind the observability record too: drop trace events emitted
     // inside the failed pass (its own span emits later, at scope exit,
     // and survives), zero statistics back to the pre-pass snapshot, and
-    // leave one instant event marking the rollback itself.
+    // drop any degradation events (query bail-outs) the attempt recorded.
     cc.trace().truncate(trace_mark);
     cc.stats().restore(stats_mark);
+    cc.governor().truncate_events(gov_mark);
     pass_span.arg("rolled_back", "true");
+  };
+
+  // Rollback (or, with recovery off, crash-bundle preparation) for one
+  // finally-failed invocation.
+  auto fail = [&](PassFailure::Kind kind, const std::string& message,
+                  bool was_injected) {
+    PassFailure f;
+    f.pass = pass.name();
+    f.unit = unit_name;
+    f.kind = kind;
+    f.message = message;
+    f.injected = was_injected;
+    f.recovered = ctx.opts.fault_recovery;
+    if (!ctx.opts.fault_recovery) {
+      ctx.report.diagnostics.truncate(diags_before);
+      ctx.report.inlining = inl_before;
+      ctx.report.induction = ind_before;
+      ctx.report.doall = doall_before;
+      CompileReport::CrashInfo ci;
+      ci.pass = f.pass;
+      ci.unit = f.unit;
+      ci.passes_spec = repro_spec;
+      std::ostringstream os;
+      for (const auto& u : snapshot) print_unit(os, *u);
+      ci.unit_source = os.str();
+      ctx.report.crash = std::move(ci);
+      ctx.report.failures.push_back(std::move(f));
+      return;  // caller (re)throws
+    }
+    rollback_state();
     cc.trace().instant("rollback", "fault",
                        {{"pass", pass.name()},
                         {"unit", unit_name},
@@ -384,11 +419,25 @@ void run_one(Pass& pass, std::size_t unit_index, PassTiming& timing,
   };
 
   const auto t0 = std::chrono::steady_clock::now();
-  bool failed = false;
+  AttemptResult result;
   PreservedAnalyses preserved = PreservedAnalyses::all();
   cc.fault().set_scope(pass.name(), unit_name);
+  cc.governor().set_scope(pass.name(), unit_name);
+  // The ladder's attempt switches: the simplifier has no Options
+  // parameter, so its depth limit rides on the governor for the duration
+  // of this attempt (restored below whatever happens).
+  cc.governor().set_simplify_depth_limit(attempt_opts.max_simplify_depth);
+  struct AttemptGuard {
+    CompileContext& cc;
+    int restore_depth;
+    ~AttemptGuard() {
+      cc.governor().set_simplify_depth_limit(restore_depth);
+      cc.governor().clear_scope();
+    }
+  } attempt_guard{cc, ctx.opts.max_simplify_depth};
+  PassContext attempt_ctx{program, attempt_opts, ctx.report, cc, ctx.pure};
   try {
-    preserved = pass.run(*unit, am, ctx);
+    preserved = pass.run(*unit, am, attempt_ctx);
     // An armed injection that found fewer than N assertion sites in this
     // pass/unit still fires, at the unit boundary — so the recovery path
     // is exercisable for every pass regardless of its assertion density.
@@ -396,45 +445,87 @@ void run_one(Pass& pass, std::size_t unit_index, PassTiming& timing,
       throw InternalError(detail::kInjectedCond, "unit-boundary", 0,
                           "deterministic fault injection at unit boundary");
     cc.fault().clear_scope();
+  } catch (const ResourceBlowup& blow) {
+    // A resource ceiling tripped and escaped the conservative query
+    // boundaries (e.g. inside a transformation's own symbolic rewriting,
+    // where a partial rewrite must not be kept).  Retryable.
+    cc.fault().clear_scope();
+    result.failed = true;
+    result.kind = PassFailure::Kind::Resource;
+    result.trigger = blow.trigger();
+    result.message = blow.what();
+    if (!ctx.opts.fault_recovery) {
+      fail(result.kind, result.message, false);
+      throw InternalError("resource-exhausted", pass.name(), 0,
+                          result.message);
+    }
   } catch (const InternalError& e) {
     cc.fault().clear_scope();
-    failed = true;
-    fail(PassFailure::Kind::Assertion, e.what(), e.injected());
+    result.failed = true;
+    result.kind = PassFailure::Kind::Assertion;
+    result.message = e.what();
+    result.injected = e.injected();
+    fail(result.kind, result.message, result.injected);
     if (!ctx.opts.fault_recovery) throw;
   }
   const auto t1 = std::chrono::steady_clock::now();
   const double ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
 
-  if (!failed) {
+  if (!result.failed) {
     am.invalidate(preserved);
     if (ctx.opts.pass_budget_ms > 0.0 && ms > ctx.opts.pass_budget_ms) {
-      failed = true;
+      result.failed = true;
+      result.kind = PassFailure::Kind::Budget;
+      result.trigger = GovernorTrigger::PassBudget;
       std::ostringstream os;
       os << "pass ran " << ms << " ms, budget "
          << ctx.opts.pass_budget_ms << " ms";
-      fail(PassFailure::Kind::Budget, os.str(), false);
-      if (!ctx.opts.fault_recovery)
-        throw InternalError("pass-over-budget", pass.name(), 0, os.str());
+      result.message = os.str();
+      if (!allow_retry) {
+        fail(PassFailure::Kind::Budget, result.message, false);
+        if (!ctx.opts.fault_recovery)
+          throw InternalError("pass-over-budget", pass.name(), 0,
+                              result.message);
+      }
+    } else if (ctx.opts.verify_each) {
+      std::vector<VerifierViolation> vs = whole_program
+                                              ? verify_program(program, &cc)
+                                              : verify_unit(*unit_ptr(), &cc);
+      if (!vs.empty()) {
+        result.failed = true;
+        result.kind = PassFailure::Kind::Verifier;
+        result.message = format_violations(vs);
+        fail(PassFailure::Kind::Verifier, result.message, false);
+        if (!ctx.opts.fault_recovery)
+          throw InternalError("verify-each", pass.name(), 0, result.message);
+      }
     }
   }
-  if (!failed && ctx.opts.verify_each) {
-    std::vector<VerifierViolation> vs = whole_program
-                                            ? verify_program(program, &cc)
-                                            : verify_unit(*unit_ptr(), &cc);
-    if (!vs.empty()) {
-      failed = true;
-      fail(PassFailure::Kind::Verifier, format_violations(vs), false);
-      if (!ctx.opts.fault_recovery)
-        throw InternalError("verify-each", pass.name(), 0,
-                            format_violations(vs));
+
+  // Ladder handoff: a retryable failure that has not been recorded yet
+  // (Resource caught above, Budget detected just now) either rolls back
+  // for the next rung or takes the final-drop path.
+  if (result.failed &&
+      (result.kind == PassFailure::Kind::Resource ||
+       result.kind == PassFailure::Kind::Budget) &&
+      ctx.opts.fault_recovery) {
+    if (allow_retry) {
+      result.will_retry = true;
+      rollback_state();
+      cc.trace().instant("ladder-retry", "governor",
+                         {{"pass", pass.name()},
+                          {"unit", unit_name},
+                          {"trigger", to_string(result.trigger)}});
+    } else if (result.kind == PassFailure::Kind::Resource) {
+      // Budget's final drop was recorded above; Resource's happens here.
+      fail(result.kind, result.message, false);
     }
   }
 
   unit = unit_ptr();  // a rollback replaced the unit object
   IrSize after =
       whole_program ? program_ir_size(program) : unit_ir_size(*unit);
-  ++timing.runs;
   timing.ms += ms;
   timing.diags += static_cast<int>(ctx.report.diagnostics.all().size() -
                                    diags_before);
@@ -448,6 +539,83 @@ void run_one(Pass& pass, std::size_t unit_index, PassTiming& timing,
                        {{"queries", static_cast<std::uint64_t>(s.queries)},
                         {"hits", static_cast<std::uint64_t>(s.hits)}});
   }
+  return result;
+}
+
+/// One (pass, unit) under fault isolation *and* the degradation ladder:
+/// up to kLadderRungs attempts on progressively cheaper switches for
+/// resource failures, then the drop.  Exactly one PassTiming run and at
+/// most one PassFailure are recorded per call, whatever the rung count —
+/// intermediate rungs surface as DegradationEvents and remarks only.
+void run_one(Pass& pass, std::size_t unit_index, PassTiming& timing,
+             PassContext& ctx, AnalysisManager& am,
+             const std::string& repro_spec) {
+  CompileContext& cc = ctx.cc;
+  const bool ladder_on =
+      ctx.opts.fault_recovery && ctx.opts.degradation_ladder;
+  AttemptResult r;
+  int rung = 0;
+  for (;; ++rung) {
+    const bool last_rung = !ladder_on || rung >= kLadderRungs - 1;
+    const Options attempt_opts = degraded_options(ctx.opts, rung);
+    r = run_attempt(pass, unit_index, timing, ctx, attempt_opts,
+                    /*allow_retry=*/!last_rung, am, repro_spec);
+    if (!r.will_retry) break;
+
+    const std::string unit_name =
+        unit_index == kProgramScope
+            ? ctx.program.main()->name()
+            : ctx.program.units()[unit_index]->name();
+    const int next_rung = rung + 1;
+    DegradationEvent ev;
+    ev.pass = pass.name();
+    ev.unit = unit_name;
+    ev.trigger = to_string(r.trigger);
+    ev.action = std::string("retry-") + ladder_rung_name(next_rung);
+    ev.rung = next_rung;
+    // Wall-clock details are scrubbed for byte-determinism; resource
+    // details (tick/term/atom counts) are deterministic and kept.
+    ev.detail = r.kind == PassFailure::Kind::Budget
+                    ? "pass exceeded its wall budget"
+                    : r.message;
+    cc.governor().record_event(std::move(ev));
+    ctx.report.diagnostics.remark(
+        RemarkKind::Analysis, "governor", pass.name() + "/" + unit_name,
+        "pass-degraded",
+        std::string("resource overrun [") + to_string(r.trigger) +
+            "]; retrying " + pass.name() + " with " +
+            ladder_rung_name(next_rung) + " switches",
+        {{"pass", pass.name()},
+         {"rung", ladder_rung_name(next_rung)},
+         {"trigger", to_string(r.trigger)}});
+  }
+
+  if (r.failed && ctx.opts.fault_recovery && !r.injected &&
+      (r.kind == PassFailure::Kind::Budget ||
+       r.kind == PassFailure::Kind::Resource)) {
+    const std::string unit_name =
+        unit_index == kProgramScope
+            ? ctx.program.main()->name()
+            : ctx.program.units()[unit_index]->name();
+    DegradationEvent ev;
+    ev.pass = pass.name();
+    ev.unit = unit_name;
+    ev.trigger = to_string(r.trigger);
+    ev.action = "drop-pass";
+    ev.rung = rung;
+    ev.detail = r.kind == PassFailure::Kind::Budget
+                    ? "every ladder rung exceeded the wall budget"
+                    : r.message;
+    cc.governor().record_event(std::move(ev));
+    ctx.report.diagnostics.remark(
+        RemarkKind::Analysis, "governor",
+        pass.name() + "/" + unit_name, "pass-dropped",
+        std::string("resource overrun [") + to_string(r.trigger) +
+            "] persisted through every ladder rung; " + pass.name() +
+            " dropped on " + unit_name,
+        {{"pass", pass.name()}, {"trigger", to_string(r.trigger)}});
+  }
+  ++timing.runs;
 }
 
 /// Per-unit compilation state.  Everything a worker thread touches while
@@ -502,7 +670,13 @@ void PassPipeline::run_unit_group(std::size_t group_begin,
 
   // Shard setup happens on this thread, in unit order, before any worker
   // runs: collectors adopt the parent's trace epoch and injectors the
-  // parent's armed spec.
+  // parent's armed spec.  Resource ceilings are per-shard (the PR 5
+  // histogram precedent), and the compile-fuel budget is an equal split
+  // of the parent's *remaining* fuel — computed here, while execution is
+  // still serial, so the shares (and with them every degradation point)
+  // are identical at any `-jobs=N`.
+  GovernorLimits shard_limits = limits_from_options(ctx.opts);
+  shard_limits.fuel = ctx.cc.governor().shard_fuel_share(n_units);
   std::vector<std::unique_ptr<UnitShard>> shards;
   shards.reserve(n_units);
   for (std::size_t ui = 0; ui < n_units; ++ui) {
@@ -510,6 +684,7 @@ void PassPipeline::run_unit_group(std::size_t group_begin,
     sh->atoms.set_canon_cache_enabled(ctx.opts.symbolic_canon_cache);
     sh->cc.trace().start_shard_of(ctx.cc.trace());
     if (ctx.cc.fault().armed()) sh->cc.fault().arm(ctx.cc.fault().spec());
+    sh->cc.governor().configure(shard_limits);
     sh->cc.bind_diagnostics(sh->report.diagnostics);
     sh->timings.resize(n_passes);
     for (std::size_t j = 0; j < n_passes; ++j)
@@ -596,6 +771,12 @@ void PassPipeline::run_unit_group(std::size_t group_begin,
 
 void PassPipeline::run(Program& program, AnalysisManager& am,
                        PassContext& ctx) const {
+  // Arm the compile's resource ceilings for the pipeline's duration.
+  // Program-scope passes charge the parent's meter directly; unit groups
+  // split the remaining fuel across their shards.  Disarmed again after
+  // the last pass so post-pipeline work (final verification, report
+  // assembly, printing) can never trip a ceiling it has no recovery for.
+  ctx.cc.governor().configure(limits_from_options(ctx.opts));
   const std::size_t first_timing = ctx.report.pass_timings.size();
   for (const auto& pass : passes_) {
     PassTiming t;
@@ -626,6 +807,7 @@ void PassPipeline::run(Program& program, AnalysisManager& am,
     run_unit_group(i, group_end, first_timing, program, am, ctx);
     i = group_end;
   }
+  ctx.cc.governor().configure(GovernorLimits{});
 }
 
 }  // namespace polaris

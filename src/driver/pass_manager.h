@@ -84,6 +84,8 @@ struct PassFailure {
     Assertion,  ///< a p_assert fired inside the pass (or was injected)
     Verifier,   ///< the post-pass IR verifier found violations
     Budget,     ///< the pass exceeded Options::pass_budget_ms on the unit
+    Resource,   ///< a ResourceGovernor ceiling tripped and escaped to the
+                ///< pass boundary (every degradation-ladder rung failed)
   };
   std::string pass;
   std::string unit;
@@ -153,6 +155,22 @@ class PassPipeline {
   /// `ctx.report.crash`.  With `-jobs=N` a failing unit unwinds only its
   /// own shard; in no-recover mode the lowest-unit-index failure wins
   /// deterministically and later shards are discarded unmerged.
+  ///
+  /// Degradation ladder (ResourceGovernor): a *resource* failure — a
+  /// `-pass-budget-ms` overrun or a ResourceBlowup that escaped the
+  /// conservative query boundaries — does not drop the pass immediately.
+  /// The (pass, unit) is rolled back and retried on progressively cheaper
+  /// option rungs (degraded_options: "reduced", then "floor") before the
+  /// final drop; only the final drop records a PassFailure (so
+  /// `failures.size()` still counts dropped invocations, one per (pass,
+  /// unit)), while each retry and the drop are recorded as
+  /// DegradationEvents on the governor plus `pass-degraded` /
+  /// `pass-dropped` remarks.  Assertion and verifier failures never
+  /// ladder, injected faults never ladder, and `-no-degrade`
+  /// (Options::degradation_ladder = false) restores the immediate-drop
+  /// behavior.  Compile fuel (`-compile-budget-ms`) is split equally
+  /// across unit shards before workers start, keeping every degradation
+  /// point — and thus every artifact — byte-identical at any `-jobs=N`.
   void run(Program& program, AnalysisManager& am, PassContext& ctx) const;
 
  private:

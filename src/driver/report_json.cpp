@@ -60,6 +60,19 @@ JsonValue failure_to_json(const PassFailure& f) {
   return failure;
 }
 
+JsonValue degradation_to_json(const DegradationEvent& e) {
+  JsonValue ev = JsonValue::object();
+  ev.set("pass", JsonValue::str(e.pass));
+  ev.set("unit", JsonValue::str(e.unit));
+  ev.set("trigger", JsonValue::str(e.trigger));
+  ev.set("action", JsonValue::str(e.action));
+  ev.set("site", JsonValue::str(e.site));
+  ev.set("rung", JsonValue::num(e.rung));
+  ev.set("count", JsonValue::num(e.count));
+  ev.set("detail", JsonValue::str(e.detail));
+  return ev;
+}
+
 }  // namespace
 
 JsonValue compile_report_to_json(const CompileReport& report) {
@@ -94,6 +107,13 @@ JsonValue compile_report_to_json(const CompileReport& report) {
   for (const PassFailure& f : report.failures)
     failures.add(failure_to_json(f));
   doc.set("failures", std::move(failures));
+
+  // Additive since version 1: resource-governor degradation sequence
+  // (empty array for ungoverned compiles).
+  JsonValue degradations = JsonValue::array();
+  for (const DegradationEvent& e : report.degradations)
+    degradations.add(degradation_to_json(e));
+  doc.set("degradations", std::move(degradations));
 
   JsonValue stats = JsonValue::array();
   for (const StatisticValue& s : report.stats) {

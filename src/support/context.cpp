@@ -9,6 +9,7 @@ thread_local CompileContext* tls_context = nullptr;
 void CompileContext::merge_shard(CompileContext& shard) {
   stats_.merge(shard.stats_);
   trace_.append(std::move(shard.trace_));
+  governor_.absorb(shard.governor_);
 }
 
 CompileContext* CompileContext::current() { return tls_context; }

@@ -33,6 +33,7 @@
 
 #include "support/assert.h"
 #include "support/diagnostics.h"
+#include "support/governor.h"
 #include "support/statistic.h"
 #include "support/trace.h"
 
@@ -52,6 +53,13 @@ class CompileContext {
 
   FaultInjector& fault() { return fault_; }
   const FaultInjector& fault() const { return fault_; }
+
+  /// Resource ceilings + degradation-event record for this compilation
+  /// (or this unit shard).  Symbolic code reaches it through
+  /// ResourceGovernor::current(); merge_shard folds shard events and the
+  /// fuel meter back in unit order.
+  ResourceGovernor& governor() { return governor_; }
+  const ResourceGovernor& governor() const { return governor_; }
 
   /// The diagnostics sink passes write remarks into.  Defaults to a sink
   /// owned by the context; the driver rebinds it to the CompileReport's
@@ -91,6 +99,7 @@ class CompileContext {
   StatisticRegistry stats_;
   trace::TraceCollector trace_;
   FaultInjector fault_;
+  ResourceGovernor governor_;
   Diagnostics owned_diags_;
   Diagnostics* diags_ = &owned_diags_;
 };

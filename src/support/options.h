@@ -47,6 +47,29 @@ struct Options {
   /// bucket — so the budget is spent where proofs actually landed.
   int rangetest_max_permutations = 0;
 
+  // --- resource governor ----------------------------------------------------
+  /// Whole-compile budget (`-compile-budget-ms=N` / POLARIS_COMPILE_BUDGET_MS)
+  /// enforced as *deterministic fuel*: N × kFuelTicksPerMs logical work
+  /// ticks charged at symbolic-work sites, split equally across unit
+  /// shards — so a budgeted compile degrades at identical points at any
+  /// `-jobs=N` and the artifacts stay byte-identical.  0 disables.
+  double compile_budget_ms = 0.0;
+  /// Ceiling on any one Polynomial's term count (`-max-poly-terms=N` /
+  /// POLARIS_MAX_POLY_TERMS).  A query whose polynomial would exceed it
+  /// bails out conservatively (assume dependence / leave unsimplified).
+  /// 0 disables.
+  int max_poly_terms = 0;
+  /// Ceiling on the per-shard AtomTable (`-max-atoms-per-unit=N` /
+  /// POLARIS_MAX_ATOMS_PER_UNIT).  0 disables.
+  int max_atoms_per_unit = 0;
+  /// Simplifier recursion depth limit; 0 = unlimited.  Not exposed as a
+  /// flag — the degradation ladder sets it on retry rungs.
+  int max_simplify_depth = 0;
+  /// Retry an over-budget (pass, unit) on cheaper ladder rungs (reduced,
+  /// floor) before dropping the pass.  When false, overruns drop the pass
+  /// immediately (the pre-ladder behavior).
+  bool degradation_ladder = true;
+
   // --- symbolic engine ------------------------------------------------------
   /// Memoize Expression->Polynomial canonicalization in the (per-shard)
   /// AtomTable, invalidated through PreservedAnalyses.  Off is a

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ir/build.h"
+#include "support/governor.h"
 
 namespace polaris {
 
@@ -13,6 +14,15 @@ namespace polaris {
 
 namespace {
 thread_local AtomTable* tls_atom_table = nullptr;
+
+/// Governor ceiling on a polynomial about to hold `n` terms; a no-op (one
+/// TLS read) when the thread's compile is ungoverned.  Throws
+/// ResourceBlowup, caught conservatively at dep-test / simplify query
+/// boundaries or by the pass manager's degradation ladder.
+inline void governor_note_terms(std::size_t n) {
+  if (ResourceGovernor* gov = ResourceGovernor::current())
+    gov->check_poly_terms(n);
+}
 }  // namespace
 
 AtomTable& AtomTable::current() {
@@ -44,6 +54,12 @@ AtomId AtomTable::intern(const Expression& e) {
       found = it->second;
   }
   if (found >= 0) return found;
+  // Ceiling + fuel are charged before the atom is stored, so a tripped
+  // governor leaves the table exactly as it was.
+  if (ResourceGovernor* gov = ResourceGovernor::current()) {
+    gov->check_atoms(atoms_.size() + 1);
+    gov->charge(4);
+  }
   AtomId id = static_cast<AtomId>(atoms_.size());
   atoms_.push_back(e.clone());
   hashes_.push_back(h);
@@ -239,10 +255,13 @@ void Polynomial::add_term(const Monomial& m, const Rational& c) {
     if (it->second.is_zero()) terms_.erase(it);
   } else {
     terms_.emplace(it, m, c);
+    governor_note_terms(terms_.size());
   }
 }
 
 Polynomial Polynomial::normalized(TermList raw) {
+  if (ResourceGovernor* gov = ResourceGovernor::current())
+    gov->charge(raw.size());
   std::sort(raw.begin(), raw.end(),
             [](const Term& x, const Term& y) { return x.first < y.first; });
   Polynomial out;
@@ -255,6 +274,7 @@ Polynomial Polynomial::normalized(TermList raw) {
       out.terms_.push_back(std::move(t));
     }
   }
+  governor_note_terms(out.terms_.size());
   return out;
 }
 
@@ -317,6 +337,7 @@ Polynomial Polynomial::operator+(const Polynomial& o) const {
   }
   out.terms_.insert(out.terms_.end(), a, terms_.end());
   out.terms_.insert(out.terms_.end(), b, o.terms_.end());
+  governor_note_terms(out.terms_.size());
   return out;
 }
 
@@ -341,6 +362,7 @@ Polynomial Polynomial::operator-(const Polynomial& o) const {
   out.terms_.insert(out.terms_.end(), a, terms_.end());
   for (; b != o.terms_.end(); ++b)
     out.terms_.emplace_back(b->first, -b->second);
+  governor_note_terms(out.terms_.size());
   return out;
 }
 
@@ -510,6 +532,10 @@ Polynomial convert_interior(const Expression& e, bool exact_division) {
 }
 
 Polynomial convert(const Expression& e, bool exact_division) {
+  // One fuel tick per conversion node: Expression→Polynomial traffic is
+  // the compile's dominant symbolic cost, so it is the fuel meter's
+  // primary clock.
+  if (ResourceGovernor* gov = ResourceGovernor::current()) gov->charge(1);
   switch (e.kind()) {
     case ExprKind::IntConst:
       return Polynomial::constant(

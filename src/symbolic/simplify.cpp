@@ -1,6 +1,7 @@
 #include "symbolic/simplify.h"
 
 #include "ir/build.h"
+#include "support/governor.h"
 #include "support/statistic.h"
 #include "symbolic/poly.h"
 
@@ -38,16 +39,16 @@ struct SimpRes {
   int n;
 };
 
-SimpRes simplify_rec(const Expression& e);
+SimpRes simplify_rec(const Expression& e, int depth);
 
 /// Structural rewrite: the node itself with each child simplified.
 /// Count identity: walk() visits a node then its children, so the total
 /// is one plus the simplified children's counts.
-SimpRes simplify_children(const Expression& e) {
+SimpRes simplify_children(const Expression& e, int depth) {
   ExprPtr copy = e.clone();
   int n = 1;
   for (ExprPtr* slot : copy->children()) {
-    SimpRes child = simplify_rec(**slot);
+    SimpRes child = simplify_rec(**slot, depth + 1);
     n += child.n;
     *slot = std::move(child.e);
   }
@@ -106,7 +107,14 @@ SimpRes simplify_float_binop(const BinOp& b, SimpRes l, SimpRes r) {
   return {ib::bin(b.op(), std::move(l.e), std::move(r.e)), n};
 }
 
-SimpRes simplify_rec(const Expression& e) {
+SimpRes simplify_rec(const Expression& e, int depth) {
+  // Degradation-ladder depth limit (ResourceGovernor, retry rungs only):
+  // past the limit the subtree is kept verbatim — unsimplified is always
+  // a correct answer.
+  if (ResourceGovernor* gov = ResourceGovernor::current()) {
+    const int limit = gov->simplify_depth_limit();
+    if (limit > 0 && depth >= limit) return {e.clone(), node_count(e)};
+  }
   // Integer arithmetic: canonical polynomial round trip, kept only when it
   // does not grow the tree.  The structural rewrite must still be built —
   // its size decides the race, and its nested subtrees run their own races
@@ -117,7 +125,7 @@ SimpRes simplify_rec(const Expression& e) {
     Polynomial p = Polynomial::from_expr(e, /*exact_division=*/false);
     ExprPtr canon = p.to_expr();
     int canon_n = node_count(*canon);
-    SimpRes structural = simplify_children(e);
+    SimpRes structural = simplify_children(e, depth);
     if (canon_n <= structural.n) {
       ++canonical_roundtrips;
       return {std::move(canon), canon_n};
@@ -127,8 +135,8 @@ SimpRes simplify_rec(const Expression& e) {
   switch (e.kind()) {
     case ExprKind::BinOp: {
       const auto& b = static_cast<const BinOp&>(e);
-      SimpRes l = simplify_rec(b.left());
-      SimpRes r = simplify_rec(b.right());
+      SimpRes l = simplify_rec(b.left(), depth + 1);
+      SimpRes r = simplify_rec(b.right(), depth + 1);
       if (is_arithmetic(b.op()) && b.type().is_floating())
         return simplify_float_binop(b, std::move(l), std::move(r));
       if (b.op() == BinOpKind::And || b.op() == BinOpKind::Or) {
@@ -174,7 +182,7 @@ SimpRes simplify_rec(const Expression& e) {
     }
     case ExprKind::UnOp: {
       const auto& u = static_cast<const UnOp&>(e);
-      SimpRes op = simplify_rec(u.operand());
+      SimpRes op = simplify_rec(u.operand(), depth + 1);
       if (u.op() == UnOpKind::Not &&
           op.e->kind() == ExprKind::LogicalConst)
         return {ib::lc(!static_cast<const LogicalConst&>(*op.e).value()), 1};
@@ -191,25 +199,46 @@ SimpRes simplify_rec(const Expression& e) {
       return {std::make_unique<UnOp>(u.op(), std::move(op.e)), n};
     }
     default:
-      return simplify_children(e);
+      return simplify_children(e, depth);
   }
 }
 
 }  // namespace
 
-ExprPtr simplify(const Expression& e) { return simplify_rec(e).e; }
+// The three public entry points are conservative bail-out boundaries: a
+// resource ceiling tripping mid-rewrite (polynomial term ceiling, atom
+// ceiling, compile fuel) yields the original expression / "not a
+// constant" instead of propagating — unsimplified is always correct.
+
+ExprPtr simplify(const Expression& e) {
+  try {
+    return simplify_rec(e, 0).e;
+  } catch (const ResourceBlowup& b) {
+    note_conservative_bailout("simplify", b);
+    return e.clone();
+  }
+}
 
 void simplify_in_place(ExprPtr& e) {
   p_assert(e != nullptr);
-  e = simplify_rec(*e).e;
+  try {
+    e = simplify_rec(*e, 0).e;
+  } catch (const ResourceBlowup& b) {
+    note_conservative_bailout("simplify", b);
+  }
 }
 
 bool try_fold_int(const Expression& e, std::int64_t* out) {
   p_assert(out != nullptr);
-  Polynomial p = Polynomial::from_expr(e, /*exact_division=*/false);
-  if (!p.is_constant() || !p.constant_value().is_integer()) return false;
-  *out = p.constant_value().as_integer();
-  return true;
+  try {
+    Polynomial p = Polynomial::from_expr(e, /*exact_division=*/false);
+    if (!p.is_constant() || !p.constant_value().is_integer()) return false;
+    *out = p.constant_value().as_integer();
+    return true;
+  } catch (const ResourceBlowup& b) {
+    note_conservative_bailout("simplify", b);
+    return false;
+  }
 }
 
 }  // namespace polaris
