@@ -68,22 +68,16 @@ double compile_wall_ms(const std::string& source, int jobs,
 
 /// POLARIS_BENCH_JSON=<path> appends one row per jobs value.
 void emit_jobs_json(int jobs, double wall_ms, double speedup) {
-  const char* path = std::getenv("POLARIS_BENCH_JSON");
-  if (path == nullptr || *path == '\0') return;
-  std::FILE* f = std::fopen(path, "a");
-  if (f == nullptr) return;
-  JsonValue line = JsonValue::object();
-  line.set("bench", JsonValue::str("compile-jobs-sweep"));
-  line.set("codes", JsonValue::num(
-                        static_cast<double>(benchmark_suite().size())));
-  line.set("jobs", JsonValue::num(jobs));
-  line.set("hardware_threads",
-           JsonValue::num(static_cast<double>(
-               std::thread::hardware_concurrency())));
-  line.set("wall_ms", JsonValue::num(wall_ms));
-  line.set("speedup", JsonValue::num(speedup));
-  std::fprintf(f, "%s\n", line.serialize().c_str());
-  std::fclose(f);
+  JsonValue row = bench_row("compile-jobs-sweep");
+  row.set("codes", JsonValue::num(
+                       static_cast<double>(benchmark_suite().size())));
+  row.set("jobs", JsonValue::num(jobs));
+  row.set("hardware_threads",
+          JsonValue::num(static_cast<double>(
+              std::thread::hardware_concurrency())));
+  row.set("wall_ms", JsonValue::num(wall_ms));
+  row.set("speedup", JsonValue::num(speedup));
+  append_bench_row_env(row);
 }
 
 }  // namespace
@@ -154,20 +148,15 @@ int main() {
   std::printf("%-12s %12.3f %9s\n", "off", best_off, "1.00");
   std::printf("%-12s %12.3f %9.2f\n", "on", best_on, cache_speedup);
 
-  if (const char* path = std::getenv("POLARIS_BENCH_JSON");
-      path != nullptr && *path != '\0') {
-    if (std::FILE* f = std::fopen(path, "a")) {
-      JsonValue line = JsonValue::object();
-      line.set("bench", JsonValue::str("compile-canon-cache"));
-      line.set("codes", JsonValue::num(
-                            static_cast<double>(benchmark_suite().size())));
-      line.set("jobs", JsonValue::num(1));
-      line.set("wall_ms_cache_off", JsonValue::num(best_off));
-      line.set("wall_ms_cache_on", JsonValue::num(best_on));
-      line.set("speedup", JsonValue::num(cache_speedup));
-      std::fprintf(f, "%s\n", line.serialize().c_str());
-      std::fclose(f);
-    }
+  {
+    JsonValue row = bench_row("compile-canon-cache");
+    row.set("codes", JsonValue::num(
+                         static_cast<double>(benchmark_suite().size())));
+    row.set("jobs", JsonValue::num(1));
+    row.set("wall_ms_cache_off", JsonValue::num(best_off));
+    row.set("wall_ms_cache_on", JsonValue::num(best_on));
+    row.set("speedup", JsonValue::num(cache_speedup));
+    append_bench_row_env(row);
   }
 
   bench::heading("Resource governor: governed vs ungoverned suite compile");
@@ -206,22 +195,17 @@ int main() {
       "hostile row stays at or below headroom despite ladder retries --\n"
       "bailed-out analyses do strictly less symbolic work.\n");
 
-  if (const char* path = std::getenv("POLARIS_BENCH_JSON");
-      path != nullptr && *path != '\0') {
-    if (std::FILE* f = std::fopen(path, "a")) {
-      JsonValue line = JsonValue::object();
-      line.set("bench", JsonValue::str("compile-governed"));
-      line.set("codes", JsonValue::num(
-                            static_cast<double>(benchmark_suite().size())));
-      line.set("jobs", JsonValue::num(1));
-      line.set("wall_ms_ungoverned", JsonValue::num(free_ms));
-      line.set("wall_ms_governed_headroom", JsonValue::num(headroom_ms));
-      line.set("wall_ms_governed_hostile", JsonValue::num(hostile_ms));
-      line.set("hostile_degradations",
-               JsonValue::num(static_cast<double>(hostile_events)));
-      std::fprintf(f, "%s\n", line.serialize().c_str());
-      std::fclose(f);
-    }
+  {
+    JsonValue row = bench_row("compile-governed");
+    row.set("codes", JsonValue::num(
+                         static_cast<double>(benchmark_suite().size())));
+    row.set("jobs", JsonValue::num(1));
+    row.set("wall_ms_ungoverned", JsonValue::num(free_ms));
+    row.set("wall_ms_governed_headroom", JsonValue::num(headroom_ms));
+    row.set("wall_ms_governed_hostile", JsonValue::num(hostile_ms));
+    row.set("hostile_degradations",
+            JsonValue::num(static_cast<double>(hostile_events)));
+    append_bench_row_env(row);
   }
   return 0;
 }

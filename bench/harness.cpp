@@ -11,24 +11,19 @@ namespace polaris::bench {
 
 namespace {
 
-/// POLARIS_BENCH_JSON=<path> appends one JSON line per measurement: the
+/// POLARIS_BENCH_JSON=<path> appends one bench row per measurement: the
 /// full `-report-json` compile-report document (pass timings, loop
 /// outcomes with reason codes, remarks, statistics, cache accounting)
 /// wrapped with the measurement's mode and processor count.
 void emit_pass_json(CompilerMode mode, int processors,
                     const CompileReport& report) {
-  const char* path = std::getenv("POLARIS_BENCH_JSON");
-  if (path == nullptr || *path == '\0') return;
-  std::FILE* f = std::fopen(path, "a");
-  if (f == nullptr) return;
-  JsonValue line = JsonValue::object();
-  line.set("mode", JsonValue::str(mode == CompilerMode::Polaris
-                                      ? "polaris"
-                                      : "baseline"));
-  line.set("processors", JsonValue::num(processors));
-  line.set("report", compile_report_to_json(report));
-  std::fprintf(f, "%s\n", line.serialize().c_str());
-  std::fclose(f);
+  JsonValue row = bench_row("suite-measure");
+  row.set("mode", JsonValue::str(mode == CompilerMode::Polaris
+                                     ? "polaris"
+                                     : "baseline"));
+  row.set("processors", JsonValue::num(processors));
+  row.set("report", compile_report_to_json(report));
+  append_bench_row_env(row);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "parser/printer.h"
 #include "support/assert.h"
 #include "support/context.h"
+#include "support/governor.h"
 #include "support/statistic.h"
 #include "support/trace.h"
 #include "symbolic/poly.h"
@@ -121,12 +122,33 @@ void Compiler::transform(Program& program, CompileReport* report,
   // Degradation events recorded before this transform (an embedder
   // reusing one context for several compiles) belong to earlier reports.
   const std::size_t degradations_base = cc.governor().event_mark();
+  // Fuel/trip meters are never reset either, so the report carries the
+  // delta this transform burned, mirroring degradations_base.
+  const ResourceGovernor& gov = cc.governor();
+  const std::uint64_t fuel_base = gov.fuel_spent();
+  const std::uint64_t trips_base[4] = {
+      gov.trip_count(GovernorTrigger::PassBudget),
+      gov.trip_count(GovernorTrigger::CompileFuel),
+      gov.trip_count(GovernorTrigger::PolyTerms),
+      gov.trip_count(GovernorTrigger::AtomCeiling)};
   PassPipeline::from_options(opts_).run(program, am, ctx);
   rep.analysis = am.stats();
   rep.degradations.assign(
       cc.governor().events().begin() +
           static_cast<std::ptrdiff_t>(degradations_base),
       cc.governor().events().end());
+  // The pipeline disarms the governor on exit, so the installed limit
+  // must be recomputed from the options, not read off the meter.
+  rep.resource.fuel_limit = limits_from_options(opts_).fuel;
+  rep.resource.fuel_spent = gov.fuel_spent() - fuel_base;
+  rep.resource.trips_pass_budget =
+      gov.trip_count(GovernorTrigger::PassBudget) - trips_base[0];
+  rep.resource.trips_compile_fuel =
+      gov.trip_count(GovernorTrigger::CompileFuel) - trips_base[1];
+  rep.resource.trips_poly_terms =
+      gov.trip_count(GovernorTrigger::PolyTerms) - trips_base[2];
+  rep.resource.trips_atom_ceiling =
+      gov.trip_count(GovernorTrigger::AtomCeiling) - trips_base[3];
 
   // The structural verifier always runs once after the pipeline (not just
   // under -verify-each): corrupted IR must never escape into the printed

@@ -39,6 +39,17 @@
 //                                      (JSONL; `-` for stdout)
 //   polaris -report-json=FILE file.f   serialize the whole compile report as
 //                                      stable-schema JSON (`-` for stdout)
+//   polaris -profile-dir=DIR           compile every suite code (no file.f
+//                                      needed) and drop per-code
+//                                      <code>.report.json /
+//                                      <code>.remarks.jsonl /
+//                                      <code>.trace.json artifacts into DIR
+//                                      — the input set for
+//                                      `polaris-insight aggregate`.  Codes
+//                                      are fanned over the `-jobs` pool.
+// -remarks / -report-json / -stats also read POLARIS_REMARKS /
+// POLARIS_REPORT_JSON / POLARIS_STATS env vars when the flag is absent
+// (flag wins; POLARIS_STATS takes 1/true/on/yes or 0/false/off/no).
 //
 // Fault isolation (robustness layer):
 //   polaris -verify-each file.f        run the IR verifier after every pass
@@ -73,17 +84,22 @@
 #include <cstdlib>
 #include <cstring>
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "driver/compiler.h"
 #include "driver/report_json.h"
 #include "interp/interp.h"
 #include "parser/parser.h"
 #include "parser/printer.h"
+#include "suite/suite.h"
 
 namespace {
 
@@ -96,7 +112,7 @@ int usage() {
                "[-max-atoms-per-unit=N] [-no-degrade] "
                "[-rangetest-max-permutations=N] [-no-canon-cache] "
                "[-trace=FILE] [-stats] [-remarks=FILE] [-report-json=FILE] "
-               "file.f\n");
+               "[-profile-dir=DIR] file.f\n");
   return 2;
 }
 
@@ -202,6 +218,85 @@ std::string flag_or_env(const std::string& flag_value, const char* env_name) {
   return std::string();
 }
 
+/// Parses a boolean env value (POLARIS_STATS).  The flag spelling is
+/// presence-only, so the env var gets the usual on/off vocabulary; empty
+/// means unset (off).
+bool parse_bool_env(const char* name, const std::string& value) {
+  if (value == "1" || value == "true" || value == "on" || value == "yes")
+    return true;
+  if (value.empty() || value == "0" || value == "false" || value == "off" ||
+      value == "no")
+    return false;
+  throw polaris::UserError("invalid " + std::string(name) + " value '" +
+                           value +
+                           "' (expected 1/true/on/yes or 0/false/off/no)");
+}
+
+/// `-profile-dir=DIR`: compile every suite code with the caller's options
+/// and drop the per-code artifact triple (<code>.report.json,
+/// <code>.remarks.jsonl, <code>.trace.json) into DIR — the input set
+/// `polaris-insight aggregate` consumes.  Codes are fanned over
+/// `opts.jobs` worker threads with each individual compile pinned to
+/// jobs=1, so the pool parallelism lives *across* codes and every
+/// artifact is identical to a serial run (modulo wall-clock duration
+/// fields, which insight's diff scrubs).
+int run_profile_dir(const std::string& dir, const polaris::Options& base) {
+  namespace fs = std::filesystem;
+  using polaris::BenchProgram;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "polaris: cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  const std::vector<BenchProgram>& suite = polaris::benchmark_suite();
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> failures{0};
+  std::mutex io_mu;
+  auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < suite.size();
+         i = next.fetch_add(1)) {
+      const BenchProgram& bp = suite[i];
+      polaris::Options opts = base;
+      opts.jobs = 1;
+      opts.trace_path = (fs::path(dir) / (bp.name + ".trace.json")).string();
+      polaris::Compiler compiler(opts);
+      polaris::CompileReport rep;
+      try {
+        compiler.compile(bp.source, &rep);
+      } catch (const std::exception& e) {
+        std::scoped_lock lk(io_mu);
+        std::fprintf(stderr, "polaris: %s: compile failed: %s\n",
+                     bp.name.c_str(), e.what());
+        ++failures;
+        continue;
+      }
+      std::ofstream rj(fs::path(dir) / (bp.name + ".report.json"));
+      rj << polaris::compile_report_json(rep) << "\n";
+      std::ofstream rm(fs::path(dir) / (bp.name + ".remarks.jsonl"));
+      rep.diagnostics.print_remarks(rm);
+      if (!rj || !rm) {
+        std::scoped_lock lk(io_mu);
+        std::fprintf(stderr, "polaris: %s: cannot write artifacts in %s\n",
+                     bp.name.c_str(), dir.c_str());
+        ++failures;
+      }
+    }
+  };
+  const std::size_t pool =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(1, base.jobs)),
+                            suite.size());
+  std::vector<std::thread> threads;
+  for (std::size_t t = 1; t < pool; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
+  if (failures.load() != 0) return 1;
+  std::fprintf(stderr, "polaris: wrote %zu artifact sets to %s\n",
+               suite.size(), dir.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,9 +310,9 @@ int main(int argc, char** argv) {
   double pass_budget_ms = 0.0;
   int processors = 8;
   std::string path, passes_spec, fault_inject, jobs_arg, rangetest_cap_arg;
-  std::string trace_path, remarks_path, report_json_path;
+  std::string trace_path, remarks_path, report_json_path, profile_dir;
   std::string compile_budget_arg, max_poly_arg, max_atoms_arg;
-  std::string pass_budget_env;
+  std::string pass_budget_env, stats_env;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-report") == 0) report_mode = true;
@@ -236,6 +331,8 @@ int main(int argc, char** argv) {
       remarks_path = argv[i] + 9;
     else if (std::strncmp(argv[i], "-report-json=", 13) == 0)
       report_json_path = argv[i] + 13;
+    else if (std::strncmp(argv[i], "-profile-dir=", 13) == 0)
+      profile_dir = argv[i] + 13;
     else if (std::strncmp(argv[i], "-fault-inject=", 14) == 0)
       fault_inject = argv[i] + 14;
     else if (std::strncmp(argv[i], "-pass-budget-ms=", 16) == 0) {
@@ -269,7 +366,7 @@ int main(int argc, char** argv) {
       path = argv[i];
     }
   }
-  if (path.empty()) return usage();
+  if (path.empty() && profile_dir.empty()) return usage();
   if (fault_inject.empty()) {
     if (const char* env = std::getenv("POLARIS_FAULT_INJECT"))
       fault_inject = env;
@@ -280,6 +377,12 @@ int main(int argc, char** argv) {
   if (jobs_arg.empty()) {
     if (const char* env = std::getenv("POLARIS_JOBS")) jobs_arg = env;
   }
+  // Observability outputs get the same flag-wins-over-env treatment as
+  // POLARIS_TRACE.  POLARIS_STATS is a boolean, validated below inside the
+  // try block so a bad value gets a flag-grade UserError.
+  remarks_path = flag_or_env(remarks_path, "POLARIS_REMARKS");
+  report_json_path = flag_or_env(report_json_path, "POLARIS_REPORT_JSON");
+  if (!stats_mode) stats_env = flag_or_env("", "POLARIS_STATS");
   // Governor flags fall back to POLARIS_* env vars; validation happens
   // below inside the try block so a bad env value gets the same UserError
   // (with the accepted range) as a bad flag.
@@ -290,17 +393,22 @@ int main(int argc, char** argv) {
   if (pass_budget_ms <= 0.0)
     pass_budget_env = flag_or_env("", "POLARIS_PASS_BUDGET_MS");
 
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "polaris: cannot open %s\n", path.c_str());
-    return 1;
+  std::string source;
+  if (!path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "polaris: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string source = buf.str();
 
   CompileReport report;
   try {
+    if (!stats_env.empty())
+      stats_mode = parse_bool_env("POLARIS_STATS", stats_env);
     if (seq_mode) {
       auto prog = parse_program(source);
       RunResult r = run_program(*prog, MachineConfig{});
@@ -341,6 +449,12 @@ int main(int argc, char** argv) {
       compiler.options().pass_budget_ms =
           parse_budget_ms("-pass-budget-ms", pass_budget_env);
     if (no_degrade) compiler.options().degradation_ladder = false;
+
+    // Suite profiling replaces the single-file compile: the full option
+    // set above applies to every code, then the process exits.
+    if (!profile_dir.empty())
+      return run_profile_dir(profile_dir, compiler.options());
+
     auto prog = compiler.compile(source, &report);
 
     if (!remarks_path.empty()) {

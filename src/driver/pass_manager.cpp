@@ -478,6 +478,9 @@ AttemptResult run_attempt(Pass& pass, std::size_t unit_index,
       result.failed = true;
       result.kind = PassFailure::Kind::Budget;
       result.trigger = GovernorTrigger::PassBudget;
+      // The wall budget has no throw site inside the governor, so the trip
+      // is noted here at the detection boundary.
+      cc.governor().note_trip(GovernorTrigger::PassBudget);
       std::ostringstream os;
       os << "pass ran " << ms << " ms, budget "
          << ctx.opts.pass_budget_ms << " ms";

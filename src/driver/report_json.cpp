@@ -1,5 +1,8 @@
 #include "driver/report_json.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace polaris {
 
 namespace {
@@ -132,11 +135,48 @@ JsonValue compile_report_to_json(const CompileReport& report) {
   cache.set("invalidations", JsonValue::num(report.analysis.invalidations));
   doc.set("analysis_cache", std::move(cache));
 
+  // Additive since version 1: governor fuel accounting.  Trip keys are
+  // the GovernorTrigger to_string values.
+  JsonValue resource = JsonValue::object();
+  resource.set("fuel_limit", JsonValue::num(report.resource.fuel_limit));
+  resource.set("fuel_spent", JsonValue::num(report.resource.fuel_spent));
+  JsonValue trips = JsonValue::object();
+  trips.set("pass-budget", JsonValue::num(report.resource.trips_pass_budget));
+  trips.set("compile-fuel",
+            JsonValue::num(report.resource.trips_compile_fuel));
+  trips.set("poly-terms", JsonValue::num(report.resource.trips_poly_terms));
+  trips.set("atom-ceiling",
+            JsonValue::num(report.resource.trips_atom_ceiling));
+  resource.set("trips", std::move(trips));
+  doc.set("resource", std::move(resource));
+
   return doc;
 }
 
 std::string compile_report_json(const CompileReport& report) {
   return compile_report_to_json(report).serialize();
+}
+
+JsonValue bench_row(const std::string& bench) {
+  JsonValue row = JsonValue::object();
+  row.set("schema", JsonValue::str("polaris-bench-row"));
+  row.set("version", JsonValue::num(kBenchRowSchemaVersion));
+  row.set("bench", JsonValue::str(bench));
+  return row;
+}
+
+bool append_bench_row(const std::string& path, const JsonValue& row) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%s\n", row.serialize().c_str());
+  std::fclose(f);
+  return true;
+}
+
+void append_bench_row_env(const JsonValue& row) {
+  const char* path = std::getenv("POLARIS_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  append_bench_row(path, row);
 }
 
 }  // namespace polaris

@@ -1,0 +1,770 @@
+#include "insight/insight.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace polaris::insight {
+
+namespace {
+
+double num_or(const JsonValue& obj, const std::string& key, double dflt = 0) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->number : dflt;
+}
+
+std::string str_or(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->string_value : std::string();
+}
+
+bool bool_or(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_bool() && v->bool_value;
+}
+
+/// "parallel" | "speculative" | "serial" for one profile loop entry.
+std::string loop_state(const JsonValue& loop) {
+  if (bool_or(loop, "parallel")) return "parallel";
+  if (bool_or(loop, "speculative")) return "speculative";
+  return "serial";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw UserError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Ordered histogram: counts keyed by string, emitted sorted by key.
+using Histogram = std::map<std::string, std::uint64_t>;
+
+JsonValue histogram_to_json(const Histogram& h, const char* key_name) {
+  JsonValue arr = JsonValue::array();
+  for (const auto& [key, count] : h) {
+    JsonValue entry = JsonValue::object();
+    entry.set(key_name, JsonValue::str(key));
+    entry.set("count", JsonValue::num(count));
+    arr.add(std::move(entry));
+  }
+  return arr;
+}
+
+Histogram histogram_from_json(const JsonValue* arr, const char* key_name) {
+  Histogram h;
+  if (arr == nullptr || !arr->is_array()) return h;
+  for (const JsonValue& entry : arr->items)
+    h[str_or(entry, key_name)] +=
+        static_cast<std::uint64_t>(num_or(entry, "count"));
+  return h;
+}
+
+/// Zeroes every wall-clock duration field so two profiles from identical
+/// decisions compare equal: "ms" (pass timings), "total_us" (span
+/// rollups), "speedup" and any "wall_ms*" (bench rows).
+void scrub_durations(JsonValue& v) {
+  if (v.is_object()) {
+    for (auto& [key, member] : v.members) {
+      if (member.is_number() &&
+          (key == "ms" || key == "total_us" || key == "speedup" ||
+           key.compare(0, 7, "wall_ms") == 0))
+        member.number = 0.0;
+      else
+        scrub_durations(member);
+    }
+  } else if (v.is_array()) {
+    for (JsonValue& item : v.items) scrub_durations(item);
+  }
+}
+
+/// Percentage drift of `to` relative to `from` (against a floor of 1 so a
+/// 0 → N appearance still registers).
+double drift_pct(double from, double to) {
+  const double base = std::max(std::abs(from), 1.0);
+  return std::abs(to - from) / base * 100.0;
+}
+
+std::string fmt(double d) {
+  std::ostringstream os;
+  if (d == std::floor(d) && std::abs(d) < 9.0e15)
+    os << static_cast<long long>(d);
+  else
+    os << d;
+  return os.str();
+}
+
+}  // namespace
+
+std::string reason_class(const std::string& reason_code) {
+  // The closed set from DESIGN.md §7 (mirrored by the schema golden
+  // test); each code belongs to exactly one failure class.
+  if (reason_code == "empty-body" || reason_code == "irregular-control-flow")
+    return "structural";
+  if (reason_code == "loop-io") return "io";
+  if (reason_code == "unresolved-call") return "interprocedural";
+  if (reason_code == "scalar-recurrence" ||
+      reason_code == "carried-dependence")
+    return "dependence";
+  if (reason_code == "strength-reduced") return "transformed";
+  if (reason_code == "not-analyzed") return "unanalyzed";
+  return "unknown:" + reason_code;
+}
+
+ProfileBuilder::CodeData& ProfileBuilder::slot(const std::string& code) {
+  for (CodeData& cd : codes_)
+    if (cd.code == code) return cd;
+  codes_.push_back(CodeData{});
+  codes_.back().code = code;
+  return codes_.back();
+}
+
+void ProfileBuilder::add_report(const std::string& code,
+                                const JsonValue& report) {
+  if (str_or(report, "schema") != "polaris-compile-report")
+    throw UserError("'" + code + "': not a polaris-compile-report document");
+  CodeData& cd = slot(code);
+  cd.report = report;
+  cd.has_report = true;
+}
+
+void ProfileBuilder::add_remarks(const std::string& code,
+                                 const std::vector<JsonValue>& remarks) {
+  CodeData& cd = slot(code);
+  cd.remarks.insert(cd.remarks.end(), remarks.begin(), remarks.end());
+}
+
+void ProfileBuilder::add_trace(const std::string& code,
+                               const JsonValue& trace) {
+  CodeData& cd = slot(code);
+  cd.trace = trace;
+  cd.has_trace = true;
+}
+
+void ProfileBuilder::add_bench_rows(const std::vector<JsonValue>& rows) {
+  for (const JsonValue& row : rows)
+    if (str_or(row, "schema") == "polaris-bench-row")
+      bench_rows_.push_back(row);
+}
+
+JsonValue ProfileBuilder::profile() const {
+  std::vector<const CodeData*> codes;
+  for (const CodeData& cd : codes_) codes.push_back(&cd);
+  std::sort(codes.begin(), codes.end(),
+            [](const CodeData* a, const CodeData* b) {
+              return a->code < b->code;
+            });
+  if (codes.empty())
+    throw UserError("no compile reports ingested — nothing to profile");
+  for (const CodeData* cd : codes)
+    if (!cd->has_report)
+      throw UserError("code '" + cd->code +
+                      "' has remarks/trace artifacts but no report.json");
+
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue::str("polaris-suite-profile"));
+  doc.set("version", JsonValue::num(kSuiteProfileSchemaVersion));
+
+  JsonValue code_names = JsonValue::array();
+  for (const CodeData* cd : codes) code_names.add(JsonValue::str(cd->code));
+  doc.set("codes", std::move(code_names));
+
+  // --- loop inventory + reason histogram ---------------------------------
+  std::uint64_t n_loops = 0, n_parallel = 0, n_speculative = 0;
+  Histogram reasons;
+  JsonValue loops = JsonValue::array();
+  for (const CodeData* cd : codes) {
+    const JsonValue* rloops = cd->report.find("loops");
+    if (rloops == nullptr || !rloops->is_array()) continue;
+    // Stable per-(code, unit) ordinal; see the header on why the raw
+    // `do#<id>` statement name cannot be the key.
+    Histogram unit_ordinal;
+    for (const JsonValue& rl : rloops->items) {
+      const std::string unit = str_or(rl, "unit");
+      const std::uint64_t ordinal = unit_ordinal[unit]++;
+      JsonValue entry = JsonValue::object();
+      entry.set("code", JsonValue::str(cd->code));
+      entry.set("unit", JsonValue::str(unit));
+      entry.set("loop",
+                JsonValue::str("do[" + std::to_string(ordinal) + "]"));
+      entry.set("depth", JsonValue::num(num_or(rl, "depth")));
+      const bool parallel = bool_or(rl, "parallel");
+      const bool speculative = bool_or(rl, "speculative");
+      entry.set("parallel", JsonValue::boolean(parallel));
+      entry.set("speculative", JsonValue::boolean(speculative));
+      const std::string code = str_or(rl, "reason_code");
+      entry.set("reason_code", JsonValue::str(code));
+      entry.set("reason_class",
+                JsonValue::str(code.empty() ? "" : reason_class(code)));
+      loops.add(std::move(entry));
+      ++n_loops;
+      if (parallel) ++n_parallel;
+      else if (speculative) ++n_speculative;
+      if (!code.empty()) ++reasons[code];
+    }
+  }
+
+  JsonValue summary = JsonValue::object();
+  summary.set("codes", JsonValue::num(static_cast<std::uint64_t>(
+                           codes.size())));
+  summary.set("loops", JsonValue::num(n_loops));
+  summary.set("parallel", JsonValue::num(n_parallel));
+  summary.set("speculative", JsonValue::num(n_speculative));
+  summary.set("serial",
+              JsonValue::num(n_loops - n_parallel - n_speculative));
+  doc.set("summary", std::move(summary));
+  doc.set("loops", std::move(loops));
+
+  JsonValue reason_hist = JsonValue::array();
+  for (const auto& [code, count] : reasons) {
+    JsonValue entry = JsonValue::object();
+    entry.set("reason_code", JsonValue::str(code));
+    entry.set("class", JsonValue::str(reason_class(code)));
+    entry.set("count", JsonValue::num(count));
+    reason_hist.add(std::move(entry));
+  }
+  doc.set("reason_histogram", std::move(reason_hist));
+
+  // --- statistic totals ---------------------------------------------------
+  std::map<std::pair<std::string, std::string>, double> stat_totals;
+  for (const CodeData* cd : codes) {
+    const JsonValue* stats = cd->report.find("stats");
+    if (stats == nullptr || !stats->is_array()) continue;
+    for (const JsonValue& s : stats->items)
+      stat_totals[{str_or(s, "component"), str_or(s, "name")}] +=
+          num_or(s, "value");
+  }
+  JsonValue stats = JsonValue::array();
+  for (const auto& [key, value] : stat_totals) {
+    JsonValue entry = JsonValue::object();
+    entry.set("component", JsonValue::str(key.first));
+    entry.set("name", JsonValue::str(key.second));
+    entry.set("value", JsonValue::num(value));
+    stats.add(std::move(entry));
+  }
+  doc.set("stats", std::move(stats));
+
+  // --- pass timing totals (first-seen pipeline order) ---------------------
+  struct TimingTotal {
+    std::string pass;
+    double runs = 0, ms = 0, failures = 0;
+  };
+  std::vector<TimingTotal> timing_totals;
+  for (const CodeData* cd : codes) {
+    const JsonValue* timings = cd->report.find("pass_timings");
+    if (timings == nullptr || !timings->is_array()) continue;
+    for (const JsonValue& t : timings->items) {
+      const std::string pass = str_or(t, "pass");
+      auto it = std::find_if(timing_totals.begin(), timing_totals.end(),
+                             [&](const TimingTotal& tt) {
+                               return tt.pass == pass;
+                             });
+      if (it == timing_totals.end()) {
+        timing_totals.push_back(TimingTotal{pass, 0, 0, 0});
+        it = std::prev(timing_totals.end());
+      }
+      it->runs += num_or(t, "runs");
+      it->ms += num_or(t, "ms");
+      it->failures += num_or(t, "failures");
+    }
+  }
+  JsonValue timings = JsonValue::array();
+  for (const TimingTotal& tt : timing_totals) {
+    JsonValue entry = JsonValue::object();
+    entry.set("pass", JsonValue::str(tt.pass));
+    entry.set("runs", JsonValue::num(tt.runs));
+    entry.set("ms", JsonValue::num(tt.ms));
+    entry.set("failures", JsonValue::num(tt.failures));
+    timings.add(std::move(entry));
+  }
+  doc.set("pass_timings", std::move(timings));
+
+  // --- trace span rollups per (code, pass, unit) --------------------------
+  JsonValue spans = JsonValue::array();
+  for (const CodeData* cd : codes) {
+    if (!cd->has_trace) continue;
+    const JsonValue* events = cd->trace.find("traceEvents");
+    if (events == nullptr || !events->is_array()) continue;
+    struct SpanTotal {
+      std::string pass, unit;
+      std::uint64_t count = 0;
+      double total_us = 0;
+    };
+    std::vector<SpanTotal> totals;  // first-seen trace order
+    for (const JsonValue& ev : events->items) {
+      if (str_or(ev, "cat") != "pass" || str_or(ev, "ph") != "X") continue;
+      const std::string pass = str_or(ev, "name");
+      std::string unit;
+      if (const JsonValue* args = ev.find("args")) unit = str_or(*args, "unit");
+      auto it = std::find_if(totals.begin(), totals.end(),
+                             [&](const SpanTotal& st) {
+                               return st.pass == pass && st.unit == unit;
+                             });
+      if (it == totals.end()) {
+        totals.push_back(SpanTotal{pass, unit, 0, 0});
+        it = std::prev(totals.end());
+      }
+      ++it->count;
+      it->total_us += num_or(ev, "dur");
+    }
+    for (const SpanTotal& st : totals) {
+      JsonValue entry = JsonValue::object();
+      entry.set("code", JsonValue::str(cd->code));
+      entry.set("pass", JsonValue::str(st.pass));
+      entry.set("unit", JsonValue::str(st.unit));
+      entry.set("spans", JsonValue::num(st.count));
+      entry.set("total_us", JsonValue::num(st.total_us));
+      spans.add(std::move(entry));
+    }
+  }
+  doc.set("pass_spans", std::move(spans));
+
+  // --- remark histograms --------------------------------------------------
+  std::uint64_t remark_total = 0;
+  Histogram by_kind, by_reason;
+  for (const CodeData* cd : codes) {
+    for (const JsonValue& r : cd->remarks) {
+      ++remark_total;
+      ++by_kind[str_or(r, "kind")];
+      ++by_reason[str_or(r, "reason")];
+    }
+  }
+  JsonValue remarks = JsonValue::object();
+  remarks.set("total", JsonValue::num(remark_total));
+  remarks.set("by_kind", histogram_to_json(by_kind, "kind"));
+  remarks.set("by_reason", histogram_to_json(by_reason, "reason"));
+  doc.set("remarks", std::move(remarks));
+
+  // --- degradation summary ------------------------------------------------
+  std::uint64_t deg_events = 0, deg_occurrences = 0;
+  Histogram by_action, by_trigger;
+  for (const CodeData* cd : codes) {
+    const JsonValue* degs = cd->report.find("degradations");
+    if (degs == nullptr || !degs->is_array()) continue;
+    for (const JsonValue& d : degs->items) {
+      ++deg_events;
+      const std::uint64_t count =
+          static_cast<std::uint64_t>(num_or(d, "count", 1));
+      deg_occurrences += count;
+      ++by_action[str_or(d, "action")];
+      by_trigger[str_or(d, "trigger")] += count;
+    }
+  }
+  JsonValue degradations = JsonValue::object();
+  degradations.set("events", JsonValue::num(deg_events));
+  degradations.set("occurrences", JsonValue::num(deg_occurrences));
+  degradations.set("by_action", histogram_to_json(by_action, "action"));
+  degradations.set("by_trigger", histogram_to_json(by_trigger, "trigger"));
+  doc.set("degradations", std::move(degradations));
+
+  // --- governor fuel ------------------------------------------------------
+  double fuel_limit = 0, fuel_spent = 0;
+  Histogram trips;
+  JsonValue fuel_by_code = JsonValue::array();
+  for (const CodeData* cd : codes) {
+    const JsonValue* res = cd->report.find("resource");
+    if (res == nullptr || !res->is_object()) continue;
+    fuel_limit = std::max(fuel_limit, num_or(*res, "fuel_limit"));
+    const double spent = num_or(*res, "fuel_spent");
+    fuel_spent += spent;
+    if (const JsonValue* t = res->find("trips"); t != nullptr && t->is_object())
+      for (const auto& [key, v] : t->members)
+        if (v.is_number())
+          trips[key] += static_cast<std::uint64_t>(v.number);
+    JsonValue entry = JsonValue::object();
+    entry.set("code", JsonValue::str(cd->code));
+    entry.set("fuel_spent", JsonValue::num(spent));
+    fuel_by_code.add(std::move(entry));
+  }
+  JsonValue resource = JsonValue::object();
+  resource.set("fuel_limit", JsonValue::num(fuel_limit));
+  resource.set("fuel_spent", JsonValue::num(fuel_spent));
+  resource.set("fuel_by_code", std::move(fuel_by_code));
+  resource.set("trips", histogram_to_json(trips, "trigger"));
+  doc.set("resource", std::move(resource));
+
+  // --- bench rows ---------------------------------------------------------
+  JsonValue bench = JsonValue::array();
+  for (const JsonValue& row : bench_rows_) bench.add(row);
+  doc.set("bench", std::move(bench));
+
+  return doc;
+}
+
+JsonValue aggregate_directory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec))
+    throw UserError("'" + dir + "' is not a directory");
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+
+  ProfileBuilder builder;
+  bool any_report = false;
+  for (const std::string& name : names) {
+    const std::string path = (fs::path(dir) / name).string();
+    if (ends_with(name, ".report.json")) {
+      builder.add_report(name.substr(0, name.size() - 12),
+                         parse_json_file(path));
+      any_report = true;
+    } else if (ends_with(name, ".remarks.jsonl")) {
+      try {
+        builder.add_remarks(name.substr(0, name.size() - 14),
+                            parse_jsonl(read_file(path)));
+      } catch (const UserError& e) {
+        throw UserError(path + ": " + e.what());
+      }
+    } else if (ends_with(name, ".trace.json")) {
+      builder.add_trace(name.substr(0, name.size() - 11),
+                        parse_json_file(path));
+    } else if (ends_with(name, ".jsonl")) {
+      // Anything else JSONL-shaped is treated as a POLARIS_BENCH_JSON
+      // log; non-bench-row lines are skipped inside add_bench_rows.
+      try {
+        builder.add_bench_rows(parse_jsonl(read_file(path)));
+      } catch (const UserError& e) {
+        throw UserError(path + ": " + e.what());
+      }
+    }
+  }
+  if (!any_report)
+    throw UserError("no *.report.json artifacts found in '" + dir +
+                    "' (generate them with polaris -profile-dir=" + dir +
+                    ")");
+  return builder.profile();
+}
+
+namespace {
+
+void check_profile_schema(const JsonValue& p, const char* which) {
+  if (str_or(p, "schema") != "polaris-suite-profile")
+    throw UserError(std::string(which) +
+                    " is not a polaris-suite-profile document");
+  if (static_cast<int>(num_or(p, "version")) != kSuiteProfileSchemaVersion)
+    throw UserError(std::string(which) + " has unsupported profile version " +
+                    fmt(num_or(p, "version")));
+}
+
+/// (code, unit, loop) → loop entry index over a profile's loops array.
+std::map<std::string, const JsonValue*> index_loops(const JsonValue& profile) {
+  std::map<std::string, const JsonValue*> out;
+  const JsonValue* loops = profile.find("loops");
+  if (loops == nullptr || !loops->is_array()) return out;
+  for (const JsonValue& l : loops->items)
+    out[str_or(l, "code") + "\x1f" + str_or(l, "unit") + "\x1f" +
+        str_or(l, "loop")] = &l;
+  return out;
+}
+
+std::map<std::string, double> index_stats(const JsonValue& profile) {
+  std::map<std::string, double> out;
+  const JsonValue* stats = profile.find("stats");
+  if (stats == nullptr || !stats->is_array()) return out;
+  for (const JsonValue& s : stats->items)
+    out[str_or(s, "component") + "." + str_or(s, "name")] = num_or(s, "value");
+  return out;
+}
+
+DiffFinding finding(std::string kind, const JsonValue* loop,
+                    std::string detail) {
+  DiffFinding f;
+  f.kind = std::move(kind);
+  if (loop != nullptr) {
+    f.code = str_or(*loop, "code");
+    f.unit = str_or(*loop, "unit");
+    f.loop = str_or(*loop, "loop");
+  }
+  f.detail = std::move(detail);
+  return f;
+}
+
+void diff_histograms(const Histogram& base, const Histogram& cur,
+                     const char* kind, const char* what,
+                     std::vector<DiffFinding>* warnings) {
+  Histogram keys = base;
+  for (const auto& [k, v] : cur) keys.emplace(k, 0);
+  for (const auto& [key, unused] : keys) {
+    const std::uint64_t b = base.count(key) ? base.at(key) : 0;
+    const std::uint64_t c = cur.count(key) ? cur.at(key) : 0;
+    if (b == c) continue;
+    DiffFinding f;
+    f.kind = kind;
+    f.detail = std::string(what) + " '" + key + "': " + std::to_string(b) +
+               " -> " + std::to_string(c);
+    warnings->push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
+DiffResult diff_profiles(const JsonValue& baseline, const JsonValue& current,
+                         const DiffThresholds& thresholds) {
+  check_profile_schema(baseline, "baseline");
+  check_profile_schema(current, "current");
+
+  DiffResult result;
+
+  {
+    JsonValue b = baseline, c = current;
+    scrub_durations(b);
+    scrub_durations(c);
+    result.zero_delta = b.serialize() == c.serialize();
+  }
+
+  // --- loops --------------------------------------------------------------
+  const auto base_loops = index_loops(baseline);
+  const auto cur_loops = index_loops(current);
+  for (const auto& [key, bl] : base_loops) {
+    auto it = cur_loops.find(key);
+    if (it == cur_loops.end()) {
+      result.warnings.push_back(
+          finding("loop-missing", bl, "loop disappeared from the profile"));
+      continue;
+    }
+    const JsonValue* cl = it->second;
+    const std::string bs = loop_state(*bl), cs = loop_state(*cl);
+    const std::string bcode = str_or(*bl, "reason_code");
+    const std::string ccode = str_or(*cl, "reason_code");
+    if (bs != "serial" && cs == "serial") {
+      result.regressions.push_back(finding(
+          "parallel-flip", bl,
+          bs + " -> serial, reason-code '" + ccode + "' (class " +
+              reason_class(ccode) + ")"));
+    } else if (bs == "parallel" && cs == "speculative") {
+      result.warnings.push_back(
+          finding("speculation-downgrade", bl,
+                  "parallel -> speculative execution"));
+    } else if (bs != "parallel" && cs == "parallel") {
+      result.improvements.push_back(
+          finding("parallelized", bl, bs + " -> parallel"));
+    } else if (bs == "serial" && cs == "speculative") {
+      result.improvements.push_back(
+          finding("parallelized", bl, "serial -> speculative"));
+    } else if (bs == "serial" && cs == "serial" && bcode != ccode) {
+      const std::string bclass = str_or(*bl, "reason_class");
+      const std::string cclass = str_or(*cl, "reason_class");
+      if (bclass != cclass) {
+        result.regressions.push_back(finding(
+            "reason-class-change", bl,
+            "'" + bcode + "' (" + bclass + ") -> '" + ccode + "' (" +
+                cclass + ")"));
+      } else {
+        result.warnings.push_back(finding(
+            "reason-code-change", bl,
+            "'" + bcode + "' -> '" + ccode + "' (same class " + bclass +
+                ")"));
+      }
+    }
+  }
+  for (const auto& [key, cl] : cur_loops)
+    if (base_loops.find(key) == base_loops.end())
+      result.warnings.push_back(
+          finding("loop-new", cl, "loop not present in the baseline"));
+
+  // --- code set -----------------------------------------------------------
+  {
+    auto code_set = [](const JsonValue& p) {
+      Histogram out;
+      const JsonValue* codes = p.find("codes");
+      if (codes != nullptr && codes->is_array())
+        for (const JsonValue& c : codes->items)
+          if (c.is_string()) out[c.string_value] = 1;
+      return out;
+    };
+    diff_histograms(code_set(baseline), code_set(current), "code-set-change",
+                    "code", &result.warnings);
+  }
+
+  // --- statistics ---------------------------------------------------------
+  {
+    const auto bstats = index_stats(baseline);
+    const auto cstats = index_stats(current);
+    std::map<std::string, double> keys = bstats;
+    keys.insert(cstats.begin(), cstats.end());
+    for (const auto& [key, unused] : keys) {
+      const double b = bstats.count(key) ? bstats.at(key) : 0;
+      const double c = cstats.count(key) ? cstats.at(key) : 0;
+      if (b == c) continue;
+      if (drift_pct(b, c) <= thresholds.stat_warn_pct) continue;
+      DiffFinding f;
+      f.kind = "stat-drift";
+      f.detail = key + ": " + fmt(b) + " -> " + fmt(c);
+      result.warnings.push_back(std::move(f));
+    }
+  }
+
+  // --- pass timings (summed ms; wall-clock, so floor-gated) ---------------
+  {
+    auto index_timings = [](const JsonValue& p) {
+      std::map<std::string, std::pair<double, double>> out;  // ms, failures
+      const JsonValue* t = p.find("pass_timings");
+      if (t != nullptr && t->is_array())
+        for (const JsonValue& e : t->items)
+          out[str_or(e, "pass")] = {num_or(e, "ms"), num_or(e, "failures")};
+      return out;
+    };
+    const auto bt = index_timings(baseline);
+    const auto ct = index_timings(current);
+    for (const auto& [pass, bv] : bt) {
+      auto it = ct.find(pass);
+      if (it == ct.end()) continue;  // pass-set change shows via loops/stats
+      if (bv.second != it->second.second) {
+        DiffFinding f;
+        f.kind = "pass-failures-changed";
+        f.detail = "pass '" + pass + "' failures: " + fmt(bv.second) +
+                   " -> " + fmt(it->second.second);
+        result.warnings.push_back(std::move(f));
+      }
+      const double bms = bv.first, cms = it->second.first;
+      if (drift_pct(bms, cms) > thresholds.duration_warn_pct &&
+          std::abs(cms - bms) > 1.0) {
+        DiffFinding f;
+        f.kind = "duration-drift";
+        f.detail = "pass '" + pass + "' total ms: " + fmt(bms) + " -> " +
+                   fmt(cms);
+        result.warnings.push_back(std::move(f));
+      }
+    }
+  }
+
+  // --- span rollups -------------------------------------------------------
+  {
+    auto index_spans = [](const JsonValue& p) {
+      std::map<std::string, double> out;
+      const JsonValue* spans = p.find("pass_spans");
+      if (spans != nullptr && spans->is_array())
+        for (const JsonValue& s : spans->items)
+          out[str_or(s, "code") + "/" + str_or(s, "pass") + "/" +
+              str_or(s, "unit")] = num_or(s, "total_us");
+      return out;
+    };
+    const auto bs = index_spans(baseline);
+    const auto cs = index_spans(current);
+    for (const auto& [key, bus] : bs) {
+      auto it = cs.find(key);
+      if (it == cs.end()) continue;
+      if (drift_pct(bus, it->second) > thresholds.duration_warn_pct &&
+          std::abs(it->second - bus) > 1000.0) {
+        DiffFinding f;
+        f.kind = "duration-drift";
+        f.detail = "span " + key + " total us: " + fmt(bus) + " -> " +
+                   fmt(it->second);
+        result.warnings.push_back(std::move(f));
+      }
+    }
+  }
+
+  // --- remark + degradation histograms ------------------------------------
+  {
+    auto sub = [](const JsonValue& p, const char* outer, const char* inner) {
+      const JsonValue* o = p.find(outer);
+      return o != nullptr ? o->find(inner) : nullptr;
+    };
+    diff_histograms(
+        histogram_from_json(sub(baseline, "remarks", "by_reason"), "reason"),
+        histogram_from_json(sub(current, "remarks", "by_reason"), "reason"),
+        "remark-drift", "remark reason", &result.warnings);
+    diff_histograms(
+        histogram_from_json(sub(baseline, "degradations", "by_trigger"),
+                            "trigger"),
+        histogram_from_json(sub(current, "degradations", "by_trigger"),
+                            "trigger"),
+        "degradation-drift", "degradation trigger", &result.warnings);
+    diff_histograms(
+        histogram_from_json(sub(baseline, "degradations", "by_action"),
+                            "action"),
+        histogram_from_json(sub(current, "degradations", "by_action"),
+                            "action"),
+        "degradation-drift", "degradation action", &result.warnings);
+  }
+
+  // --- governor fuel ------------------------------------------------------
+  {
+    const JsonValue* br = baseline.find("resource");
+    const JsonValue* cr = current.find("resource");
+    const double bf = br != nullptr ? num_or(*br, "fuel_spent") : 0;
+    const double cf = cr != nullptr ? num_or(*cr, "fuel_spent") : 0;
+    if (bf != cf && drift_pct(bf, cf) > thresholds.fuel_warn_pct) {
+      DiffFinding f;
+      f.kind = "fuel-drift";
+      f.detail = "suite fuel_spent: " + fmt(bf) + " -> " + fmt(cf);
+      result.warnings.push_back(std::move(f));
+    }
+    diff_histograms(
+        histogram_from_json(br != nullptr ? br->find("trips") : nullptr,
+                            "trigger"),
+        histogram_from_json(cr != nullptr ? cr->find("trips") : nullptr,
+                            "trigger"),
+        "trips-drift", "ceiling trips", &result.warnings);
+  }
+
+  return result;
+}
+
+JsonValue DiffResult::to_json() const {
+  auto findings_json = [](const std::vector<DiffFinding>& fs) {
+    JsonValue arr = JsonValue::array();
+    for (const DiffFinding& f : fs) {
+      JsonValue entry = JsonValue::object();
+      entry.set("kind", JsonValue::str(f.kind));
+      entry.set("code", JsonValue::str(f.code));
+      entry.set("unit", JsonValue::str(f.unit));
+      entry.set("loop", JsonValue::str(f.loop));
+      entry.set("detail", JsonValue::str(f.detail));
+      arr.add(std::move(entry));
+    }
+    return arr;
+  };
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue::str("polaris-suite-profile-diff"));
+  doc.set("version", JsonValue::num(kDiffSchemaVersion));
+  doc.set("verdict", JsonValue::str(regressed()
+                                        ? "regression"
+                                        : warnings.empty() ? "clean"
+                                                           : "warnings"));
+  doc.set("zero_delta", JsonValue::boolean(zero_delta));
+  doc.set("regressions", findings_json(regressions));
+  doc.set("warnings", findings_json(warnings));
+  doc.set("improvements", findings_json(improvements));
+  return doc;
+}
+
+std::string DiffResult::table() const {
+  std::ostringstream os;
+  auto section = [&os](const char* title,
+                       const std::vector<DiffFinding>& fs) {
+    os << title << " (" << fs.size() << ")\n";
+    for (const DiffFinding& f : fs) {
+      os << "  [" << f.kind << "]";
+      if (!f.code.empty()) {
+        os << " " << f.code;
+        if (!f.unit.empty()) os << "/" << f.unit;
+        if (!f.loop.empty()) os << " " << f.loop;
+      }
+      os << ": " << f.detail << "\n";
+    }
+  };
+  section("regressions", regressions);
+  section("warnings", warnings);
+  section("improvements", improvements);
+  os << "verdict: "
+     << (regressed() ? "REGRESSION" : warnings.empty() ? "CLEAN" : "WARNINGS")
+     << (zero_delta ? " (zero-delta)" : "") << "\n";
+  return os.str();
+}
+
+}  // namespace polaris::insight

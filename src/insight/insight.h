@@ -1,0 +1,135 @@
+// polaris-insight: suite-wide profile aggregation and baseline diffing.
+//
+// The observability layer (DESIGN.md §7) gives every compile
+// machine-readable artifacts — `-report-json` compile reports, `-remarks`
+// JSONL streams, `-trace` Chrome traces — and `polaris -profile-dir=DIR`
+// drops the full per-code artifact set for the 16-code suite in one
+// command.  This library turns that directory into a single
+// `polaris-suite-profile` v1 JSON document (loop inventory with reason
+// classes, reason-code histograms, per-(code, pass, unit) span rollups,
+// statistic totals, degradation and fuel summaries, bench rows) and diffs
+// two profiles into a classified verdict:
+//
+//   - hard failures: a loop flipping parallel→serial, or a reason code
+//     changing *class* (e.g. dependence → interprocedural) — the silent
+//     parallelization regressions the ROADMAP calls out;
+//   - warnings: statistic / duration / fuel drifts beyond configurable
+//     thresholds, loop-set and histogram changes;
+//   - improvements: serial→parallel flips.
+//
+// Loop identity: profiles key loops as `do[N]` — the loop's ordinal
+// within its (code, unit) in report order — not the compiler's `do#<id>`
+// statement name.  Statement ids come from a process-global counter, so
+// under `-profile-dir`'s worker pool the raw names depend on compile
+// interleaving across codes; the ordinal is byte-deterministic on any
+// machine at any `-jobs=N`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace polaris::insight {
+
+/// `polaris-suite-profile` document version.
+inline constexpr int kSuiteProfileSchemaVersion = 1;
+/// `polaris-suite-profile-diff` verdict version.
+inline constexpr int kDiffSchemaVersion = 1;
+
+/// Maps a closed-set loop reason code ("carried-dependence", ...) to its
+/// failure class ("dependence", "structural", "io", "interprocedural",
+/// "transformed", "unanalyzed").  Codes outside the closed set map to
+/// "unknown:<code>" — a distinct class, so an emitter growing a new code
+/// surfaces as a hard reason-class change, never a silent pass.
+std::string reason_class(const std::string& reason_code);
+
+/// Accumulates per-code artifacts into one suite profile.  Feed it the
+/// parsed artifacts (any subset per code; a report is the only required
+/// piece) and call profile().  Codes may arrive in any order — the
+/// profile is assembled in sorted code order.
+class ProfileBuilder {
+ public:
+  /// Ingests one code's `-report-json` document (schema
+  /// polaris-compile-report).  Throws UserError when the document is not
+  /// a v-compatible compile report.
+  void add_report(const std::string& code, const JsonValue& report);
+  /// Ingests one code's `-remarks` JSONL stream (already line-parsed).
+  void add_remarks(const std::string& code,
+                   const std::vector<JsonValue>& remarks);
+  /// Ingests one code's `-trace` Chrome trace document; only complete
+  /// ("ph":"X") spans with cat=="pass" contribute to the rollup.
+  void add_trace(const std::string& code, const JsonValue& trace);
+  /// Ingests POLARIS_BENCH_JSON rows; lines whose schema is not
+  /// "polaris-bench-row" are ignored (old hand-rolled logs).
+  void add_bench_rows(const std::vector<JsonValue>& rows);
+
+  /// Assembles the `polaris-suite-profile` v1 document.  Throws UserError
+  /// when no reports were ingested.
+  JsonValue profile() const;
+
+ private:
+  struct CodeData {
+    std::string code;
+    JsonValue report;
+    std::vector<JsonValue> remarks;
+    JsonValue trace;
+    bool has_report = false;
+    bool has_trace = false;
+  };
+  CodeData& slot(const std::string& code);
+  std::vector<CodeData> codes_;      ///< insertion order; sorted at build
+  std::vector<JsonValue> bench_rows_;
+};
+
+/// Scans `dir` for the `-profile-dir` artifact layout — per code
+/// `<code>.report.json`, `<code>.remarks.jsonl`, `<code>.trace.json` —
+/// plus any other `*.jsonl` file holding polaris-bench-row lines, and
+/// builds the suite profile.  Throws UserError when the directory holds
+/// no reports or an artifact fails to parse.
+JsonValue aggregate_directory(const std::string& dir);
+
+/// Warning thresholds for diff_profiles.  Regressions (parallel flips,
+/// reason-class changes) are never threshold-gated.
+struct DiffThresholds {
+  /// Statistic counters drifting more than this percentage warn.
+  double stat_warn_pct = 5.0;
+  /// Duration rollups (pass_timings ms, pass_spans total_us) drifting
+  /// more than this percentage AND more than an absolute floor (1 ms /
+  /// 1000 µs) warn; wall-clock jitters below the floor stay silent.
+  double duration_warn_pct = 50.0;
+  /// Governor fuel_spent drifting more than this percentage warns.
+  double fuel_warn_pct = 25.0;
+};
+
+/// One classified delta.  `code`/`unit`/`loop` are filled as far as the
+/// finding is localized (a stat drift has no loop).
+struct DiffFinding {
+  std::string kind;    ///< "parallel-flip", "reason-class-change", ...
+  std::string code;
+  std::string unit;
+  std::string loop;
+  std::string detail;  ///< human-readable specifics, names the reason codes
+};
+
+struct DiffResult {
+  std::vector<DiffFinding> regressions;
+  std::vector<DiffFinding> warnings;
+  std::vector<DiffFinding> improvements;
+  /// True when the two profiles are identical after scrubbing wall-clock
+  /// duration fields — the jobs=1 vs jobs=8 invariant.
+  bool zero_delta = false;
+
+  bool regressed() const { return !regressions.empty(); }
+  /// {"schema":"polaris-suite-profile-diff","version":1,...} verdict.
+  JsonValue to_json() const;
+  /// Human-readable classification table (multi-line, trailing newline).
+  std::string table() const;
+};
+
+/// Classifies the deltas from `baseline` to `current` (both
+/// polaris-suite-profile documents; throws UserError on schema mismatch).
+DiffResult diff_profiles(const JsonValue& baseline, const JsonValue& current,
+                         const DiffThresholds& thresholds = {});
+
+}  // namespace polaris::insight

@@ -1,0 +1,145 @@
+// The `polaris-insight` command-line tool: the suite-wide regression
+// sentinel over the compiler's observability artifacts.
+//
+//   polaris-insight aggregate DIR [-o FILE]
+//       Fold DIR's per-code artifacts (<code>.report.json,
+//       <code>.remarks.jsonl, <code>.trace.json, plus any
+//       POLARIS_BENCH_JSON *.jsonl logs) into one polaris-suite-profile
+//       v1 document (stdout, or FILE with -o).  Generate the artifacts
+//       with `polaris -profile-dir=DIR`.
+//
+//   polaris-insight diff BASELINE CURRENT [-json=FILE]
+//                   [-stat-warn-pct=N] [-duration-warn-pct=N]
+//                   [-fuel-warn-pct=N]
+//       Classify the deltas between two profiles.  Parallel→serial flips
+//       and reason-class changes are hard failures (exit 1, each named by
+//       (code, unit, loop, reason-code)); threshold-gated statistic /
+//       duration / fuel drifts and loop-set changes are warnings (exit 0).
+//       -json=FILE additionally writes the machine-readable verdict
+//       (polaris-suite-profile-diff v1; `-` for stdout).  Exit 2 on
+//       usage or I/O errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "insight/insight.h"
+#include "support/assert.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: polaris-insight aggregate DIR [-o FILE]\n"
+               "       polaris-insight diff BASELINE CURRENT [-json=FILE]\n"
+               "           [-stat-warn-pct=N] [-duration-warn-pct=N]\n"
+               "           [-fuel-warn-pct=N]\n");
+  return 2;
+}
+
+/// Parses a threshold percentage: a number >= 0 (0 = warn on any drift).
+double parse_pct(const char* flag, const std::string& value) {
+  std::size_t pos = 0;
+  double pct = 0.0;
+  try {
+    pct = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (value.empty() || pos != value.size() || pct < 0.0)
+    throw polaris::UserError("invalid " + std::string(flag) + " value '" +
+                             value + "' (expected a number >= 0)");
+  return pct;
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::printf("%s\n", text.c_str());
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "polaris-insight: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text << "\n";
+  return static_cast<bool>(out);
+}
+
+int cmd_aggregate(int argc, char** argv) {
+  std::string dir, out_path = "-";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (dir.empty()) {
+      dir = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (dir.empty()) return usage();
+  const polaris::JsonValue profile =
+      polaris::insight::aggregate_directory(dir);
+  return write_text(out_path, profile.serialize()) ? 0 : 2;
+}
+
+int cmd_diff(int argc, char** argv) {
+  std::string baseline_path, current_path, json_path;
+  polaris::insight::DiffThresholds thresholds;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "-json=", 6) == 0) {
+      json_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "-stat-warn-pct=", 15) == 0) {
+      thresholds.stat_warn_pct = parse_pct("-stat-warn-pct", argv[i] + 15);
+    } else if (std::strncmp(argv[i], "-duration-warn-pct=", 19) == 0) {
+      thresholds.duration_warn_pct =
+          parse_pct("-duration-warn-pct", argv[i] + 19);
+    } else if (std::strncmp(argv[i], "-fuel-warn-pct=", 15) == 0) {
+      thresholds.fuel_warn_pct = parse_pct("-fuel-warn-pct", argv[i] + 15);
+    } else if (argv[i][0] == '-' && std::strlen(argv[i]) > 1) {
+      return usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = argv[i];
+    } else if (current_path.empty()) {
+      current_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return usage();
+
+  const polaris::JsonValue baseline =
+      polaris::parse_json_file(baseline_path);
+  const polaris::JsonValue current = polaris::parse_json_file(current_path);
+  const polaris::insight::DiffResult result =
+      polaris::insight::diff_profiles(baseline, current, thresholds);
+
+  // The table goes to stdout unless the verdict JSON claims it.
+  if (json_path == "-") {
+    std::fprintf(stderr, "%s", result.table().c_str());
+  } else {
+    std::printf("%s", result.table().c_str());
+  }
+  if (!json_path.empty() &&
+      !write_text(json_path, result.to_json().serialize()))
+    return 2;
+  return result.regressed() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "aggregate") == 0)
+      return cmd_aggregate(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "diff") == 0)
+      return cmd_diff(argc - 2, argv + 2);
+    return usage();
+  } catch (const polaris::UserError& e) {
+    std::fprintf(stderr, "polaris-insight: %s\n", e.what());
+    return 2;
+  }
+}

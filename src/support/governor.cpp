@@ -97,6 +97,14 @@ ResourceGovernor* ResourceGovernor::current() {
   return g.active() ? &g : nullptr;
 }
 
+void ResourceGovernor::note_trip(GovernorTrigger t) {
+  ++trips_[static_cast<int>(t)];
+}
+
+std::uint64_t ResourceGovernor::trip_count(GovernorTrigger t) const {
+  return trips_[static_cast<int>(t)];
+}
+
 void ResourceGovernor::charge(std::uint64_t ticks) {
   const std::uint64_t before = fuel_spent_;
   fuel_spent_ = before + ticks < before ? ~std::uint64_t{0} : before + ticks;
@@ -104,6 +112,7 @@ void ResourceGovernor::charge(std::uint64_t ticks) {
   // exhausted shard stays exhausted, so each later ladder attempt trips
   // immediately and deterministically.
   if (fuel_limit_ != 0 && fuel_spent_ >= fuel_limit_) {
+    note_trip(GovernorTrigger::CompileFuel);
     std::ostringstream os;
     os << "compile fuel exhausted (" << fuel_spent_ << " of " << fuel_limit_
        << " ticks)";
@@ -113,6 +122,7 @@ void ResourceGovernor::charge(std::uint64_t ticks) {
 
 void ResourceGovernor::check_poly_terms(std::size_t terms) {
   if (max_poly_terms_ != 0 && terms > max_poly_terms_) {
+    note_trip(GovernorTrigger::PolyTerms);
     std::ostringstream os;
     os << "polynomial grew to " << terms << " terms, ceiling "
        << max_poly_terms_;
@@ -122,6 +132,7 @@ void ResourceGovernor::check_poly_terms(std::size_t terms) {
 
 void ResourceGovernor::check_atoms(std::size_t atoms) {
   if (max_atoms_ != 0 && atoms > max_atoms_) {
+    note_trip(GovernorTrigger::AtomCeiling);
     std::ostringstream os;
     os << "atom table grew to " << atoms << " atoms, ceiling " << max_atoms_;
     throw ResourceBlowup(GovernorTrigger::AtomCeiling, os.str());
@@ -203,6 +214,7 @@ void note_conservative_bailout(const char* site, const ResourceBlowup& b) {
 
 void ResourceGovernor::absorb(ResourceGovernor& shard) {
   add_spent(shard.fuel_spent_);
+  for (int i = 0; i < 4; ++i) trips_[i] += shard.trips_[i];
   for (DegradationEvent& ev : shard.events_)
     events_.push_back(std::move(ev));
   shard.events_.clear();

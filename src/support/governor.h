@@ -169,6 +169,15 @@ class ResourceGovernor {
   /// AtomTable about to hold `atoms` atoms.
   void check_atoms(std::size_t atoms);
 
+  /// Bumps the trip counter for `t`.  Called at every throw site (and, for
+  /// PassBudget, by the pass manager at the wall-budget boundary) so
+  /// insight can aggregate how often each ceiling fired.  Counters are
+  /// meters like fuel_spent_: folded by absorb(), never unwound by
+  /// truncate_events — a ladder retry does not un-trip the ceiling that
+  /// caused it.
+  void note_trip(GovernorTrigger t);
+  std::uint64_t trip_count(GovernorTrigger t) const;
+
   std::uint64_t fuel_limit() const { return fuel_limit_; }
   std::uint64_t fuel_spent() const { return fuel_spent_; }
   std::uint64_t fuel_remaining() const {
@@ -211,6 +220,7 @@ class ResourceGovernor {
 
   std::uint64_t fuel_limit_ = 0;
   std::uint64_t fuel_spent_ = 0;
+  std::uint64_t trips_[4] = {0, 0, 0, 0};  ///< indexed by GovernorTrigger
   std::size_t max_poly_terms_ = 0;
   std::size_t max_atoms_ = 0;
   int simplify_depth_ = 0;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "support/assert.h"
 
@@ -365,6 +367,39 @@ std::string JsonValue::serialize() const {
 
 JsonValue parse_json(const std::string& text) {
   return JsonParser(text).parse();
+}
+
+JsonValue parse_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw UserError("cannot open JSON file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_json(buf.str());
+  } catch (const UserError& e) {
+    throw UserError(path + ": " + e.what());
+  }
+}
+
+std::vector<JsonValue> parse_jsonl(const std::string& text) {
+  std::vector<JsonValue> out;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    bool blank = true;
+    for (char c : line)
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    if (blank) continue;
+    try {
+      out.push_back(parse_json(line));
+    } catch (const UserError& e) {
+      throw UserError("JSONL line " + std::to_string(lineno) + ": " +
+                      e.what());
+    }
+  }
+  return out;
 }
 
 }  // namespace polaris

@@ -63,4 +63,15 @@ struct JsonValue {
 /// Throws UserError with position information on malformed input.
 JsonValue parse_json(const std::string& text);
 
+/// Reads `path` and parses it as one JSON document.  Throws UserError
+/// (naming the file) when the file cannot be read or does not parse —
+/// the shared ingestion path for every tool that consumes the compiler's
+/// JSON artifacts (polaris-insight, tests, the bench harness).
+JsonValue parse_json_file(const std::string& path);
+
+/// Parses a JSONL stream (one JSON document per line, the remarks /
+/// POLARIS_BENCH_JSON shape).  Blank lines are skipped; a malformed line
+/// throws UserError with its 1-based line number.
+std::vector<JsonValue> parse_jsonl(const std::string& text);
+
 }  // namespace polaris

@@ -1,0 +1,396 @@
+// The polaris-insight subsystem end to end: suite-profile aggregation
+// invariants over the 16-code suite, the loop-ordinal identity scheme,
+// and the diff classifier — every parallel→serial flip is a named hard
+// failure, reason-class changes regress, threshold-gated drifts warn,
+// and jobs=1 vs jobs=8 artifacts produce a zero-delta verdict.  The
+// committed tests/data/suite_profile_baseline.json is diffed against a
+// freshly built in-process profile so silent parallelization regressions
+// fail CI (ROADMAP "regression sentinel").
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.h"
+#include "driver/report_json.h"
+#include "insight/insight.h"
+#include "suite/suite.h"
+#include "support/assert.h"
+#include "support/context.h"
+#include "support/json.h"
+#include "support/trace.h"
+
+namespace polaris {
+namespace {
+
+namespace insight = polaris::insight;
+
+/// Compiles one source and returns the parsed artifact triple exactly as
+/// `polaris -profile-dir` would drop it: the report-JSON document, the
+/// line-parsed remarks stream, and the Chrome trace document.
+struct Artifacts {
+  JsonValue report;
+  std::vector<JsonValue> remarks;
+  JsonValue trace;
+};
+
+Artifacts compile_artifacts(Options opts, const std::string& source) {
+  CompileContext cc;
+  // Arm the collector before compile so Compiler's own guard does not
+  // claim ownership; an empty path means stop() returns the JSON without
+  // touching the filesystem.
+  cc.trace().start("");
+  CompileReport rep;
+  Compiler(std::move(opts)).compile(source, &rep, cc);
+  const std::string trace_json = cc.trace().stop();
+
+  Artifacts a;
+  a.report = parse_json(compile_report_json(rep));
+  std::ostringstream remarks;
+  rep.diagnostics.print_remarks(remarks);
+  a.remarks = parse_jsonl(remarks.str());
+  a.trace = parse_json(trace_json);
+  return a;
+}
+
+/// Builds the full 16-code suite profile in-process with `opts` (jobs is
+/// taken from opts; each code compiles with the same options, mirroring
+/// -profile-dir).
+JsonValue suite_profile(const Options& opts) {
+  insight::ProfileBuilder builder;
+  for (const BenchProgram& bp : benchmark_suite()) {
+    Artifacts a = compile_artifacts(opts, bp.source);
+    builder.add_report(bp.name, a.report);
+    builder.add_remarks(bp.name, a.remarks);
+    builder.add_trace(bp.name, a.trace);
+  }
+  return builder.profile();
+}
+
+/// (code, unit, loop) → loop entry over a profile's loop inventory.
+std::map<std::string, const JsonValue*> loop_index(const JsonValue& profile) {
+  std::map<std::string, const JsonValue*> out;
+  for (const JsonValue& l : profile.find("loops")->items) {
+    const std::string key = l.find("code")->string_value + "/" +
+                            l.find("unit")->string_value + "/" +
+                            l.find("loop")->string_value;
+    out[key] = &l;
+  }
+  return out;
+}
+
+bool loop_parallel(const JsonValue& l) {
+  return l.find("parallel")->bool_value || l.find("speculative")->bool_value;
+}
+
+// --- reason classes --------------------------------------------------------
+
+TEST(ReasonClass, ClosedSetMapsToDocumentedClasses) {
+  EXPECT_EQ(insight::reason_class("empty-body"), "structural");
+  EXPECT_EQ(insight::reason_class("irregular-control-flow"), "structural");
+  EXPECT_EQ(insight::reason_class("loop-io"), "io");
+  EXPECT_EQ(insight::reason_class("unresolved-call"), "interprocedural");
+  EXPECT_EQ(insight::reason_class("scalar-recurrence"), "dependence");
+  EXPECT_EQ(insight::reason_class("carried-dependence"), "dependence");
+  EXPECT_EQ(insight::reason_class("strength-reduced"), "transformed");
+  EXPECT_EQ(insight::reason_class("not-analyzed"), "unanalyzed");
+}
+
+// A code outside the closed set maps to its own "unknown:<code>" class,
+// so an emitter growing a new code can never silently pass the diff.
+TEST(ReasonClass, UnknownCodesGetDistinctClass) {
+  EXPECT_EQ(insight::reason_class("brand-new-code"), "unknown:brand-new-code");
+  EXPECT_NE(insight::reason_class("brand-new-code"),
+            insight::reason_class("other-new-code"));
+}
+
+// --- aggregation -----------------------------------------------------------
+
+TEST(ProfileBuilder, EmptyBuilderThrows) {
+  insight::ProfileBuilder builder;
+  EXPECT_THROW(builder.profile(), UserError);
+}
+
+TEST(ProfileBuilder, RemarksWithoutReportThrow) {
+  insight::ProfileBuilder builder;
+  builder.add_remarks("orphan", {});
+  EXPECT_THROW(builder.profile(), UserError);
+}
+
+TEST(ProfileBuilder, RejectsForeignDocuments) {
+  insight::ProfileBuilder builder;
+  EXPECT_THROW(builder.add_report("x", parse_json("{\"schema\":\"other\"}")),
+               UserError);
+}
+
+TEST(AggregateDirectory, EmptyDirectoryThrows) {
+  const std::string dir = ::testing::TempDir() + "insight_empty_dir";
+  std::filesystem::create_directories(dir);
+  EXPECT_THROW(insight::aggregate_directory(dir), UserError);
+  EXPECT_THROW(insight::aggregate_directory(dir + "/nonexistent"), UserError);
+}
+
+// The suite profile holds the invariants every downstream consumer
+// relies on: schema header, consistent summary counts, unique
+// (code, unit, loop) keys using the `do[N]` ordinal scheme, a reason
+// class on every serial loop, and span rollups from the traces.
+TEST(SuiteProfile, AggregatesAllSixteenCodesConsistently) {
+  const JsonValue profile = suite_profile(Options::polaris());
+
+  EXPECT_EQ(profile.find("schema")->string_value, "polaris-suite-profile");
+  EXPECT_EQ(static_cast<int>(profile.find("version")->number),
+            insight::kSuiteProfileSchemaVersion);
+  ASSERT_EQ(profile.find("codes")->items.size(), benchmark_suite().size());
+
+  const JsonValue* summary = profile.find("summary");
+  const JsonValue* loops = profile.find("loops");
+  ASSERT_NE(summary, nullptr);
+  ASSERT_NE(loops, nullptr);
+  EXPECT_EQ(static_cast<std::size_t>(summary->find("codes")->number),
+            benchmark_suite().size());
+  EXPECT_EQ(static_cast<std::size_t>(summary->find("loops")->number),
+            loops->items.size());
+
+  std::size_t parallel = 0, speculative = 0, serial = 0;
+  std::set<std::string> keys;
+  for (const JsonValue& l : loops->items) {
+    const std::string loop_name = l.find("loop")->string_value;
+    EXPECT_EQ(loop_name.compare(0, 3, "do["), 0) << loop_name;
+    EXPECT_TRUE(keys
+                    .insert(l.find("code")->string_value + "/" +
+                            l.find("unit")->string_value + "/" + loop_name)
+                    .second)
+        << "duplicate loop key";
+    if (l.find("parallel")->bool_value) {
+      ++parallel;
+      EXPECT_TRUE(l.find("reason_code")->string_value.empty());
+    } else if (l.find("speculative")->bool_value) {
+      ++speculative;
+    } else {
+      ++serial;
+      const std::string code = l.find("reason_code")->string_value;
+      EXPECT_FALSE(code.empty());
+      EXPECT_EQ(l.find("reason_class")->string_value,
+                insight::reason_class(code));
+      EXPECT_NE(l.find("reason_class")->string_value.compare(0, 8,
+                                                             "unknown:"),
+                0)
+          << "reason code '" << code << "' outside the closed set";
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(summary->find("parallel")->number),
+            parallel);
+  EXPECT_EQ(static_cast<std::size_t>(summary->find("speculative")->number),
+            speculative);
+  EXPECT_EQ(static_cast<std::size_t>(summary->find("serial")->number), serial);
+  EXPECT_GT(parallel, 0u);
+  EXPECT_GT(serial, 0u);
+
+  // The reason histogram covers exactly the serial loops.
+  std::uint64_t histogram_total = 0;
+  for (const JsonValue& e : profile.find("reason_histogram")->items) {
+    histogram_total += static_cast<std::uint64_t>(e.find("count")->number);
+    EXPECT_EQ(e.find("class")->string_value,
+              insight::reason_class(e.find("reason_code")->string_value));
+  }
+  EXPECT_EQ(histogram_total, serial + speculative);
+
+  // Traces contributed pass spans and remarks were folded in.
+  EXPECT_FALSE(profile.find("pass_spans")->items.empty());
+  EXPECT_GT(profile.find("remarks")->find("total")->number, 0.0);
+  EXPECT_FALSE(profile.find("stats")->items.empty());
+  EXPECT_FALSE(profile.find("pass_timings")->items.empty());
+}
+
+// --- the acceptance gate: dropping doall flags every flip -------------------
+
+// Recompile the suite without the doall pass (`-passes=` spec) and diff
+// against the full-pipeline profile: every loop that was parallel and is
+// now serial must surface as a named parallel-flip regression, and the
+// diff must report failure.
+TEST(Diff, DroppingDoallFlagsEveryParallelFlip) {
+  const JsonValue base = suite_profile(Options::polaris());
+  Options degraded = Options::polaris();
+  degraded.pipeline_spec = "inline,constprop,normalize,induction,forwardsub";
+  const JsonValue cur = suite_profile(degraded);
+
+  const insight::DiffResult result = insight::diff_profiles(base, cur);
+  ASSERT_TRUE(result.regressed());
+  EXPECT_FALSE(result.zero_delta);
+
+  // Collect the expected flip set straight from the two profiles.
+  const auto base_loops = loop_index(base);
+  const auto cur_loops = loop_index(cur);
+  std::set<std::string> expected_flips;
+  for (const auto& [key, bl] : base_loops) {
+    auto it = cur_loops.find(key);
+    if (it != cur_loops.end() && loop_parallel(*bl) &&
+        !loop_parallel(*it->second))
+      expected_flips.insert(key);
+  }
+  ASSERT_FALSE(expected_flips.empty());
+
+  std::set<std::string> flagged;
+  for (const insight::DiffFinding& f : result.regressions) {
+    if (f.kind != "parallel-flip") continue;
+    flagged.insert(f.code + "/" + f.unit + "/" + f.loop);
+    // Each finding names the new reason code.
+    EXPECT_NE(f.detail.find("reason-code"), std::string::npos) << f.detail;
+    EXPECT_NE(f.detail.find("not-analyzed"), std::string::npos) << f.detail;
+  }
+  EXPECT_EQ(flagged, expected_flips);
+
+  // The machine-readable verdict matches.
+  const JsonValue verdict = result.to_json();
+  EXPECT_EQ(verdict.find("schema")->string_value,
+            "polaris-suite-profile-diff");
+  EXPECT_EQ(verdict.find("verdict")->string_value, "regression");
+  EXPECT_EQ(verdict.find("regressions")->items.size(),
+            result.regressions.size());
+  EXPECT_NE(result.table().find("verdict: REGRESSION"), std::string::npos);
+}
+
+// --- jobs determinism ------------------------------------------------------
+
+// The same suite compiled at -jobs=1 and -jobs=8 yields profiles whose
+// diff is clean and zero-delta after duration scrubbing: the aggregation
+// pipeline preserves the compiler's jobs-invariance guarantee
+// (determinism_test) end to end.
+TEST(Diff, JobsOneVersusEightIsZeroDelta) {
+  Options serial = Options::polaris();
+  serial.jobs = 1;
+  Options threaded = Options::polaris();
+  threaded.jobs = 8;
+
+  const insight::DiffResult result =
+      insight::diff_profiles(suite_profile(serial), suite_profile(threaded));
+  EXPECT_TRUE(result.regressions.empty());
+  EXPECT_TRUE(result.zero_delta);
+  EXPECT_NE(result.table().find("(zero-delta)"), std::string::npos);
+}
+
+// --- synthetic classification cases ----------------------------------------
+
+/// A minimal single-loop profile for targeted diff cases.
+JsonValue mini_profile(const std::string& state,
+                       const std::string& reason_code) {
+  std::string loop =
+      "{\"code\":\"demo\",\"unit\":\"main\",\"loop\":\"do[0]\",\"depth\":1,";
+  loop += "\"parallel\":" + std::string(state == "parallel" ? "true" : "false");
+  loop += ",\"speculative\":" +
+          std::string(state == "speculative" ? "true" : "false");
+  loop += ",\"reason_code\":\"" + reason_code + "\",\"reason_class\":\"" +
+          (reason_code.empty() ? "" : insight::reason_class(reason_code)) +
+          "\"}";
+  return parse_json(
+      "{\"schema\":\"polaris-suite-profile\",\"version\":1,"
+      "\"codes\":[\"demo\"],\"loops\":[" +
+      loop + "]}");
+}
+
+TEST(Diff, ReasonClassChangeIsRegression) {
+  const insight::DiffResult result =
+      insight::diff_profiles(mini_profile("serial", "carried-dependence"),
+                             mini_profile("serial", "unresolved-call"));
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].kind, "reason-class-change");
+  EXPECT_EQ(result.regressions[0].code, "demo");
+  EXPECT_EQ(result.regressions[0].unit, "main");
+  EXPECT_EQ(result.regressions[0].loop, "do[0]");
+  EXPECT_NE(result.regressions[0].detail.find("dependence"),
+            std::string::npos);
+  EXPECT_NE(result.regressions[0].detail.find("interprocedural"),
+            std::string::npos);
+}
+
+TEST(Diff, SameClassReasonChangeOnlyWarns) {
+  const insight::DiffResult result =
+      insight::diff_profiles(mini_profile("serial", "carried-dependence"),
+                             mini_profile("serial", "scalar-recurrence"));
+  EXPECT_TRUE(result.regressions.empty());
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_EQ(result.warnings[0].kind, "reason-code-change");
+}
+
+TEST(Diff, SpeculativeToSerialIsRegression) {
+  const insight::DiffResult result = insight::diff_profiles(
+      mini_profile("speculative", ""), mini_profile("serial", "loop-io"));
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].kind, "parallel-flip");
+}
+
+TEST(Diff, SerialToParallelIsImprovement) {
+  const insight::DiffResult result = insight::diff_profiles(
+      mini_profile("serial", "not-analyzed"), mini_profile("parallel", ""));
+  EXPECT_TRUE(result.regressions.empty());
+  ASSERT_EQ(result.improvements.size(), 1u);
+  EXPECT_EQ(result.improvements[0].kind, "parallelized");
+  EXPECT_EQ(result.to_json().find("verdict")->string_value, "clean");
+}
+
+/// A profile holding one statistic counter.
+JsonValue stat_profile(double value) {
+  std::ostringstream os;
+  os << "{\"schema\":\"polaris-suite-profile\",\"version\":1,"
+     << "\"codes\":[\"demo\"],\"loops\":[],\"stats\":[{\"component\":"
+     << "\"simplify\",\"name\":\"rewrites\",\"value\":" << value << "}]}";
+  return parse_json(os.str());
+}
+
+TEST(Diff, StatDriftGatedByThreshold) {
+  // 4% drift: below the 5% default, silent.
+  EXPECT_TRUE(
+      insight::diff_profiles(stat_profile(100), stat_profile(104)).warnings
+          .empty());
+  // 20% drift: warns, but never regresses.
+  const insight::DiffResult drift =
+      insight::diff_profiles(stat_profile(100), stat_profile(120));
+  EXPECT_TRUE(drift.regressions.empty());
+  ASSERT_EQ(drift.warnings.size(), 1u);
+  EXPECT_EQ(drift.warnings[0].kind, "stat-drift");
+  EXPECT_NE(drift.warnings[0].detail.find("simplify.rewrites"),
+            std::string::npos);
+  // A tightened threshold catches the small drift too.
+  insight::DiffThresholds tight;
+  tight.stat_warn_pct = 1.0;
+  EXPECT_EQ(insight::diff_profiles(stat_profile(100), stat_profile(104), tight)
+                .warnings.size(),
+            1u);
+}
+
+TEST(Diff, SchemaMismatchThrows) {
+  EXPECT_THROW(
+      insight::diff_profiles(parse_json("{\"schema\":\"other\"}"),
+                             mini_profile("serial", "loop-io")),
+      UserError);
+  EXPECT_THROW(
+      insight::diff_profiles(
+          mini_profile("serial", "loop-io"),
+          parse_json("{\"schema\":\"polaris-suite-profile\",\"version\":99}")),
+      UserError);
+}
+
+// --- the committed baseline ------------------------------------------------
+
+// The regression sentinel itself: a freshly built profile diffed against
+// tests/data/suite_profile_baseline.json must show no regressions.  An
+// intentional parallelization change refreshes the baseline via
+// tools/update_suite_baseline.sh.
+TEST(Baseline, FreshProfileMatchesCommittedBaseline) {
+  const JsonValue baseline = parse_json_file(POLARIS_SUITE_BASELINE);
+  const JsonValue current = suite_profile(Options::polaris());
+  const insight::DiffResult result =
+      insight::diff_profiles(baseline, current);
+  EXPECT_TRUE(result.regressions.empty())
+      << result.table()
+      << "\nif this parallelization change is intentional, refresh with "
+         "tools/update_suite_baseline.sh";
+  EXPECT_TRUE(result.zero_delta) << result.table();
+}
+
+}  // namespace
+}  // namespace polaris

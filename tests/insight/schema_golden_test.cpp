@@ -1,0 +1,188 @@
+// Report-JSON schema stability: the `-report-json` document is the
+// ingestion surface for polaris-insight, the bench harness, and external
+// dashboards, so its *shape* — member names, member order, nesting — is
+// pinned against a committed golden file.  A two-unit fixture compiled
+// with a hostile poly-terms ceiling and an injected fault populates every
+// section (loops, remarks, pass_timings, failures, degradations, stats,
+// analysis_cache, resource); the skeleton extractor then zeroes all
+// values so only structure is compared.  Refresh after an intentional
+// schema change with:
+//
+//   POLARIS_UPDATE_GOLDEN=1 ./test_insight --gtest_filter='SchemaGolden.*'
+//
+// and commit the regenerated tests/data/report_schema_golden.json.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "driver/compiler.h"
+#include "driver/report_json.h"
+#include "insight/insight.h"
+#include "support/json.h"
+
+namespace polaris {
+namespace {
+
+// Two units: a triangular induction nest plus a reduction in the main
+// program, a callee with its own reduction loop, and a print statement
+// so structural, dependence, and io reason paths all appear.
+const char* kFixture =
+    "      program golden\n"
+    "      real a(5050), s\n"
+    "      integer i, j, k\n"
+    "      k = 0\n"
+    "      do i = 1, 100\n"
+    "        do j = 1, i\n"
+    "          k = k + 1\n"
+    "          a(k) = i*0.5 + j\n"
+    "        end do\n"
+    "      end do\n"
+    "      s = 0.0\n"
+    "      call accum(a, s)\n"
+    "      do i = 1, 5050\n"
+    "        print *, a(i)\n"
+    "      end do\n"
+    "      end\n"
+    "      subroutine accum(b, t)\n"
+    "      real b(5050), t\n"
+    "      integer i\n"
+    "      do i = 1, 5050\n"
+    "        t = t + b(i)\n"
+    "      end do\n"
+    "      end\n";
+
+/// Reduces a JSON document to its shape: member names and order kept,
+/// numbers -> 0, strings -> "", bools -> false, arrays -> [shape of the
+/// first element].  The free-form remark "args" payload is emptied — its
+/// members vary per remark kind and are not part of the schema contract.
+JsonValue skeleton(const JsonValue& v, const std::string& key = "") {
+  switch (v.kind) {
+    case JsonValue::Kind::Object: {
+      JsonValue obj = JsonValue::object();
+      if (key == "args") return obj;
+      for (const auto& [name, member] : v.members)
+        obj.set(name, skeleton(member, name));
+      return obj;
+    }
+    case JsonValue::Kind::Array: {
+      JsonValue arr = JsonValue::array();
+      if (!v.items.empty()) arr.add(skeleton(v.items[0], key));
+      return arr;
+    }
+    case JsonValue::Kind::Number:
+      return JsonValue::num(0);
+    case JsonValue::Kind::String:
+      return JsonValue::str("");
+    case JsonValue::Kind::Bool:
+      return JsonValue::boolean(false);
+    case JsonValue::Kind::Null:
+      break;
+  }
+  return JsonValue::null();
+}
+
+/// The closed reason-code set from DESIGN.md §7.  Growing it is a schema
+/// change: update this list, the golden file, and insight::reason_class
+/// together.
+const std::set<std::string>& closed_reason_codes() {
+  static const std::set<std::string> codes = {
+      "empty-body",        "irregular-control-flow",
+      "unresolved-call",   "loop-io",
+      "scalar-recurrence", "carried-dependence",
+      "strength-reduced",  "not-analyzed",
+  };
+  return codes;
+}
+
+JsonValue fixture_report() {
+  Options opts = Options::polaris();
+  // A hostile ceiling populates degradations/resource; an injected fault
+  // populates failures.  Both are recovered, so the compile completes.
+  opts.max_poly_terms = 2;
+  opts.fault_inject = "constprop";
+  CompileReport rep;
+  Compiler(std::move(opts)).compile(kFixture, &rep);
+  return parse_json(compile_report_json(rep));
+}
+
+JsonValue golden_document(const JsonValue& report) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue::str("polaris-report-schema-golden"));
+  doc.set("version", JsonValue::num(1));
+  doc.set("report_skeleton", skeleton(report));
+  JsonValue codes = JsonValue::array();
+  for (const std::string& code : closed_reason_codes())
+    codes.add(JsonValue::str(code));
+  doc.set("reason_codes", std::move(codes));
+  return doc;
+}
+
+// The fixture must keep exercising every report section — otherwise the
+// golden skeleton silently stops covering it.
+TEST(SchemaGolden, FixturePopulatesEverySection) {
+  const JsonValue report = fixture_report();
+  for (const char* section :
+       {"loops", "remarks", "pass_timings", "failures", "degradations",
+        "stats"}) {
+    const JsonValue* arr = report.find(section);
+    ASSERT_NE(arr, nullptr) << section;
+    EXPECT_FALSE(arr->items.empty()) << section << " is empty";
+  }
+  ASSERT_NE(report.find("summary"), nullptr);
+  ASSERT_NE(report.find("analysis_cache"), nullptr);
+  const JsonValue* resource = report.find("resource");
+  ASSERT_NE(resource, nullptr);
+  ASSERT_NE(resource->find("trips"), nullptr);
+
+  // Every reason code the fixture emits is in the closed set, and every
+  // code in the closed set maps to a documented insight class.
+  for (const JsonValue& l : report.find("loops")->items) {
+    const std::string code = l.find("reason_code")->string_value;
+    if (!code.empty()) {
+      EXPECT_TRUE(closed_reason_codes().count(code)) << code;
+    }
+  }
+  for (const std::string& code : closed_reason_codes())
+    EXPECT_NE(insight::reason_class(code).compare(0, 8, "unknown:"), 0)
+        << code;
+}
+
+// A fuel-budgeted compile must report the installed limit and the burn —
+// the pipeline disarms the governor on exit, so the report captures the
+// limit from the options, not the (reset) meter.
+TEST(SchemaGolden, GovernedCompileReportsFuelAccounting) {
+  Options opts = Options::polaris();
+  opts.compile_budget_ms = 0.001;  // ~50 ticks: trips immediately
+  CompileReport rep;
+  Compiler(std::move(opts)).compile(kFixture, &rep);
+  EXPECT_GT(rep.resource.fuel_limit, 0u);
+  EXPECT_GT(rep.resource.fuel_spent, 0u);
+  EXPECT_GT(rep.resource.trips_compile_fuel, 0u);
+  EXPECT_EQ(rep.resource.trips_poly_terms, 0u);
+}
+
+TEST(SchemaGolden, ReportShapeMatchesCommittedGolden) {
+  const JsonValue actual = golden_document(fixture_report());
+  const std::string actual_text = actual.serialize();
+
+  if (std::getenv("POLARIS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(POLARIS_SCHEMA_GOLDEN);
+    ASSERT_TRUE(out) << "cannot write " << POLARIS_SCHEMA_GOLDEN;
+    out << actual_text << "\n";
+    GTEST_LOG_(INFO) << "refreshed " << POLARIS_SCHEMA_GOLDEN;
+    return;
+  }
+
+  const std::string expected_text =
+      parse_json_file(POLARIS_SCHEMA_GOLDEN).serialize();
+  EXPECT_EQ(expected_text, actual_text)
+      << "report-JSON shape drifted from tests/data/report_schema_golden."
+         "json; if the schema change is intentional, refresh with "
+         "POLARIS_UPDATE_GOLDEN=1 and bump kCompileReportSchemaVersion";
+}
+
+}  // namespace
+}  // namespace polaris

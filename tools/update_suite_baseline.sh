@@ -1,0 +1,39 @@
+#!/bin/sh
+# Regenerates tests/data/suite_profile_baseline.json — the pinned
+# polaris-suite-profile the insight_suite_baseline ctest diffs every run
+# against.  Refreshes are deliberate: run this after an intentional
+# parallelization change, review the printed diff, and commit the new
+# baseline with the change that caused it.
+#
+# usage: tools/update_suite_baseline.sh [BUILD_DIR]   (default: build)
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+polaris="$build/src/driver/polaris"
+insight="$build/src/insight/polaris-insight"
+baseline="$repo/tests/data/suite_profile_baseline.json"
+
+for bin in "$polaris" "$insight"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $build)" >&2
+    exit 1
+  fi
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$polaris" -profile-dir="$tmp/artifacts"
+"$insight" aggregate "$tmp/artifacts" -o "$tmp/profile.json"
+
+if [ -f "$baseline" ]; then
+  echo "--- diff against the current baseline ---"
+  # Regressions here are *expected* when the refresh is intentional; the
+  # table is printed for review, not gated on.
+  "$insight" diff "$baseline" "$tmp/profile.json" || true
+  echo "-----------------------------------------"
+fi
+
+mv "$tmp/profile.json" "$baseline"
+echo "wrote $baseline"
