@@ -77,7 +77,7 @@ std::unique_ptr<Program> Compiler::compile(const std::string& source,
   CompileContext::Scope ctx_scope(&cc);
   TraceOwnGuard tracing(cc.trace(), opts_.trace_path);
   trace::TraceSpan compile_span(&cc.trace(), "compile", "driver");
-  std::unique_ptr<Program> program = parse_program(source, &cc);
+  std::unique_ptr<Program> program = parse_program(source, &cc, opts_.jobs);
   transform(*program, report, cc);
   return program;
 }

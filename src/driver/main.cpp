@@ -80,26 +80,23 @@
 //
 // A recovered fault still exits 0: the program compiles without the failed
 // pass's transformation on that unit, and a warning goes to stderr.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <algorithm>
-#include <atomic>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "driver/compiler.h"
+#include "driver/profile_dir.h"
 #include "driver/report_json.h"
 #include "interp/interp.h"
 #include "parser/parser.h"
 #include "parser/printer.h"
-#include "suite/suite.h"
 
 namespace {
 
@@ -150,7 +147,34 @@ int parse_jobs(const std::string& value) {
     throw polaris::UserError("invalid -jobs value '" + value +
                              "' (expected a positive integer)");
   const unsigned hw = std::thread::hardware_concurrency();
-  if (hw > 0) n = std::min(n, static_cast<long>(hw));
+  if (hw > 0 && n > static_cast<long>(hw)) {
+    // Audible, not silent: a capped request is honored differently than
+    // written, and that should be visible in CI logs when someone wonders
+    // why -jobs=32 did not scale.
+    std::fprintf(stderr,
+                 "polaris: note: -jobs=%ld capped to this machine's %u "
+                 "hardware thread%s\n",
+                 n, hw, hw == 1 ? "" : "s");
+    n = static_cast<long>(hw);
+  }
+  return static_cast<int>(n);
+}
+
+/// Parses and validates a `-p N` processor count for the simulated
+/// machine.  Same contract as every other numeric flag: a positive
+/// decimal integer, fully consumed — "-p 4junk" is an error, not 4, and
+/// an out-of-range value is rejected instead of overflowing.
+int parse_processors(const std::string& value) {
+  std::size_t pos = 0;
+  long n = 0;
+  try {
+    n = std::stol(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (value.empty() || pos != value.size() || n < 1 || n > 2147483647)
+    throw polaris::UserError("invalid -p value '" + value +
+                             "' (expected a positive integer)");
   return static_cast<int>(n);
 }
 
@@ -232,71 +256,6 @@ bool parse_bool_env(const char* name, const std::string& value) {
                            "' (expected 1/true/on/yes or 0/false/off/no)");
 }
 
-/// `-profile-dir=DIR`: compile every suite code with the caller's options
-/// and drop the per-code artifact triple (<code>.report.json,
-/// <code>.remarks.jsonl, <code>.trace.json) into DIR — the input set
-/// `polaris-insight aggregate` consumes.  Codes are fanned over
-/// `opts.jobs` worker threads with each individual compile pinned to
-/// jobs=1, so the pool parallelism lives *across* codes and every
-/// artifact is identical to a serial run (modulo wall-clock duration
-/// fields, which insight's diff scrubs).
-int run_profile_dir(const std::string& dir, const polaris::Options& base) {
-  namespace fs = std::filesystem;
-  using polaris::BenchProgram;
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    std::fprintf(stderr, "polaris: cannot create %s: %s\n", dir.c_str(),
-                 ec.message().c_str());
-    return 1;
-  }
-  const std::vector<BenchProgram>& suite = polaris::benchmark_suite();
-  std::atomic<std::size_t> next{0};
-  std::atomic<int> failures{0};
-  std::mutex io_mu;
-  auto worker = [&]() {
-    for (std::size_t i = next.fetch_add(1); i < suite.size();
-         i = next.fetch_add(1)) {
-      const BenchProgram& bp = suite[i];
-      polaris::Options opts = base;
-      opts.jobs = 1;
-      opts.trace_path = (fs::path(dir) / (bp.name + ".trace.json")).string();
-      polaris::Compiler compiler(opts);
-      polaris::CompileReport rep;
-      try {
-        compiler.compile(bp.source, &rep);
-      } catch (const std::exception& e) {
-        std::scoped_lock lk(io_mu);
-        std::fprintf(stderr, "polaris: %s: compile failed: %s\n",
-                     bp.name.c_str(), e.what());
-        ++failures;
-        continue;
-      }
-      std::ofstream rj(fs::path(dir) / (bp.name + ".report.json"));
-      rj << polaris::compile_report_json(rep) << "\n";
-      std::ofstream rm(fs::path(dir) / (bp.name + ".remarks.jsonl"));
-      rep.diagnostics.print_remarks(rm);
-      if (!rj || !rm) {
-        std::scoped_lock lk(io_mu);
-        std::fprintf(stderr, "polaris: %s: cannot write artifacts in %s\n",
-                     bp.name.c_str(), dir.c_str());
-        ++failures;
-      }
-    }
-  };
-  const std::size_t pool =
-      std::min<std::size_t>(static_cast<std::size_t>(std::max(1, base.jobs)),
-                            suite.size());
-  std::vector<std::thread> threads;
-  for (std::size_t t = 1; t < pool; ++t) threads.emplace_back(worker);
-  worker();
-  for (std::thread& t : threads) t.join();
-  if (failures.load() != 0) return 1;
-  std::fprintf(stderr, "polaris: wrote %zu artifact sets to %s\n",
-               suite.size(), dir.c_str());
-  return 0;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -310,6 +269,7 @@ int main(int argc, char** argv) {
   double pass_budget_ms = 0.0;
   int processors = 8;
   std::string path, passes_spec, fault_inject, jobs_arg, rangetest_cap_arg;
+  std::string processors_arg;
   std::string trace_path, remarks_path, report_json_path, profile_dir;
   std::string compile_budget_arg, max_poly_arg, max_atoms_arg;
   std::string pass_budget_env, stats_env;
@@ -357,10 +317,9 @@ int main(int argc, char** argv) {
       no_degrade = true;
     else if (std::strcmp(argv[i], "-no-canon-cache") == 0)
       no_canon_cache = true;
-    else if (std::strcmp(argv[i], "-p") == 0 && i + 1 < argc) {
-      processors = std::atoi(argv[++i]);
-      if (processors < 1) return usage();
-    } else if (argv[i][0] == '-') {
+    else if (std::strcmp(argv[i], "-p") == 0 && i + 1 < argc)
+      processors_arg = argv[++i];
+    else if (argv[i][0] == '-') {
       return usage();
     } else {
       path = argv[i];
@@ -409,6 +368,7 @@ int main(int argc, char** argv) {
   try {
     if (!stats_env.empty())
       stats_mode = parse_bool_env("POLARIS_STATS", stats_env);
+    if (!processors_arg.empty()) processors = parse_processors(processors_arg);
     if (seq_mode) {
       auto prog = parse_program(source);
       RunResult r = run_program(*prog, MachineConfig{});
@@ -453,7 +413,7 @@ int main(int argc, char** argv) {
     // Suite profiling replaces the single-file compile: the full option
     // set above applies to every code, then the process exits.
     if (!profile_dir.empty())
-      return run_profile_dir(profile_dir, compiler.options());
+      return run_profile_suite(profile_dir, compiler.options());
 
     auto prog = compiler.compile(source, &report);
 

@@ -1,9 +1,7 @@
 #include "driver/pass_manager.h"
 
-#include <atomic>
 #include <chrono>
 #include <sstream>
-#include <thread>
 
 #include "analysis/purity.h"
 #include "driver/compiler.h"
@@ -40,6 +38,11 @@ class InlinePass : public Pass {
                         PassContext& ctx) override {
     InlineResult r = inline_calls(ctx.program, ctx.opts,
                                   ctx.report.diagnostics);
+    // Expansion splices statement clones carrying fresh process-global
+    // ids into callers; renumbering here (the pass is serial and
+    // whole-program) keeps every downstream `do#<id>` artifact a pure
+    // function of the program.
+    if (r.expanded != 0) ctx.program.renumber_ids();
     ctx.report.inlining.expanded += r.expanded;
     ctx.report.inlining.skipped += r.skipped;
     return preserved_if_unchanged(r.expanded);
@@ -726,19 +729,12 @@ void PassPipeline::run_unit_group(std::size_t group_begin,
       if (shards[ui]->error != nullptr) break;
     }
   } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(jobs));
-    for (int t = 0; t < jobs; ++t) {
-      workers.emplace_back([&]() {
-        while (true) {
-          const std::size_t ui = next.fetch_add(1);
-          if (ui >= n_units) break;
-          run_unit(ui);
-        }
-      });
-    }
-    for (std::thread& w : workers) w.join();
+    // The compilation's persistent pool (shared with the parallel parse):
+    // workers stay alive across pass groups, so a pipeline with many
+    // unit-scope groups pays thread start-up once instead of per group,
+    // and idle workers steal queued units instead of spinning on a shared
+    // counter.
+    ctx.cc.pool().run(n_units, jobs, run_unit);
   }
 
   // Deterministic merge, strictly in unit index order: report artifacts,

@@ -1,0 +1,69 @@
+#include "driver/profile_dir.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "driver/compiler.h"
+#include "driver/report_json.h"
+#include "suite/suite.h"
+#include "support/worker_pool.h"
+
+namespace polaris {
+
+int run_profile_suite(const std::string& dir, const Options& base) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "polaris: cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  const std::vector<BenchProgram>& suite = benchmark_suite();
+  std::atomic<int> failures{0};
+  std::mutex io_mu;
+  auto compile_one = [&](std::size_t i) {
+    const BenchProgram& bp = suite[i];
+    Options opts = base;
+    opts.jobs = 1;
+    opts.trace_path = (fs::path(dir) / (bp.name + ".trace.json")).string();
+    Compiler compiler(opts);
+    CompileReport rep;
+    try {
+      compiler.compile(bp.source, &rep);
+    } catch (const std::exception& e) {
+      std::scoped_lock lk(io_mu);
+      std::fprintf(stderr, "polaris: %s: compile failed: %s\n",
+                   bp.name.c_str(), e.what());
+      ++failures;
+      return;
+    }
+    std::ofstream rj(fs::path(dir) / (bp.name + ".report.json"));
+    rj << compile_report_json(rep) << "\n";
+    std::ofstream rm(fs::path(dir) / (bp.name + ".remarks.jsonl"));
+    rep.diagnostics.print_remarks(rm);
+    if (!rj || !rm) {
+      std::scoped_lock lk(io_mu);
+      std::fprintf(stderr, "polaris: %s: cannot write artifacts in %s\n",
+                   bp.name.c_str(), dir.c_str());
+      ++failures;
+    }
+  };
+  // The fan-out pool is local to this call (each compile is pinned to
+  // jobs=1, so per-compile pools are never created); code identity never
+  // depends on which worker compiles it — parse-time id renumbering makes
+  // every artifact a pure function of the code's source.
+  WorkerPool pool;
+  pool.run(suite.size(), std::max(1, base.jobs), compile_one);
+  if (failures.load() != 0) return 1;
+  std::fprintf(stderr, "polaris: wrote %zu artifact sets to %s\n",
+               suite.size(), dir.c_str());
+  return 0;
+}
+
+}  // namespace polaris

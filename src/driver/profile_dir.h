@@ -1,0 +1,24 @@
+// `-profile-dir=DIR` implementation: compile every benchmark-suite code
+// with the caller's options and drop the per-code artifact triple
+// (<code>.report.json, <code>.remarks.jsonl, <code>.trace.json) into DIR
+// — the input set `polaris-insight aggregate` consumes.
+//
+// Lives in the driver library (not main.cpp) so tests and tools can run
+// the suite profiler in-process; the fan-out runs on a WorkerPool with
+// each individual compile pinned to jobs=1, so the parallelism lives
+// *across* codes and every artifact is byte-identical to a serial run
+// (modulo wall-clock duration fields, which insight's diff scrubs).
+#pragma once
+
+#include <string>
+
+#include "support/options.h"
+
+namespace polaris {
+
+/// Compiles the whole suite into `dir` with `base`'s option set, fanning
+/// codes over `base.jobs` pool workers.  Returns a process exit code:
+/// 0 on success, 1 when any code failed to compile or write.
+int run_profile_suite(const std::string& dir, const Options& base);
+
+}  // namespace polaris

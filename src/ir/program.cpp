@@ -138,6 +138,16 @@ void Program::merge(Program&& other) {
   other.units_.clear();
 }
 
+void Program::renumber_ids() {
+  int next_stmt = 1;
+  int next_sym = 1;
+  for (const auto& unit : units_) {
+    for (Statement* s = unit->stmts().first(); s != nullptr; s = s->next())
+      s->set_id(next_stmt++);
+    for (Symbol* s : unit->symtab().symbols()) s->set_id(next_sym++);
+  }
+}
+
 ProgramUnit* Program::replace_unit(ProgramUnit* old_unit,
                                    std::unique_ptr<ProgramUnit> replacement) {
   p_assert(old_unit != nullptr && replacement != nullptr);

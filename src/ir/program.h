@@ -83,6 +83,17 @@ class Program {
   /// functions for ... merging Programs").
   void merge(Program&& other);
 
+  /// Renumbers statement ids to 1..n and symbol ids to 1..m in (unit
+  /// order, creation order).  Ids normally come from process-global
+  /// counters, so they encode allocation history; renumbering makes every
+  /// id-derived artifact (`do#<id>` loop names, SymbolIdLess orderings) a
+  /// pure function of the program — independent of worker count, of prior
+  /// compilations in the process, and of which thread built which unit.
+  /// Runs after the parallel parse merge and again after whole-program
+  /// statement-creating passes (inline expansion clones statements with
+  /// fresh global ids).
+  void renumber_ids();
+
   /// Swaps `old_unit` (must be owned by this program) for `replacement`,
   /// destroying the old unit.  Returns the new raw pointer.  Used by the
   /// pass manager to restore a pre-pass snapshot after a pass fault.

@@ -58,6 +58,12 @@ class Symbol {
 
   /// Stable identity, unique process-wide; used for deterministic ordering.
   int id() const { return id_; }
+  /// Renumbering hook for the frontend: after the per-unit parallel parse
+  /// merges its fragments, symbols are renumbered 1..m in (unit order,
+  /// creation order) so every id-derived ordering is a pure function of
+  /// the source text, independent of worker count or prior compilations
+  /// in the process.  Nothing else may reassign ids.
+  void set_id(int id) { id_ = id; }
 
   bool is_array() const { return !dims_.empty(); }
   int rank() const { return static_cast<int>(dims_.size()); }

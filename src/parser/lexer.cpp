@@ -169,6 +169,10 @@ std::vector<Token> tokenize(const std::string& text, int source_line) {
 }
 
 std::vector<LogicalLine> lex(const std::string& source) {
+  return lex(source, /*line_offset=*/0);
+}
+
+std::vector<LogicalLine> lex(const std::string& source, int line_offset) {
   std::vector<LogicalLine> out;
   std::vector<std::string> physical = split(source, '\n');
 
@@ -189,7 +193,21 @@ std::vector<LogicalLine> lex(const std::string& source) {
       ++i;
     if (i > lab_start && i < pending.size() &&
         (pending[i] == ' ' || pending[i] == '\t')) {
-      ll.label = std::stoi(pending.substr(lab_start, i - lab_start));
+      // Bounded accumulation instead of std::stoi: a hostile digit run
+      // ("123456789012345 continue") must surface as a positioned
+      // UserError, not escape the frontend as std::out_of_range.  The
+      // Fortran 77 bound (labels are 1-99999) is checked after the
+      // digits, so "00100" stays legal.
+      long value = 0;
+      for (size_t k = lab_start; k < i && value <= kMaxStatementLabel; ++k)
+        value = value * 10 + (pending[k] - '0');
+      if (value > kMaxStatementLabel)
+        lex_error(pending_start, static_cast<int>(lab_start) + 1,
+                  "statement label '" +
+                      pending.substr(lab_start, i - lab_start) +
+                      "' exceeds the maximum " +
+                      std::to_string(kMaxStatementLabel));
+      ll.label = static_cast<int>(value);
       pending = pending.substr(i);
     }
     ll.tokens = tokenize(pending, pending_start);
@@ -215,7 +233,7 @@ std::vector<LogicalLine> lex(const std::string& source) {
       if (is_directive) {
         flush();
         LogicalLine ll;
-        ll.source_line = static_cast<int>(ln) + 1;
+        ll.source_line = line_offset + static_cast<int>(ln) + 1;
         ll.is_comment = true;
         ll.comment = body;
         Token eol;
@@ -241,7 +259,7 @@ std::vector<LogicalLine> lex(const std::string& source) {
     }
     flush();
     pending = line;
-    pending_start = static_cast<int>(ln) + 1;
+    pending_start = line_offset + static_cast<int>(ln) + 1;
   }
   flush();
   return out;

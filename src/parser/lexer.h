@@ -41,11 +41,22 @@ struct LogicalLine {
   bool is_comment = false;
 };
 
+/// Largest accepted statement label (the Fortran 77 five-digit field).
+/// Longer digit runs are rejected with a positioned UserError — the bound
+/// exists so a hostile label can never overflow the accumulator.
+constexpr long kMaxStatementLabel = 99999;
+
 /// Splits Fortran source text into logical lines and tokenizes them.
 /// Throws UserError on malformed input (bad characters, unterminated
-/// strings).  Directive comments beginning with "csrd$" or "!$" are kept as
-/// comment lines; ordinary comments are dropped.
+/// strings, out-of-range statement labels).  Directive comments beginning
+/// with "csrd$" or "!$" are kept as comment lines; ordinary comments are
+/// dropped.
 std::vector<LogicalLine> lex(const std::string& source);
+
+/// Same, with every reported line number offset by `line_offset` physical
+/// lines — the per-unit parallel parse lexes source *slices* but must
+/// diagnose with whole-file line numbers.
+std::vector<LogicalLine> lex(const std::string& source, int line_offset);
 
 /// Tokenizes one statement's text (no labels/continuations); test helper
 /// and building block for expression parsing utilities.

@@ -4,8 +4,11 @@
 #include <optional>
 #include <set>
 
+#include <exception>
+
 #include "ir/build.h"
 #include "parser/lexer.h"
+#include "parser/splitter.h"
 #include "support/context.h"
 #include "support/trace.h"
 #include "support/string_util.h"
@@ -129,7 +132,11 @@ class Cursor {
 
 class Parser {
  public:
-  explicit Parser(const std::string& source) : lines_(lex(source)) {}
+  /// `line_offset` shifts every diagnostic's line number: a parallel parse
+  /// hands each Parser one unit *slice*, and errors must still point at
+  /// whole-file lines.
+  explicit Parser(const std::string& source, int line_offset = 0)
+      : lines_(lex(source, line_offset)) {}
 
   std::unique_ptr<Program> parse() {
     auto program = std::make_unique<Program>();
@@ -1034,6 +1041,11 @@ std::unique_ptr<Program> parse_program(const std::string& source) {
 
 std::unique_ptr<Program> parse_program(const std::string& source,
                                        CompileContext* cc) {
+  return parse_program(source, cc, /*jobs=*/1);
+}
+
+std::unique_ptr<Program> parse_program(const std::string& source,
+                                       CompileContext* cc, int jobs) {
   trace::TraceSpan parse_span(cc != nullptr ? &cc->trace() : nullptr,
                               "parse", "driver");
   // Robustness boundary: malformed input must always surface as UserError
@@ -1041,8 +1053,59 @@ std::unique_ptr<Program> parse_program(const std::string& source,
   // degenerate source is a parser bug from the compiler's point of view,
   // but from the user's it is still just bad input.
   try {
-    Parser p(source);
-    std::unique_ptr<Program> program = p.parse();
+    // Split into per-unit slices and parse each independently — on the
+    // compilation's worker pool when jobs allow, inline otherwise.  Every
+    // slice is parsed at every jobs count (no early exit on the first bad
+    // slice): the set of parse-unit spans and per-slice outcomes must not
+    // depend on scheduling.
+    const std::vector<UnitSlice> slices = split_units(source);
+
+    struct Fragment {
+      std::unique_ptr<Program> program;
+      trace::TraceCollector trace;  ///< shard collector, parent's epoch
+      std::exception_ptr error;     ///< per-slice failure, slice stays poisoned
+    };
+    std::vector<Fragment> frags(slices.size());
+    if (cc != nullptr)
+      for (Fragment& f : frags) f.trace.start_shard_of(cc->trace());
+
+    auto parse_slice = [&](std::size_t i) {
+      Fragment& frag = frags[i];
+      try {
+        trace::TraceSpan unit_span(&frag.trace, "parse-unit", "driver");
+        unit_span.arg("slice", static_cast<std::uint64_t>(i));
+        Parser p(slices[i].text, slices[i].start_line - 1);
+        frag.program = p.parse();
+        if (!frag.program->units().empty())
+          unit_span.arg("unit", frag.program->units().front()->name());
+      } catch (...) {
+        frag.error = std::current_exception();
+      }
+    };
+
+    if (jobs > 1 && cc != nullptr && slices.size() > 1)
+      cc->pool().run(slices.size(), jobs, parse_slice);
+    else
+      for (std::size_t i = 0; i < slices.size(); ++i) parse_slice(i);
+
+    // Merge in textual slice order: trace shards first (one timeline, one
+    // deterministic event order), then the textually-first error if any
+    // slice failed, then the unit fragments themselves.
+    if (cc != nullptr)
+      for (Fragment& f : frags) cc->trace().append(std::move(f.trace));
+    for (Fragment& f : frags)
+      if (f.error) std::rethrow_exception(f.error);
+
+    auto program = std::make_unique<Program>();
+    for (Fragment& f : frags) program->merge(std::move(*f.program));
+
+    // Worker scheduling interleaves allocations from the global id
+    // counters arbitrarily, and prior compilations in this process
+    // advance them — renumbering makes every id a pure function of the
+    // source text (see Program::renumber_ids; the inliner repeats it
+    // after splicing statement clones).
+    program->renumber_ids();
+
     parse_span.arg("units",
                    static_cast<std::uint64_t>(program->units().size()));
     return program;

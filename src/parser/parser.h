@@ -36,6 +36,17 @@ std::unique_ptr<Program> parse_program(const std::string& source);
 /// form.
 std::unique_ptr<Program> parse_program(const std::string& source,
                                        CompileContext* cc);
+/// Same, parsing program units in parallel on `cc`'s worker pool when
+/// `jobs > 1`: the source is split into per-unit slices (see
+/// parser/splitter.h), each slice parses independently with per-slice
+/// error capture, and the fragments merge in textual unit order.  Output
+/// is byte-identical at any jobs count; a malformed unit poisons only
+/// itself and the textually-first slice error is the one reported.  After
+/// the merge, statement and symbol ids are renumbered 1..n in textual
+/// order, so id-derived names ("do#<id>") never depend on scheduling or
+/// on earlier compilations in the process.
+std::unique_ptr<Program> parse_program(const std::string& source,
+                                       CompileContext* cc, int jobs);
 
 /// Parses a single expression (test and tooling helper).  Symbols are
 /// resolved/created in `symtab` with implicit typing.

@@ -1,0 +1,38 @@
+// Cheap top-level unit splitter — the front half of parallel parsing.
+//
+// Program units (PROGRAM / SUBROUTINE / FUNCTION ... END) are textually
+// independent: nothing in one unit changes how another one lexes or
+// parses.  split_units scans the *physical* lines once, mirroring the
+// lexer's logical-line discipline exactly (column-1 C/c/* and first
+// non-blank '!' comments, '&' continuations, leading statement labels),
+// and cuts a slice after every logical line that is exactly the unit
+// terminator END.  Each slice then parses on a worker independently.
+//
+// The splitter never diagnoses anything: a malformed line simply stays
+// inside whatever slice it falls in, and the per-slice parse reports the
+// identical UserError a whole-file parse would have.  Comment and blank
+// lines between units attach to the *following* slice, so a stray
+// directive comment before a unit header misparses the same way in both
+// modes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace polaris {
+
+/// One top-level source slice: the text of (at most) one program unit,
+/// terminator included, plus any leading comment/blank lines.
+struct UnitSlice {
+  std::string text;
+  int start_line = 1;  ///< 1-based physical line of the slice's first line
+};
+
+/// Splits source text into per-unit slices.  Concatenating the slice
+/// texts (plus dropped trailing comment/blank lines) reproduces the
+/// input line-for-line; lexing slice i with `line_offset = start_line-1`
+/// yields exactly the logical lines the whole-file lex assigns to that
+/// unit.  Never throws: splitting is pure line classification.
+std::vector<UnitSlice> split_units(const std::string& source);
+
+}  // namespace polaris

@@ -31,11 +31,14 @@
 // count.  A faulted unit unwinds only its shard's state.
 #pragma once
 
+#include <memory>
+
 #include "support/assert.h"
 #include "support/diagnostics.h"
 #include "support/governor.h"
 #include "support/statistic.h"
 #include "support/trace.h"
+#include "support/worker_pool.h"
 
 namespace polaris {
 
@@ -66,6 +69,17 @@ class CompileContext {
   /// sink so diagnostics land directly in the report.
   Diagnostics& diags() { return *diags_; }
   void bind_diagnostics(Diagnostics& sink) { diags_ = &sink; }
+
+  /// The compilation's persistent worker pool, created lazily on first
+  /// use and shared by every parallel phase of this compile (per-unit
+  /// parsing, unit-scope pass groups).  Only the thread driving the
+  /// compilation may call this — per-unit shard contexts never create
+  /// pools (their jobs count is pinned to 1), so parallel regions cannot
+  /// nest.
+  WorkerPool& pool() {
+    if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>();
+    return *pool_;
+  }
 
   /// Folds a finished unit shard into this context: counter values are
   /// summed, trace events appended (shards share this context's epoch, so
@@ -102,6 +116,7 @@ class CompileContext {
   ResourceGovernor governor_;
   Diagnostics owned_diags_;
   Diagnostics* diags_ = &owned_diags_;
+  std::unique_ptr<WorkerPool> pool_;  ///< lazy; see pool()
 };
 
 }  // namespace polaris

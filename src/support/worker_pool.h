@@ -1,0 +1,92 @@
+// A persistent work-stealing worker pool.
+//
+// PR 4's parallel pass execution spawned and joined a fresh
+// std::vector<std::thread> for every unit-scope pass group — thread
+// creation cost on every group, and no way for the parser to share the
+// workers.  WorkerPool keeps the threads alive for the lifetime of its
+// owner (CompileContext, for compilations) and runs *batches* of
+// index-identified tasks:
+//
+//   pool.run(n_tasks, max_workers, [&](std::size_t i) { ... });
+//
+// Tasks are dealt round-robin into per-participant deques; a participant
+// pops from the front of its own deque and, when empty, steals from the
+// back of a victim's, so one heavy task (tfft2 is ~2x the suite median)
+// stops capping batch latency — the stealing participants drain the rest.
+// The calling thread participates as a worker, so `max_workers == 1`
+// runs every task inline with no thread ever spawned or woken.
+//
+// Determinism contract: scheduling decides only *when* a task runs, never
+// what it computes — tasks are identified by index and must write their
+// results into index-addressed slots.  Nothing here (worker identity,
+// steal order, timing) may leak into task output.
+//
+// Thread-binding note: the pool's threads carry no CompileContext /
+// AtomTable / FaultInjector bindings.  A task that needs them (pass
+// shards do, parser slices don't) binds its own RAII scopes inside the
+// task body, exactly as it would on a spawned thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace polaris {
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  /// Runs fn(0), fn(1), ..., fn(n_tasks-1), blocking until every task has
+  /// finished.  At most `max_workers` tasks execute concurrently — the
+  /// calling thread counts toward that and participates; missing threads
+  /// are spawned on demand and persist for reuse by later batches.  Tasks
+  /// must not call back into run() (batches don't nest), and fn must not
+  /// let exceptions escape (workers have no frame to rethrow into; catch
+  /// into an std::exception_ptr slot and rethrow after run() returns).
+  void run(std::size_t n_tasks, int max_workers,
+           const std::function<void(std::size_t)>& fn);
+
+  /// Number of persistent threads created so far (tests/benchmarks).
+  int threads_spawned() const;
+
+ private:
+  /// One participant's task deque.  Own pops come off the front, steals
+  /// off the back, both under the deque's mutex — task granularity here
+  /// is a whole (unit, pass-group) or parse slice, so lock traffic is
+  /// negligible next to task cost.
+  struct Deque {
+    std::mutex mu;
+    std::deque<std::size_t> tasks;
+  };
+
+  void worker_main(std::size_t self);
+  bool pop_or_steal(std::size_t self, std::size_t n_participants,
+                    std::size_t* out);
+  void drain(std::size_t self, std::size_t n_participants,
+             const std::function<void(std::size_t)>& fn);
+
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<Deque>> deques_;  ///< index 0 = caller
+
+  std::mutex mu_;
+  std::condition_variable batch_cv_;  ///< workers: a new batch is ready
+  std::condition_variable done_cv_;   ///< caller: remaining hit zero
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t remaining_ = 0;          ///< tasks not yet finished
+  std::size_t draining_ = 0;           ///< workers currently inside drain()
+  std::size_t participants_ = 0;       ///< deque count of current batch
+  std::uint64_t batch_ = 0;            ///< generation counter
+  bool shutdown_ = false;
+};
+
+}  // namespace polaris

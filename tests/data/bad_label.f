@@ -1,0 +1,4 @@
+      program badlab
+      x = 1.0
+123456789012345 continue
+      end

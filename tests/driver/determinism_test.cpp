@@ -14,13 +14,18 @@
 // with recovery off the lowest-unit-index failure wins deterministically.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cctype>
-#include <map>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "driver/compiler.h"
+#include "driver/profile_dir.h"
 #include "driver/report_json.h"
 #include "suite/suite.h"
 
@@ -52,48 +57,57 @@ std::string scrub_ms(const std::string& json) {
   return out;
 }
 
-/// Renumbers every `do#<N>` loop name by order of first appearance.
-/// Statement ids come from a process-wide creation counter, so two
-/// compiles *within one process* see different id bases (each CLI run is
-/// a fresh process, where the artifacts are byte-identical as-is); the
-/// loop *structure* and report ordering must still match exactly, which
-/// the consistent renumbering checks.
-std::string normalize_loop_ids(const std::string& text) {
+/// Replaces the values of the wall-clock `"ts"` / `"dur"` fields in a
+/// Chrome trace document — like "ms" in the report, the only fields a
+/// worker count may legitimately change.
+std::string scrub_trace_times(const std::string& json) {
   std::string out;
-  out.reserve(text.size());
-  std::map<std::string, int> seen;
+  out.reserve(json.size());
   std::size_t i = 0;
-  while (i < text.size()) {
-    if (text.compare(i, 3, "do#") == 0) {
-      std::size_t j = i + 3;
-      while (j < text.size() &&
-             std::isdigit(static_cast<unsigned char>(text[j])))
-        ++j;
-      const std::string id = text.substr(i + 3, j - (i + 3));
-      auto [it, _] =
-          seen.emplace(id, static_cast<int>(seen.size()) + 1);
-      out += "do#";
-      out += std::to_string(it->second);
-      i = j;
-    } else {
-      out += text[i++];
-    }
+  auto scrub_key = [&](const char* key, std::size_t len) {
+    if (json.compare(i, len, key) != 0) return false;
+    out += key;
+    out += 'X';
+    i += len;
+    while (i < json.size() &&
+           (std::isdigit(static_cast<unsigned char>(json[i])) ||
+            json[i] == '.' || json[i] == '-'))
+      ++i;
+    return true;
+  };
+  while (i < json.size()) {
+    if (scrub_key("\"ts\":", 5) || scrub_key("\"dur\":", 6)) continue;
+    out += json[i++];
   }
   return out;
 }
 
-/// Every byte-comparable artifact of one compile, timing scrubbed.
+/// Every byte-comparable artifact of one compile, timing scrubbed.  Since
+/// the parse-boundary id renumbering landed, statement ids (and so the
+/// `do#<N>` loop names in every artifact) are a pure function of the
+/// source text — the comparison is raw bytes, with no loop-id
+/// normalization pass hiding reorderings.
 struct Artifacts {
   std::string report_json;
   std::string remarks;
   std::string annotated_source;
   std::string diagnostics;
+  std::string trace;  ///< Chrome trace, ts/dur scrubbed
   std::vector<StatisticValue> stats;
   std::vector<PassFailure> failures;
   std::optional<CompileReport::CrashInfo> crash;
 };
 
 Artifacts compile_artifacts(Options opts, const std::string& source) {
+  namespace fs = std::filesystem;
+  // Pid-qualified: ctest runs each test as its own process, concurrently,
+  // and a bare sequence number would collide across them.
+  static int trace_seq = 0;
+  const fs::path trace_path =
+      fs::temp_directory_path() /
+      ("polaris_determinism_" + std::to_string(::getpid()) + "_" +
+       std::to_string(trace_seq++) + ".trace.json");
+  opts.trace_path = trace_path.string();
   Artifacts a;
   CompileReport rep;
   Compiler c(std::move(opts));
@@ -102,16 +116,22 @@ Artifacts compile_artifacts(Options opts, const std::string& source) {
   } catch (const InternalError&) {
     // no-recover compiles abort; the report still carries the crash info
   }
-  a.report_json = normalize_loop_ids(scrub_ms(compile_report_json(rep)));
+  a.report_json = scrub_ms(compile_report_json(rep));
   std::ostringstream remarks, diags;
   rep.diagnostics.print_remarks(remarks);
   rep.diagnostics.print(diags);
-  a.remarks = normalize_loop_ids(remarks.str());
-  a.diagnostics = normalize_loop_ids(diags.str());
+  a.remarks = remarks.str();
+  a.diagnostics = diags.str();
   a.annotated_source = rep.annotated_source;
   a.stats = rep.stats;
   a.failures = rep.failures;
   a.crash = rep.crash;
+  std::ifstream tr(trace_path);
+  std::ostringstream trbuf;
+  trbuf << tr.rdbuf();
+  a.trace = scrub_trace_times(trbuf.str());
+  std::error_code ec;
+  fs::remove(trace_path, ec);
   return a;
 }
 
@@ -121,6 +141,7 @@ void expect_identical(const Artifacts& seq, const Artifacts& par,
   EXPECT_EQ(seq.remarks, par.remarks) << label;
   EXPECT_EQ(seq.annotated_source, par.annotated_source) << label;
   EXPECT_EQ(seq.diagnostics, par.diagnostics) << label;
+  EXPECT_EQ(seq.trace, par.trace) << label;
   ASSERT_EQ(seq.stats.size(), par.stats.size()) << label;
   for (std::size_t i = 0; i < seq.stats.size(); ++i) {
     EXPECT_EQ(seq.stats[i].name, par.stats[i].name) << label;
@@ -331,6 +352,82 @@ TEST(JobsFaultIsolation, NoRecoverCrashIsDeterministicUnderConcurrency) {
     EXPECT_EQ(par.crash->unit, seq.crash->unit);
     EXPECT_EQ(par.crash->unit_source, seq.crash->unit_source);
   }
+}
+
+// A malformed unit in the middle of a multi-unit program must produce the
+// same textually-first UserError — whole-file line numbers included — from
+// a full Compiler::compile at every worker count, run after run.
+TEST(ParallelParseDiagnostics, MalformedUnitIsDeterministicUnderJobs) {
+  std::string src = multi_unit_source();
+  const std::size_t pos = src.find("      subroutine redsum");
+  ASSERT_NE(pos, std::string::npos);
+  src.insert(pos, "      subroutine broken\n      x = 'oops\n      end\n");
+  std::string expected;
+  for (int round = 0; round < 4; ++round) {
+    for (int jobs : {1, 8}) {
+      Options opts = Options::polaris();
+      opts.jobs = jobs;
+      Compiler c(opts);
+      try {
+        c.compile(src, nullptr);
+        FAIL() << "expected UserError at jobs=" << jobs;
+      } catch (const UserError& e) {
+        if (expected.empty()) {
+          expected = e.what();
+          EXPECT_NE(expected.find("unterminated"), std::string::npos)
+              << expected;
+        }
+        EXPECT_EQ(expected, e.what())
+            << "jobs=" << jobs << " round=" << round;
+      }
+    }
+  }
+}
+
+// The -profile-dir batch: every artifact file it writes (report JSON,
+// remarks JSONL, Chrome trace — three per suite code) must be
+// byte-identical between a sequential batch and an 8-worker batch once
+// wall-clock fields are scrubbed.  This covers the per-code artifact
+// *files* end to end, where the in-process tests above cover the report
+// structures.
+TEST(ProfileDirDeterminism, EightWorkersMatchSequentialFileForFile) {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::temp_directory_path() / "polaris_profdir_det";
+  const fs::path seq_dir = base / "seq";
+  const fs::path par_dir = base / "par";
+  fs::remove_all(base);
+
+  Options opts = Options::polaris();
+  opts.jobs = 1;
+  ASSERT_EQ(run_profile_suite(seq_dir.string(), opts), 0);
+  opts.jobs = 8;
+  ASSERT_EQ(run_profile_suite(par_dir.string(), opts), 0);
+
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(seq_dir))
+    names.push_back(entry.path().filename().string());
+  std::sort(names.begin(), names.end());
+  // Three artifact files per suite code.
+  EXPECT_EQ(names.size(), 3 * benchmark_suite().size());
+
+  auto slurp_scrubbed = [](const fs::path& p) {
+    std::ifstream in(p);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return scrub_trace_times(scrub_ms(buf.str()));
+  };
+  for (const std::string& name : names) {
+    ASSERT_TRUE(fs::exists(par_dir / name)) << name;
+    EXPECT_EQ(slurp_scrubbed(seq_dir / name), slurp_scrubbed(par_dir / name))
+        << name;
+  }
+  std::size_t par_count = 0;
+  for (const auto& entry : fs::directory_iterator(par_dir)) {
+    (void)entry;
+    ++par_count;
+  }
+  EXPECT_EQ(par_count, names.size());
+  fs::remove_all(base);
 }
 
 }  // namespace

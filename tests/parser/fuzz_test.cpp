@@ -91,5 +91,26 @@ TEST(ParserRobustness, GarbledSuiteCodesYieldUserError) {
   }
 }
 
+TEST(ParserRobustness, GiantLabelMutationsYieldUserError) {
+  // Regression for the unguarded std::stoi label conversion: splice digit
+  // runs long enough to overflow int/long onto statement fronts at several
+  // points in every suite code.  None may escape as std::out_of_range.
+  const char* giants[] = {"12345678901", "99999999999999999999",
+                          "000000000000000000100"};
+  for (const auto& bench : benchmark_suite()) {
+    for (const char* digits : giants) {
+      const std::string& src = bench.source;
+      for (double frac : {0.1, 0.5, 0.9}) {
+        std::string mutated = src;
+        size_t pos = mutated.find('\n', static_cast<size_t>(
+                                            mutated.size() * frac));
+        if (pos == std::string::npos) pos = 0;
+        mutated.insert(pos + 1, std::string(digits) + " ");
+        expect_clean_outcome(mutated, bench.name + " giant label");
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace polaris

@@ -118,5 +118,49 @@ TEST(LexerTest, StarColumnOneIsComment) {
   ASSERT_EQ(lines.size(), 1u);
 }
 
+TEST(LexerTest, MaxLabelAccepted) {
+  auto lines = lex("99999 continue\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].label, 99999);
+}
+
+TEST(LexerTest, LeadingZerosDoNotInflateLabel) {
+  auto lines = lex("0000000100 continue\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].label, 100);
+}
+
+TEST(LexerTest, LabelJustOverMaxThrows) {
+  EXPECT_THROW(lex("100000 continue\n"), UserError);
+}
+
+TEST(LexerTest, OversizedLabelIsPositionedUserError) {
+  // A 15-digit label used to escape as std::out_of_range from std::stoi;
+  // it must surface as a positioned lex error instead.
+  try {
+    lex("      x = 1\n123456789012345 continue\n");
+    FAIL() << "expected UserError";
+  } catch (const UserError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("123456789012345"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("exceeds the maximum 99999"), std::string::npos) << msg;
+  }
+}
+
+TEST(LexerTest, LineOffsetShiftsDiagnosticsAndSourceLines) {
+  auto lines = lex("      x = 1\ncsrd$ doall\n", /*line_offset=*/10);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].source_line, 11);
+  EXPECT_EQ(lines[1].source_line, 12);
+  try {
+    lex("      x = 'oops\n", /*line_offset=*/41);
+    FAIL() << "expected UserError";
+  } catch (const UserError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 42"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace polaris

@@ -1,0 +1,224 @@
+// The top-level unit splitter and the parallel per-unit parse built on it.
+// The load-bearing property everywhere: a sliced parse is *indistinguishable*
+// from a whole-file parse — same units, same printed source, same
+// diagnostics, same line numbers — at any worker count.
+#include "parser/splitter.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "parser/printer.h"
+#include "suite/suite.h"
+#include "support/context.h"
+
+namespace polaris {
+namespace {
+
+TEST(SplitterTest, SingleUnit) {
+  auto slices = split_units("      program main\n      x = 1\n      end\n");
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].start_line, 1);
+  EXPECT_EQ(slices[0].text, "      program main\n      x = 1\n      end\n");
+}
+
+TEST(SplitterTest, TwoUnitsCutAfterEnd) {
+  const std::string src =
+      "      subroutine a\n      end\n"
+      "      subroutine b\n      end\n";
+  auto slices = split_units(src);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].text, "      subroutine a\n      end\n");
+  EXPECT_EQ(slices[0].start_line, 1);
+  EXPECT_EQ(slices[1].text, "      subroutine b\n      end\n");
+  EXPECT_EQ(slices[1].start_line, 3);
+}
+
+TEST(SplitterTest, CommentsBetweenUnitsAttachToNextSlice) {
+  const std::string src =
+      "      subroutine a\n      end\n"
+      "c bridge comment\n\n"
+      "      subroutine b\n      end\n";
+  auto slices = split_units(src);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].text, "      subroutine a\n      end\n");
+  EXPECT_EQ(slices[1].start_line, 3);
+  EXPECT_EQ(slices[1].text,
+            "c bridge comment\n\n      subroutine b\n      end\n");
+}
+
+TEST(SplitterTest, LabeledEndTerminates) {
+  const std::string src =
+      "      subroutine a\n  100 end\n      subroutine b\n      end\n";
+  auto slices = split_units(src);
+  ASSERT_EQ(slices.size(), 2u);
+}
+
+TEST(SplitterTest, EndWithInlineCommentTerminates) {
+  const std::string src =
+      "      subroutine a\n      end ! of a\n"
+      "      subroutine b\n      end\n";
+  auto slices = split_units(src);
+  ASSERT_EQ(slices.size(), 2u);
+}
+
+TEST(SplitterTest, EndDoAndEndIfAreNotTerminators) {
+  const std::string src =
+      "      subroutine a\n"
+      "      do i = 1, 4\n"
+      "      if (i .gt. 2) then\n"
+      "      end if\n"
+      "      end do\n"
+      "      enddo\n"
+      "      end\n";
+  auto slices = split_units(src);
+  ASSERT_EQ(slices.size(), 1u);
+}
+
+TEST(SplitterTest, ContinuedLineEndingInEndIsNotATerminator) {
+  // "x = y + &\n end" joins to "x = y + end" — one (malformed) logical
+  // line, not a unit terminator.
+  const std::string src =
+      "      subroutine a\n      x = y + &\n     & zend\n      end\n";
+  auto slices = split_units(src);
+  ASSERT_EQ(slices.size(), 1u);
+}
+
+TEST(SplitterTest, TrailingCommentsDropTrailingSliceDirectivesKeepIt) {
+  auto dropped = split_units(
+      "      subroutine a\n      end\nc trailing chatter\n\n");
+  EXPECT_EQ(dropped.size(), 1u);
+  auto kept = split_units("      subroutine a\n      end\ncsrd$ doall\n");
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[1].text, "csrd$ doall\n");
+}
+
+TEST(SplitterTest, EmptyAndBlankSources) {
+  EXPECT_TRUE(split_units("").empty());
+  EXPECT_TRUE(split_units("\n\nc nothing here\n").empty());
+}
+
+TEST(SplitterTest, SlicesConcatenateToTheSource) {
+  for (const auto& bench : benchmark_suite()) {
+    auto slices = split_units(bench.source);
+    ASSERT_GE(slices.size(), 1u) << bench.name;
+    std::string joined;
+    for (const auto& s : slices) joined += s.text;
+    // Trailing comment/blank lines may be dropped; everything kept must be
+    // a byte-exact prefix of the source.
+    EXPECT_EQ(bench.source.compare(0, joined.size(), joined), 0)
+        << bench.name;
+    // start_line of each slice matches its position in the concatenation.
+    int line = 1;
+    for (const auto& s : slices) {
+      EXPECT_EQ(s.start_line, line) << bench.name;
+      for (char c : s.text)
+        if (c == '\n') ++line;
+    }
+  }
+}
+
+TEST(SplitterTest, SlicedParseMatchesWholeFileParseOverSuite) {
+  for (const auto& bench : benchmark_suite()) {
+    auto whole = parse_program(bench.source);
+    auto slices = split_units(bench.source);
+    // Every slice parses on its own, and the unit totals agree with the
+    // whole-file parse.
+    std::size_t sliced_units = 0;
+    for (const auto& s : slices)
+      sliced_units += parse_program(s.text)->units().size();
+    EXPECT_EQ(sliced_units, whole->units().size()) << bench.name;
+  }
+}
+
+TEST(ParallelParseTest, JobsCountsProduceIdenticalPrintedSource) {
+  for (const auto& bench : benchmark_suite()) {
+    CompileContext cc1, cc8;
+    auto serial = parse_program(bench.source, &cc1, 1);
+    auto parallel = parse_program(bench.source, &cc8, 8);
+    EXPECT_EQ(to_source(*serial), to_source(*parallel)) << bench.name;
+    ASSERT_EQ(serial->units().size(), parallel->units().size()) << bench.name;
+    for (std::size_t u = 0; u < serial->units().size(); ++u) {
+      const auto& su = serial->units()[u];
+      const auto& pu = parallel->units()[u];
+      EXPECT_EQ(su->name(), pu->name());
+      // Renumbered ids are a pure function of the text: compare them
+      // directly, not modulo a normalization pass.
+      const Statement* a = su->stmts().first();
+      const Statement* b = pu->stmts().first();
+      while (a != nullptr && b != nullptr) {
+        EXPECT_EQ(a->id(), b->id()) << bench.name << "/" << su->name();
+        a = a->next();
+        b = b->next();
+      }
+      EXPECT_EQ(a == nullptr, b == nullptr);
+      ASSERT_EQ(su->symtab().size(), pu->symtab().size());
+      for (std::size_t k = 0; k < su->symtab().size(); ++k) {
+        EXPECT_EQ(su->symtab().symbols()[k]->name(),
+                  pu->symtab().symbols()[k]->name());
+        EXPECT_EQ(su->symtab().symbols()[k]->id(),
+                  pu->symtab().symbols()[k]->id());
+      }
+    }
+  }
+}
+
+TEST(ParallelParseTest, IdsStartAtOneRegardlessOfProcessHistory) {
+  // Earlier compilations advance the process-global counters; the
+  // renumbering pass must hide that completely.
+  auto first = parse_program("      x = 1\n      y = x\n      end\n");
+  auto again = parse_program("      x = 1\n      y = x\n      end\n");
+  ASSERT_EQ(first->units().size(), 1u);
+  ASSERT_EQ(again->units().size(), 1u);
+  EXPECT_EQ(first->units()[0]->stmts().first()->id(), 1);
+  EXPECT_EQ(again->units()[0]->stmts().first()->id(), 1);
+  EXPECT_EQ(first->units()[0]->symtab().symbols()[0]->id(),
+            again->units()[0]->symtab().symbols()[0]->id());
+}
+
+TEST(ParallelParseTest, MalformedUnitPoisonsOnlyItselfDeterministically) {
+  // Unit b is malformed; a and c are fine.  At every jobs count the same
+  // textually-first UserError must surface, with whole-file line numbers.
+  const std::string src =
+      "      subroutine a\n      x = 1\n      end\n"    // lines 1-3
+      "      subroutine b\n      x = 'oops\n      end\n"  // lines 4-6
+      "      subroutine c\n      y = 2\n      end\n";
+  std::string msg1, msg8;
+  for (int round = 0; round < 4; ++round) {
+    CompileContext cc1, cc8;
+    try {
+      parse_program(src, &cc1, 1);
+      FAIL() << "expected UserError";
+    } catch (const UserError& e) {
+      if (msg1.empty()) msg1 = e.what();
+      EXPECT_EQ(msg1, e.what());
+    }
+    try {
+      parse_program(src, &cc8, 8);
+      FAIL() << "expected UserError";
+    } catch (const UserError& e) {
+      if (msg8.empty()) msg8 = e.what();
+      EXPECT_EQ(msg8, e.what());
+    }
+  }
+  EXPECT_EQ(msg1, msg8);
+  EXPECT_NE(msg1.find("line 5"), std::string::npos) << msg1;
+}
+
+TEST(ParallelParseTest, FirstOfSeveralBadUnitsWins) {
+  const std::string src =
+      "      subroutine a\n      x = @\n      end\n"
+      "      subroutine b\n      y = 'oops\n      end\n";
+  for (int jobs : {1, 8}) {
+    CompileContext cc;
+    try {
+      parse_program(src, &cc, jobs);
+      FAIL() << "expected UserError";
+    } catch (const UserError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << "jobs=" << jobs << ": " << e.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace polaris

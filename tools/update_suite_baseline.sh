@@ -24,8 +24,18 @@ done
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-"$polaris" -profile-dir="$tmp/artifacts"
-"$insight" aggregate "$tmp/artifacts" -o "$tmp/profile.json"
+# Scrub every POLARIS_* knob from the environment: a baseline generated
+# under a caller's stray POLARIS_JOBS / POLARIS_FAULT_INJECT / governor
+# ceiling would silently pin that configuration's numbers as "expected".
+# (env -u is POSIX and tolerates variables that are not set.)
+scrubbed_env="env -u POLARIS_TRACE -u POLARIS_STATS -u POLARIS_FAULT_INJECT \
+  -u POLARIS_JOBS -u POLARIS_REMARKS -u POLARIS_REPORT_JSON \
+  -u POLARIS_COMPILE_BUDGET_MS -u POLARIS_MAX_POLY_TERMS \
+  -u POLARIS_MAX_ATOMS_PER_UNIT -u POLARIS_PASS_BUDGET_MS \
+  -u POLARIS_BENCH_JSON"
+
+$scrubbed_env "$polaris" -profile-dir="$tmp/artifacts"
+$scrubbed_env "$insight" aggregate "$tmp/artifacts" -o "$tmp/profile.json"
 
 if [ -f "$baseline" ]; then
   echo "--- diff against the current baseline ---"
